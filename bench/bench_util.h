@@ -1,0 +1,143 @@
+#ifndef PARJ_BENCH_BENCH_UTIL_H_
+#define PARJ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper (see DESIGN.md's
+// per-experiment index), printing our measured numbers next to the
+// paper's published values. Scales default to container-friendly sizes
+// and are overridable via environment variables:
+//
+//   PARJ_LUBM_UNIV      LUBM scale (universities), default 10
+//   PARJ_WATDIV_SCALE   WatDiv scale units, default 1
+//   PARJ_THREADS        parallel worker count, default 8 (emulated)
+//   PARJ_BENCH_REPEATS  timed repetitions per query, default 3
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "engine/parj_engine.h"
+#include "workload/lubm.h"
+#include "workload/watdiv.h"
+
+namespace parj::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline int LubmUniversities() { return EnvInt("PARJ_LUBM_UNIV", 10); }
+inline int WatdivScale() { return EnvInt("PARJ_WATDIV_SCALE", 1); }
+inline int BenchThreads() { return EnvInt("PARJ_THREADS", 8); }
+inline int BenchRepeats() { return EnvInt("PARJ_BENCH_REPEATS", 3); }
+
+/// Builds a PARJ engine from pre-generated data (indexes on) and runs
+/// Algorithm 2 calibration, exactly as the paper does after loading.
+inline engine::ParjEngine BuildEngine(workload::GeneratedData data) {
+  engine::EngineOptions options;
+  options.calibrate = true;
+  auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                std::move(data.triples),
+                                                options);
+  PARJ_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+/// Runs `sparql` `repeats` times and returns the average total time in ms
+/// (parse + optimize + execute, like the paper's reported numbers).
+/// For emulated-parallel runs, the max-shard model time is used.
+struct TimedRun {
+  double millis = 0.0;
+  uint64_t rows = 0;
+  join::SearchCounters counters;
+};
+
+inline TimedRun TimeQuery(const engine::ParjEngine& engine,
+                          const std::string& sparql,
+                          engine::QueryOptions options, int repeats) {
+  TimedRun out;
+  options.mode = join::ResultMode::kCount;  // the paper's silent mode
+  for (int i = 0; i < repeats; ++i) {
+    auto r = engine.Execute(sparql, options);
+    PARJ_CHECK(r.ok()) << r.status().ToString();
+    out.millis += options.emulate_parallel ? r->emulated_total_millis()
+                                           : r->total_millis();
+    out.rows = r->row_count;
+    out.counters = r->counters;
+  }
+  out.millis /= repeats;
+  return out;
+}
+
+/// Simple fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < row.size() ? row[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = headers_.size() * 2;
+    for (size_t w : widths) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Average and geometric mean of a series (the paper reports both).
+struct Aggregate {
+  double avg = 0.0;
+  double geomean = 0.0;
+};
+
+inline Aggregate Aggregates(const std::vector<double>& values) {
+  Aggregate out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    log_sum += std::log(std::max(1e-6, v));
+  }
+  out.avg = sum / values.size();
+  out.geomean = std::exp(log_sum / values.size());
+  return out;
+}
+
+inline void PrintHeader(const char* title, const std::string& detail) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", title, detail.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace parj::bench
+
+#endif  // PARJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Reproduces Figure 3: LUBM execution time (multi-threaded) for a doubling
+// series of dataset sizes. The paper runs 1280 / 2560 / 5120 / 10240
+// universities with 32 threads; we run a doubling series of
+// container-friendly scales and check for the same near-linear growth.
+
+#include "bench_util.h"
+
+namespace parj::bench {
+namespace {
+
+int Run() {
+  const int base = LubmUniversities();
+  const int threads = BenchThreads();
+  const int repeats = BenchRepeats();
+  const int scales[4] = {base, base * 2, base * 4, base * 8};
+
+  PrintHeader("Figure 3 reproduction: execution time vs dataset size (ms)",
+              "LUBM scales: " + std::to_string(scales[0]) + " / " +
+              std::to_string(scales[1]) + " / " + std::to_string(scales[2]) +
+              " / " + std::to_string(scales[3]) +
+              " universities (paper: 1280/2560/5120/10240) | " +
+              std::to_string(threads) + " threads (emulated)");
+
+  // Column per scale; row per query.
+  std::vector<std::vector<double>> times(workload::LubmQueries().size());
+  std::vector<uint64_t> triple_counts;
+  for (int scale : scales) {
+    workload::GeneratedData data =
+        workload::GenerateLubm({.universities = scale, .seed = 42});
+    triple_counts.push_back(data.triples.size());
+    engine::ParjEngine engine = BuildEngine(std::move(data));
+    const auto queries = workload::LubmQueries();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      engine::QueryOptions opts;
+      opts.strategy = join::SearchStrategy::kAdaptiveIndex;
+      opts.num_threads = threads;
+      opts.emulate_parallel = true;
+      TimedRun run = TimeQuery(engine, queries[i].sparql, opts, repeats);
+      times[i].push_back(run.millis);
+    }
+  }
+
+  TablePrinter table({"Query", std::to_string(scales[0]) + "U",
+                      std::to_string(scales[1]) + "U",
+                      std::to_string(scales[2]) + "U",
+                      std::to_string(scales[3]) + "U", "growth(8x data)"});
+  const auto queries = workload::LubmQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<std::string> row = {queries[i].name};
+    for (double t : times[i]) row.push_back(FormatMillis(t));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fx",
+                  times[i].back() / std::max(1e-6, times[i].front()));
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> triples_row = {"(triples)"};
+  for (uint64_t t : triple_counts) triples_row.push_back(FormatCount(t));
+  table.AddRow(std::move(triples_row));
+  table.Print();
+
+  std::printf(
+      "\nShape check: 8x more data should cost roughly 8x time for the\n"
+      "scan-dominated queries (near-linear scaling, paper Fig. 3);\n"
+      "selective point queries (L4-L6) stay flat.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Run(); }

@@ -1,0 +1,142 @@
+// Ablation microbenchmarks for the search kernels (google-benchmark):
+// sequential vs binary vs ID-to-Position lookup as a function of the probe
+// stride (the position distance between consecutive probes). This is the
+// microscopic mechanism behind Algorithm 1's threshold: sequential search
+// wins below the crossover stride, the index lookup wins above it, and
+// the adaptive kernel should track the lower envelope.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "index/id_position_index.h"
+#include "join/search.h"
+
+namespace parj::join {
+namespace {
+
+constexpr size_t kArraySize = 1 << 20;
+constexpr TermId kGap = 9;  // average ID distance between adjacent keys
+
+std::vector<TermId> MakeKeys() {
+  std::vector<TermId> keys;
+  keys.reserve(kArraySize);
+  Rng rng(42);
+  TermId v = 1;
+  for (size_t i = 0; i < kArraySize; ++i) {
+    v += 1 + static_cast<TermId>(rng.Uniform(2 * kGap - 1));
+    keys.push_back(v);
+  }
+  return keys;
+}
+
+const std::vector<TermId>& Keys() {
+  static const std::vector<TermId>* keys = new std::vector<TermId>(MakeKeys());
+  return *keys;
+}
+
+const index::IdPositionIndex& Index() {
+  static const index::IdPositionIndex* idx = new index::IdPositionIndex(
+      index::IdPositionIndex::Build(Keys(), Keys().back() + 1));
+  return *idx;
+}
+
+/// Probes the array at positions striding by `state.range(0)`, wrapping.
+template <typename SearchFn>
+void StrideProbe(benchmark::State& state, SearchFn&& search) {
+  const auto& keys = Keys();
+  const size_t stride = static_cast<size_t>(state.range(0));
+  size_t cursor = 0;
+  size_t target = 0;
+  uint64_t found = 0;
+  for (auto _ : state) {
+    target += stride;
+    if (target >= keys.size()) {
+      target -= keys.size();
+      cursor = 0;  // avoid charging the wrap to sequential search
+    }
+    size_t pos = search(keys, keys[target], &cursor);
+    found += pos != kNotFound;
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SequentialSearch(benchmark::State& state) {
+  StrideProbe(state, [](std::span<const TermId> a, TermId v, size_t* cursor) {
+    return SequentialSearch(a, v, cursor);
+  });
+}
+
+void BM_BinarySearch(benchmark::State& state) {
+  StrideProbe(state, [](std::span<const TermId> a, TermId v, size_t* cursor) {
+    return BinarySearch(a, v, cursor);
+  });
+}
+
+void BM_IndexLookup(benchmark::State& state) {
+  const auto& index = Index();
+  StrideProbe(state, [&index](std::span<const TermId> a, TermId v,
+                              size_t* cursor) {
+    DirectMemory mem;
+    return IndexSearchWith(a, v, cursor, index, mem);
+  });
+}
+
+void BM_AdaptiveBinary(benchmark::State& state) {
+  const int64_t threshold = 200 * kGap;  // the paper's calibrated window
+  StrideProbe(state, [threshold](std::span<const TermId> a, TermId v,
+                                 size_t* cursor) {
+    return AdaptiveSearch(a, v, cursor, threshold,
+                          SearchStrategy::kAdaptiveBinary, nullptr, nullptr);
+  });
+}
+
+void BM_AdaptiveIndex(benchmark::State& state) {
+  const auto& index = Index();
+  const int64_t threshold = 20 * kGap;
+  StrideProbe(state, [&index, threshold](std::span<const TermId> a, TermId v,
+                                         size_t* cursor) {
+    return AdaptiveSearch(a, v, cursor, threshold,
+                          SearchStrategy::kAdaptiveIndex, &index, nullptr);
+  });
+}
+
+const int64_t kStrides[] = {1, 4, 16, 64, 256, 1024, 8192};
+
+void RegisterAll() {
+  for (int64_t stride : kStrides) {
+    benchmark::RegisterBenchmark(
+        ("BM_SequentialSearch/stride:" + std::to_string(stride)).c_str(),
+        BM_SequentialSearch)
+        ->Arg(stride);
+    benchmark::RegisterBenchmark(
+        ("BM_BinarySearch/stride:" + std::to_string(stride)).c_str(),
+        BM_BinarySearch)
+        ->Arg(stride);
+    benchmark::RegisterBenchmark(
+        ("BM_IndexLookup/stride:" + std::to_string(stride)).c_str(),
+        BM_IndexLookup)
+        ->Arg(stride);
+    benchmark::RegisterBenchmark(
+        ("BM_AdaptiveBinary/stride:" + std::to_string(stride)).c_str(),
+        BM_AdaptiveBinary)
+        ->Arg(stride);
+    benchmark::RegisterBenchmark(
+        ("BM_AdaptiveIndex/stride:" + std::to_string(stride)).c_str(),
+        BM_AdaptiveIndex)
+        ->Arg(stride);
+  }
+}
+
+}  // namespace
+}  // namespace parj::join
+
+int main(int argc, char** argv) {
+  parj::join::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation for the paper's §6 extension: query answering under RDFS
+// class/property hierarchies. Compares the two strategies the paper
+// discusses:
+//   forward chaining  — materialize all implications (RDFox-style);
+//                       larger store, plain queries;
+//   backward chaining — rewrite each query into a union of BGPs evaluated
+//                       with the pipelined adaptive join; base-size store,
+//                       more (but individually cheap) pipelines.
+// The paper's position: materialization "may lead to data size many times
+// larger than the original, something that may not be viable for an
+// in-memory system".
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "reasoning/answering.h"
+#include "reasoning/materialize.h"
+
+namespace parj::bench {
+namespace {
+
+int Run() {
+  const int universities = LubmUniversities();
+  const int repeats = BenchRepeats();
+  PrintHeader("Reasoning ablation (paper §6): backward chaining vs "
+              "materialization",
+              "LUBM scale: " + std::to_string(universities) +
+              " with the Univ-Bench RDFS ontology");
+
+  workload::GeneratedData data = workload::GenerateLubm(
+      {.universities = universities, .seed = 42, .emit_ontology = true});
+  const size_t base_triples = data.triples.size();
+  auto base_db = storage::Database::Build(std::move(data.dict),
+                                          std::move(data.triples));
+  PARJ_CHECK(base_db.ok());
+
+  reasoning::Hierarchy hierarchy =
+      reasoning::Hierarchy::FromDatabase(*base_db);
+
+  Stopwatch mat_timer;
+  reasoning::MaterializeStats stats;
+  auto closure =
+      reasoning::MaterializeHierarchies(*base_db, hierarchy, &stats);
+  PARJ_CHECK(closure.ok());
+  auto mat_db = storage::Database::Build(std::move(closure->dict),
+                                         std::move(closure->triples));
+  PARJ_CHECK(mat_db.ok());
+  const double materialize_ms = mat_timer.ElapsedMillis();
+
+  std::printf("base store:         %s triples, %s bytes\n",
+              FormatCount(base_triples).c_str(),
+              FormatCount(base_db->TableMemoryUsage()).c_str());
+  std::printf("materialized store: %s triples, %s bytes  "
+              "(blowup %.2fx, built in %s ms)\n\n",
+              FormatCount(stats.output_triples).c_str(),
+              FormatCount(mat_db->TableMemoryUsage()).c_str(),
+              stats.BlowupFactor(), FormatMillis(materialize_ms).c_str());
+
+  TablePrinter table({"Query", "Backward(ms)", "Branches", "Forward(ms)",
+                      "rows", "agree"});
+  reasoning::Hierarchy empty;
+  for (const auto& q : workload::LubmReasoningQueries()) {
+    double backward_ms = 0.0;
+    double forward_ms = 0.0;
+    uint64_t backward_rows = 0;
+    uint64_t forward_rows = 0;
+    size_t branches = 0;
+    for (int i = 0; i < repeats; ++i) {
+      auto b = reasoning::AnswerWithBackwardChaining(*base_db, q.sparql,
+                                                     hierarchy);
+      PARJ_CHECK(b.ok()) << b.status().ToString();
+      backward_ms += b->total_millis;
+      backward_rows = b->row_count;
+      branches = b->branch_count;
+      auto f =
+          reasoning::AnswerWithBackwardChaining(*mat_db, q.sparql, empty);
+      PARJ_CHECK(f.ok()) << f.status().ToString();
+      forward_ms += f->total_millis;
+      forward_rows = f->row_count;
+    }
+    table.AddRow({q.name, FormatMillis(backward_ms / repeats),
+                  std::to_string(branches),
+                  FormatMillis(forward_ms / repeats),
+                  FormatCount(backward_rows),
+                  backward_rows == forward_rows ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks:\n"
+      " - Both strategies return identical answers ('agree' column).\n"
+      " - Materialization pays a %.2fx storage blowup up front; backward\n"
+      "   chaining pays per-query with the branch fan-out.\n",
+      stats.BlowupFactor());
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Run(); }

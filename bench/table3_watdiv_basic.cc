@@ -1,0 +1,125 @@
+// Reproduces Table 3: WatDiv basic workload (L / S / F / C), PARJ vs the
+// baseline architectures, with per-category averages and geometric means
+// as the paper reports them.
+
+#include "baseline/exchange_engine.h"
+#include "baseline/hash_join_engine.h"
+#include "baseline/sort_merge_engine.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "paper_reference.h"
+#include "query/parser.h"
+
+namespace parj::bench {
+namespace {
+
+double TimeBaseline(const baseline::BaselineEngine& engine,
+                    const storage::Database& db, const std::string& sparql,
+                    int repeats) {
+  auto ast = query::ParseQuery(sparql);
+  PARJ_CHECK(ast.ok());
+  auto encoded = query::EncodeQuery(*ast, db);
+  PARJ_CHECK(encoded.ok());
+  double total = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch timer;
+    auto r = engine.Execute(*encoded);
+    PARJ_CHECK(r.ok());
+    total += timer.ElapsedMillis();
+  }
+  return total / repeats;
+}
+
+int Run() {
+  const int scale = WatdivScale();
+  const int threads = BenchThreads();
+  const int repeats = BenchRepeats();
+
+  PrintHeader("Table 3 reproduction: WatDiv basic workload (ms)",
+              "scale: " + std::to_string(scale) + " (paper: 1000) | "
+              "PARJ-N threads: " + std::to_string(threads) + " (emulated)\n"
+              "baseline substitutions: RDFox->HashJoin, RDF-3X->SortMerge, "
+              "TriAD->Exchange");
+
+  workload::GeneratedData data =
+      workload::GenerateWatdiv({.scale = scale, .seed = 7});
+  std::printf("generated %s triples\n\n",
+              FormatCount(data.triples.size()).c_str());
+  engine::ParjEngine engine = BuildEngine(std::move(data));
+  const storage::Database& db = engine.database();
+
+  baseline::HashJoinEngine hash(&db);
+  baseline::SortMergeEngine merge(&db);
+  baseline::ExchangeEngine exchange(&db, {.num_workers = 4});
+
+  TablePrinter table({"Query", "PARJ-1", "Hash(RDFox*)", "Merge(RDF3X*)",
+                      "PARJ-" + std::to_string(threads) + "(emu)",
+                      "Exch(TriAD*)", "rows", "| paper:PARJ-1", "TriAD"});
+
+  // Category bookkeeping for the per-category aggregates.
+  struct Category {
+    std::vector<double> parj1, hash, merge, parjn, exch;
+  };
+  std::map<char, Category> categories;
+
+  const auto& reference = paper::Table3WatdivBasic();
+  const auto queries = workload::WatdivBasicQueries();
+  char current_category = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    if (q.name[0] != current_category && current_category != 0) {
+      table.AddRow({"----"});
+    }
+    current_category = q.name[0];
+
+    engine::QueryOptions single;
+    single.strategy = join::SearchStrategy::kAdaptiveIndex;
+    TimedRun parj1 = TimeQuery(engine, q.sparql, single, repeats);
+    engine::QueryOptions multi = single;
+    multi.num_threads = threads;
+    multi.emulate_parallel = true;
+    TimedRun parjn = TimeQuery(engine, q.sparql, multi, repeats);
+    double hash_ms = TimeBaseline(hash, db, q.sparql, repeats);
+    double merge_ms = TimeBaseline(merge, db, q.sparql, repeats);
+    double exch_ms = TimeBaseline(exchange, db, q.sparql, repeats);
+
+    Category& cat = categories[q.name[0]];
+    cat.parj1.push_back(parj1.millis);
+    cat.hash.push_back(hash_ms);
+    cat.merge.push_back(merge_ms);
+    cat.parjn.push_back(parjn.millis);
+    cat.exch.push_back(exch_ms);
+
+    table.AddRow({q.name, FormatMillis(parj1.millis), FormatMillis(hash_ms),
+                  FormatMillis(merge_ms), FormatMillis(parjn.millis),
+                  FormatMillis(exch_ms), FormatCount(parj1.rows),
+                  std::string("| ") + reference[i].parj1,
+                  reference[i].triad});
+  }
+  table.Print();
+
+  std::printf("\nPer-category aggregates (paper reports Avg and Geomean per "
+              "category):\n\n");
+  TablePrinter agg({"Cat", "Metric", "PARJ-1", "Hash", "Merge",
+                    "PARJ-" + std::to_string(threads), "Exch"});
+  for (auto& [cat, series] : categories) {
+    Aggregate p1 = Aggregates(series.parj1);
+    Aggregate h = Aggregates(series.hash);
+    Aggregate m = Aggregates(series.merge);
+    Aggregate pn = Aggregates(series.parjn);
+    Aggregate e = Aggregates(series.exch);
+    agg.AddRow({std::string(1, cat), "Avg", FormatMillis(p1.avg),
+                FormatMillis(h.avg), FormatMillis(m.avg), FormatMillis(pn.avg),
+                FormatMillis(e.avg)});
+    agg.AddRow({std::string(1, cat), "Geomean", FormatMillis(p1.geomean),
+                FormatMillis(h.geomean), FormatMillis(m.geomean),
+                FormatMillis(pn.geomean), FormatMillis(e.geomean)});
+  }
+  agg.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Run(); }

@@ -1,0 +1,112 @@
+// Reproduces Table 5: impact of adaptive processing. Runs every LUBM
+// query (and the WatDiv aggregate) single-threaded under the four search
+// configurations: Binary, AdBinary (adaptive binary), Index
+// (ID-to-Position), AdIndex (adaptive index).
+
+#include "bench_util.h"
+#include "paper_reference.h"
+
+namespace parj::bench {
+namespace {
+
+int Run() {
+  const int universities = LubmUniversities();
+  const int repeats = BenchRepeats();
+
+  PrintHeader("Table 5 reproduction: impact of adaptive processing "
+              "(1 thread, ms)",
+              "LUBM scale: " + std::to_string(universities) +
+              " | WatDiv scale: " + std::to_string(WatdivScale()) +
+              " (paper: 10240 / 1000)");
+
+  const join::SearchStrategy kStrategies[] = {
+      join::SearchStrategy::kBinary, join::SearchStrategy::kAdaptiveBinary,
+      join::SearchStrategy::kIndex, join::SearchStrategy::kAdaptiveIndex};
+
+  // ---- LUBM.
+  {
+    workload::GeneratedData data =
+        workload::GenerateLubm({.universities = universities, .seed = 42});
+    engine::ParjEngine engine = BuildEngine(std::move(data));
+
+    TablePrinter table({"Query", "Binary", "AdBinary", "Index", "AdIndex",
+                        "| paper:Binary", "AdBinary", "Index", "AdIndex"});
+    std::vector<double> series[4];
+    const auto& reference = paper::Table5Adaptive();
+    const auto queries = workload::LubmQueries();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::vector<std::string> row = {queries[i].name};
+      for (int s = 0; s < 4; ++s) {
+        engine::QueryOptions opts;
+        opts.strategy = kStrategies[s];
+        TimedRun run = TimeQuery(engine, queries[i].sparql, opts, repeats);
+        series[s].push_back(run.millis);
+        row.push_back(FormatMillis(run.millis));
+      }
+      row.push_back(std::string("| ") + reference[i].binary);
+      row.push_back(reference[i].ad_binary);
+      row.push_back(reference[i].index);
+      row.push_back(reference[i].ad_index);
+      table.AddRow(std::move(row));
+    }
+    std::vector<std::string> avg_row = {"Avg"};
+    std::vector<std::string> geo_row = {"Geomean"};
+    for (int s = 0; s < 4; ++s) {
+      Aggregate a = Aggregates(series[s]);
+      avg_row.push_back(FormatMillis(a.avg));
+      geo_row.push_back(FormatMillis(a.geomean));
+    }
+    avg_row.insert(avg_row.end(), {"| 15943", "12352", "11952", "11495"});
+    geo_row.insert(geo_row.end(), {"| 1034", "892", "898", "864"});
+    table.AddRow(std::move(avg_row));
+    table.AddRow(std::move(geo_row));
+    table.Print();
+  }
+
+  // ---- WatDiv aggregate (the paper reports Avg / Geomean only).
+  {
+    workload::GeneratedData data =
+        workload::GenerateWatdiv({.scale = WatdivScale(), .seed = 7});
+    engine::ParjEngine engine = BuildEngine(std::move(data));
+
+    std::vector<double> series[4];
+    for (const auto& q : workload::WatdivBasicQueries()) {
+      for (int s = 0; s < 4; ++s) {
+        engine::QueryOptions opts;
+        opts.strategy = kStrategies[s];
+        TimedRun run = TimeQuery(engine, q.sparql, opts, repeats);
+        series[s].push_back(run.millis);
+      }
+    }
+    std::printf("\n");
+    TablePrinter table({"WatDiv basic", "Binary", "AdBinary", "Index",
+                        "AdIndex", "| paper:Binary", "AdBinary", "Index",
+                        "AdIndex"});
+    std::vector<std::string> avg_row = {"Avg"};
+    std::vector<std::string> geo_row = {"Geomean"};
+    for (int s = 0; s < 4; ++s) {
+      Aggregate a = Aggregates(series[s]);
+      avg_row.push_back(FormatMillis(a.avg));
+      geo_row.push_back(FormatMillis(a.geomean));
+    }
+    avg_row.insert(avg_row.end(), {"| 8439", "8003", "5013", "4869"});
+    geo_row.insert(geo_row.end(), {"| 33", "28", "25", "23"});
+    table.AddRow(std::move(avg_row));
+    table.AddRow(std::move(geo_row));
+    table.Print();
+  }
+
+  std::printf(
+      "\nShape checks (paper §5.2.1):\n"
+      " - AdBinary improves on Binary (the adaptive switch pays off most\n"
+      "   when the fallback is expensive).\n"
+      " - The gap between Index and AdIndex is smaller (calibrated window\n"
+      "   ~20 positions vs ~200 for binary search).\n"
+      " - Point queries (LUBM4-6) are flat across configurations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Run(); }

@@ -1,0 +1,64 @@
+// Quickstart: load a tiny RDF graph from N-Triples text, run a SPARQL BGP
+// join, and print decoded results. This is the paper's §3 running example
+// (professors, courses, universities).
+
+#include <cstdio>
+
+#include "engine/parj_engine.h"
+
+namespace {
+
+constexpr char kData[] = R"(
+<http://ex/ProfessorA> <http://ex/teaches> <http://ex/Mathematics> .
+<http://ex/ProfessorB> <http://ex/teaches> <http://ex/Chemistry> .
+<http://ex/ProfessorC> <http://ex/teaches> <http://ex/Literature> .
+<http://ex/ProfessorA> <http://ex/teaches> <http://ex/Physics> .
+<http://ex/ProfessorA> <http://ex/worksFor> <http://ex/University1> .
+<http://ex/ProfessorB> <http://ex/worksFor> <http://ex/University2> .
+<http://ex/ProfessorC> <http://ex/worksFor> <http://ex/University2> .
+)";
+
+constexpr char kQuery[] = R"(
+PREFIX ex: <http://ex/>
+SELECT ?professor ?course ?university WHERE {
+  ?professor ex:teaches ?course .
+  ?professor ex:worksFor ?university .
+})";
+
+}  // namespace
+
+int main() {
+  // 1. Load. The engine dictionary-encodes the graph and builds the
+  //    doubly-replicated, vertically partitioned tables of the paper.
+  auto engine = parj::engine::ParjEngine::FromNTriplesText(kData);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %llu triples over %zu properties\n",
+              static_cast<unsigned long long>(engine->database().total_triples()),
+              engine->database().predicate_count());
+
+  // 2. Inspect the plan the optimizer picks.
+  auto plan = engine->Explain(kQuery);
+  if (plan.ok()) std::printf("\n%s\n", plan->ToString().c_str());
+
+  // 3. Execute (materialized; use ResultMode::kCount for the paper's
+  //    silent mode) and decode rows through the dictionary.
+  auto result = engine->Execute(kQuery);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu results:\n",
+              static_cast<unsigned long long>(result->row_count));
+  for (size_t row = 0; row < result->row_count; ++row) {
+    for (const std::string& cell : engine->DecodeRow(*result, row)) {
+      std::printf("  %s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

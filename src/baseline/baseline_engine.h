@@ -1,0 +1,68 @@
+#ifndef PARJ_BASELINE_BASELINE_ENGINE_H_
+#define PARJ_BASELINE_BASELINE_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "query/algebra.h"
+#include "storage/database.h"
+
+namespace parj::baseline {
+
+/// Result of a baseline evaluation. Rows are full-width binding vectors
+/// projected the same way the PARJ executor projects, so results are
+/// directly comparable.
+struct BaselineResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  std::vector<TermId> rows;  ///< row-major, projected
+  /// ExchangeEngine metrics (zero elsewhere): tuples crossing a worker
+  /// boundary during repartitioning, and the number of blocking barriers.
+  uint64_t exchanged_tuples = 0;
+  uint64_t barriers = 0;
+  /// Peak number of materialized intermediate tuples (all materializing
+  /// baselines report this; PARJ's pipelined join never materializes).
+  uint64_t peak_intermediate = 0;
+};
+
+/// Interface shared by the comparison engines. Every engine evaluates the
+/// same EncodedQuery against the same Database as PARJ — the comparison
+/// isolates the *join processing architecture*, which is what the paper's
+/// system comparison is about (see DESIGN.md, substitutions).
+class BaselineEngine {
+ public:
+  virtual ~BaselineEngine() = default;
+
+  virtual Result<BaselineResult> Execute(
+      const query::EncodedQuery& query) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+namespace internal {
+
+/// Materializes the (subject, object) pairs of `pattern`'s property that
+/// satisfy the pattern's constant slots. The workhorse of all
+/// materializing baselines.
+std::vector<std::array<TermId, 2>> PatternPairs(
+    const storage::Database& db, const query::EncodedPattern& pattern);
+
+/// Greedy pattern order shared by the baselines: cheapest estimated
+/// pattern first, then cheapest pattern connected to the bound set.
+std::vector<int> GreedyPatternOrder(const storage::Database& db,
+                                    const query::EncodedQuery& query);
+
+/// Applies projection / DISTINCT / LIMIT to full-width binding rows,
+/// producing a BaselineResult.
+BaselineResult FinalizeRows(const query::EncodedQuery& query,
+                            const std::vector<TermId>& wide_rows,
+                            uint64_t peak_intermediate);
+
+}  // namespace internal
+}  // namespace parj::baseline
+
+#endif  // PARJ_BASELINE_BASELINE_ENGINE_H_

@@ -1,0 +1,42 @@
+#ifndef PARJ_BASELINE_EXCHANGE_ENGINE_H_
+#define PARJ_BASELINE_EXCHANGE_ENGINE_H_
+
+#include "baseline/baseline_engine.h"
+
+namespace parj::baseline {
+
+/// Partition-parallel engine with blocking repartition (exchange) steps
+/// between joins: the architecture of distributed in-memory stores such as
+/// TriAD (see DESIGN.md substitutions). W workers each own a hash
+/// partition of the intermediate result; before every join the
+/// intermediate is rehashed on the next join key (every worker must wait
+/// to receive all tuples from all others — the synchronization cost the
+/// paper's design eliminates), then each worker joins its partition
+/// locally. Real std::thread workers and barriers; `exchanged_tuples` and
+/// `barriers` in the result quantify the communication PARJ avoids.
+class ExchangeEngine : public BaselineEngine {
+ public:
+  struct Options {
+    int num_workers = 4;
+  };
+
+  explicit ExchangeEngine(const storage::Database* db)
+      : ExchangeEngine(db, Options{}) {}
+  ExchangeEngine(const storage::Database* db, Options options)
+      : db_(db), options_(options) {}
+
+  Result<BaselineResult> Execute(
+      const query::EncodedQuery& query) const override;
+
+  std::string name() const override {
+    return "Exchange-" + std::to_string(options_.num_workers);
+  }
+
+ private:
+  const storage::Database* db_;
+  Options options_;
+};
+
+}  // namespace parj::baseline
+
+#endif  // PARJ_BASELINE_EXCHANGE_ENGINE_H_

@@ -1,0 +1,120 @@
+#include "baseline/hash_join_engine.h"
+
+#include <unordered_map>
+
+namespace parj::baseline {
+
+namespace {
+
+using query::EncodedPattern;
+using query::PatternTerm;
+
+/// Binds `slot` to `value` in `row`; false on conflict.
+bool ApplySlot(const PatternTerm& slot, TermId value, std::vector<TermId>* row,
+               size_t base) {
+  if (slot.is_constant()) return slot.constant == value;
+  TermId& cell = (*row)[base + slot.var];
+  if (cell == kInvalidTermId) {
+    cell = value;
+    return true;
+  }
+  return cell == value;
+}
+
+}  // namespace
+
+Result<BaselineResult> HashJoinEngine::Execute(
+    const query::EncodedQuery& query) const {
+  BaselineResult empty;
+  empty.column_count = query.projection.size();
+  if (query.known_empty) return empty;
+
+  const std::vector<int> order = internal::GreedyPatternOrder(*db_, query);
+  const size_t width = static_cast<size_t>(query.variable_count);
+
+  std::vector<TermId> rows;  // wide intermediate, row-major
+  uint64_t peak = 0;
+  uint64_t bound_mask = 0;
+
+  for (size_t step = 0; step < order.size(); ++step) {
+    const EncodedPattern& pattern = query.patterns[order[step]];
+    std::vector<std::array<TermId, 2>> pairs =
+        internal::PatternPairs(*db_, pattern);
+
+    if (step == 0) {
+      rows.reserve(pairs.size() * width);
+      std::vector<TermId> row(width, kInvalidTermId);
+      for (const auto& [s, o] : pairs) {
+        std::fill(row.begin(), row.end(), kInvalidTermId);
+        if (ApplySlot(pattern.subject, s, &row, 0) &&
+            ApplySlot(pattern.object, o, &row, 0)) {
+          rows.insert(rows.end(), row.begin(), row.end());
+        }
+      }
+    } else {
+      // Pick the hash key: a pattern variable already bound in the
+      // intermediate. Prefer the subject column.
+      int key_column = -1;  // 0 = subject, 1 = object
+      int key_var = -1;
+      if (pattern.subject.is_variable() &&
+          ((bound_mask >> pattern.subject.var) & 1)) {
+        key_column = 0;
+        key_var = pattern.subject.var;
+      } else if (pattern.object.is_variable() &&
+                 ((bound_mask >> pattern.object.var) & 1)) {
+        key_column = 1;
+        key_var = pattern.object.var;
+      }
+
+      std::vector<TermId> next_rows;
+      if (key_column == -1) {
+        // Cartesian continuation.
+        for (size_t r = 0; r * width < rows.size(); ++r) {
+          for (const auto& [s, o] : pairs) {
+            std::vector<TermId> row(rows.begin() + r * width,
+                                    rows.begin() + (r + 1) * width);
+            if (ApplySlot(pattern.subject, s, &row, 0) &&
+                ApplySlot(pattern.object, o, &row, 0)) {
+              next_rows.insert(next_rows.end(), row.begin(), row.end());
+            }
+          }
+        }
+      } else {
+        // Build on the pattern pairs, probe with the intermediate.
+        std::unordered_multimap<TermId, size_t> table;
+        table.reserve(pairs.size());
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          table.emplace(pairs[i][key_column], i);
+        }
+        const size_t n = rows.size() / width;
+        for (size_t r = 0; r < n; ++r) {
+          const TermId key = rows[r * width + key_var];
+          auto [lo, hi] = table.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            const auto& [s, o] = pairs[it->second];
+            std::vector<TermId> row(rows.begin() + r * width,
+                                    rows.begin() + (r + 1) * width);
+            if (ApplySlot(pattern.subject, s, &row, 0) &&
+                ApplySlot(pattern.object, o, &row, 0)) {
+              next_rows.insert(next_rows.end(), row.begin(), row.end());
+            }
+          }
+        }
+      }
+      rows = std::move(next_rows);
+    }
+
+    peak = std::max<uint64_t>(peak, rows.size() / std::max<size_t>(1, width));
+    if (pattern.subject.is_variable()) {
+      bound_mask |= uint64_t{1} << pattern.subject.var;
+    }
+    if (pattern.object.is_variable()) {
+      bound_mask |= uint64_t{1} << pattern.object.var;
+    }
+    if (rows.empty()) break;
+  }
+
+  return internal::FinalizeRows(query, rows, peak);
+}
+
+}  // namespace parj::baseline

@@ -1,0 +1,29 @@
+#ifndef PARJ_BASELINE_HASH_JOIN_ENGINE_H_
+#define PARJ_BASELINE_HASH_JOIN_ENGINE_H_
+
+#include "baseline/baseline_engine.h"
+
+namespace parj::baseline {
+
+/// Materializing hash-join engine: evaluates the BGP left-deep in a greedy
+/// order, building a hash table over each pattern's filtered pairs and
+/// probing the materialized intermediate result. This is the architecture
+/// of a generic in-memory store without PARJ's locality-aware pipelined
+/// joins — the role the paper's RDFox column plays in the single-thread
+/// comparison (see DESIGN.md substitutions). Single-threaded.
+class HashJoinEngine : public BaselineEngine {
+ public:
+  explicit HashJoinEngine(const storage::Database* db) : db_(db) {}
+
+  Result<BaselineResult> Execute(
+      const query::EncodedQuery& query) const override;
+
+  std::string name() const override { return "HashJoin"; }
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace parj::baseline
+
+#endif  // PARJ_BASELINE_HASH_JOIN_ENGINE_H_

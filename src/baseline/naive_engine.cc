@@ -1,0 +1,62 @@
+#include "baseline/naive_engine.h"
+
+namespace parj::baseline {
+
+namespace {
+
+/// Tries to unify `row` with a candidate (subject, object) pair for
+/// `pattern`, writing the extended row into `row` itself (caller keeps a
+/// copy for backtracking).
+bool Unify(const query::EncodedPattern& pattern, TermId subject, TermId object,
+           std::vector<TermId>* row) {
+  auto apply = [&](const query::PatternTerm& slot, TermId value) {
+    if (slot.is_constant()) return slot.constant == value;
+    TermId& cell = (*row)[slot.var];
+    if (cell == kInvalidTermId) {
+      cell = value;
+      return true;
+    }
+    return cell == value;
+  };
+  return apply(pattern.subject, subject) && apply(pattern.object, object);
+}
+
+}  // namespace
+
+Result<BaselineResult> NaiveEngine::Execute(
+    const query::EncodedQuery& query) const {
+  BaselineResult empty;
+  empty.column_count = query.projection.size();
+  if (query.known_empty) return empty;
+
+  // Materialize candidate pairs once per pattern.
+  std::vector<std::vector<std::array<TermId, 2>>> candidates;
+  candidates.reserve(query.patterns.size());
+  for (const query::EncodedPattern& p : query.patterns) {
+    candidates.push_back(internal::PatternPairs(*db_, p));
+  }
+
+  std::vector<TermId> wide_rows;
+  std::vector<TermId> row(query.variable_count, kInvalidTermId);
+
+  // Plain backtracking in textual order.
+  auto descend = [&](auto&& self, size_t depth) -> void {
+    if (depth == query.patterns.size()) {
+      wide_rows.insert(wide_rows.end(), row.begin(), row.end());
+      return;
+    }
+    const query::EncodedPattern& pattern = query.patterns[depth];
+    for (const auto& [s, o] : candidates[depth]) {
+      std::vector<TermId> saved = row;
+      if (Unify(pattern, s, o, &row)) {
+        self(self, depth + 1);
+      }
+      row = std::move(saved);
+    }
+  };
+  descend(descend, 0);
+
+  return internal::FinalizeRows(query, wide_rows, 0);
+}
+
+}  // namespace parj::baseline

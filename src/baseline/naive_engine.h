@@ -1,0 +1,28 @@
+#ifndef PARJ_BASELINE_NAIVE_ENGINE_H_
+#define PARJ_BASELINE_NAIVE_ENGINE_H_
+
+#include "baseline/baseline_engine.h"
+
+namespace parj::baseline {
+
+/// Reference evaluator: backtracking nested loops over the raw pattern
+/// extensions, in the query's textual pattern order, with no indexes, no
+/// ordering tricks and no optimizer. Deliberately the dumbest correct
+/// implementation — the test-suite oracle every other engine (including
+/// PARJ itself) is compared against. Only suitable for small datasets.
+class NaiveEngine : public BaselineEngine {
+ public:
+  explicit NaiveEngine(const storage::Database* db) : db_(db) {}
+
+  Result<BaselineResult> Execute(
+      const query::EncodedQuery& query) const override;
+
+  std::string name() const override { return "Naive"; }
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace parj::baseline
+
+#endif  // PARJ_BASELINE_NAIVE_ENGINE_H_

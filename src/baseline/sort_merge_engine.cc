@@ -1,0 +1,146 @@
+#include "baseline/sort_merge_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace parj::baseline {
+
+namespace {
+
+using query::EncodedPattern;
+using query::PatternTerm;
+
+bool ApplySlot(const PatternTerm& slot, TermId value, std::vector<TermId>* row) {
+  if (slot.is_constant()) return slot.constant == value;
+  TermId& cell = (*row)[slot.var];
+  if (cell == kInvalidTermId) {
+    cell = value;
+    return true;
+  }
+  return cell == value;
+}
+
+}  // namespace
+
+Result<BaselineResult> SortMergeEngine::Execute(
+    const query::EncodedQuery& query) const {
+  BaselineResult empty;
+  empty.column_count = query.projection.size();
+  if (query.known_empty) return empty;
+
+  const std::vector<int> order = internal::GreedyPatternOrder(*db_, query);
+  const size_t width = static_cast<size_t>(query.variable_count);
+
+  std::vector<TermId> rows;
+  uint64_t peak = 0;
+  uint64_t bound_mask = 0;
+
+  for (size_t step = 0; step < order.size(); ++step) {
+    const EncodedPattern& pattern = query.patterns[order[step]];
+    std::vector<std::array<TermId, 2>> pairs =
+        internal::PatternPairs(*db_, pattern);
+
+    if (step == 0) {
+      std::vector<TermId> row(width, kInvalidTermId);
+      for (const auto& [s, o] : pairs) {
+        std::fill(row.begin(), row.end(), kInvalidTermId);
+        if (ApplySlot(pattern.subject, s, &row) &&
+            ApplySlot(pattern.object, o, &row)) {
+          rows.insert(rows.end(), row.begin(), row.end());
+        }
+      }
+    } else {
+      int key_column = -1;
+      int key_var = -1;
+      if (pattern.subject.is_variable() &&
+          ((bound_mask >> pattern.subject.var) & 1)) {
+        key_column = 0;
+        key_var = pattern.subject.var;
+      } else if (pattern.object.is_variable() &&
+                 ((bound_mask >> pattern.object.var) & 1)) {
+        key_column = 1;
+        key_var = pattern.object.var;
+      }
+
+      std::vector<TermId> next_rows;
+      if (key_column == -1) {
+        for (size_t r = 0; r * width < rows.size(); ++r) {
+          for (const auto& [s, o] : pairs) {
+            std::vector<TermId> row(rows.begin() + r * width,
+                                    rows.begin() + (r + 1) * width);
+            if (ApplySlot(pattern.subject, s, &row) &&
+                ApplySlot(pattern.object, o, &row)) {
+              next_rows.insert(next_rows.end(), row.begin(), row.end());
+            }
+          }
+        }
+      } else {
+        // Sort the intermediate on the join key (the blocking step merge
+        // engines pay whenever the incoming order does not match), sort
+        // the pairs on the key column, and merge.
+        const size_t n = rows.size() / width;
+        std::vector<size_t> row_order(n);
+        std::iota(row_order.begin(), row_order.end(), 0);
+        std::sort(row_order.begin(), row_order.end(),
+                  [&](size_t a, size_t b) {
+                    return rows[a * width + key_var] <
+                           rows[b * width + key_var];
+                  });
+        std::sort(pairs.begin(), pairs.end(),
+                  [&](const auto& a, const auto& b) {
+                    return a[key_column] < b[key_column];
+                  });
+
+        size_t i = 0;  // over row_order
+        size_t j = 0;  // over pairs
+        while (i < n && j < pairs.size()) {
+          const TermId left = rows[row_order[i] * width + key_var];
+          const TermId right = pairs[j][key_column];
+          if (left < right) {
+            ++i;
+          } else if (left > right) {
+            ++j;
+          } else {
+            // Emit the cross product of the two equal groups.
+            size_t i_end = i;
+            while (i_end < n &&
+                   rows[row_order[i_end] * width + key_var] == left) {
+              ++i_end;
+            }
+            size_t j_end = j;
+            while (j_end < pairs.size() && pairs[j_end][key_column] == left) {
+              ++j_end;
+            }
+            for (size_t a = i; a < i_end; ++a) {
+              for (size_t b = j; b < j_end; ++b) {
+                std::vector<TermId> row(
+                    rows.begin() + row_order[a] * width,
+                    rows.begin() + (row_order[a] + 1) * width);
+                if (ApplySlot(pattern.subject, pairs[b][0], &row) &&
+                    ApplySlot(pattern.object, pairs[b][1], &row)) {
+                  next_rows.insert(next_rows.end(), row.begin(), row.end());
+                }
+              }
+            }
+            i = i_end;
+            j = j_end;
+          }
+        }
+      }
+      rows = std::move(next_rows);
+    }
+
+    peak = std::max<uint64_t>(peak, rows.size() / std::max<size_t>(1, width));
+    if (pattern.subject.is_variable()) {
+      bound_mask |= uint64_t{1} << pattern.subject.var;
+    }
+    if (pattern.object.is_variable()) {
+      bound_mask |= uint64_t{1} << pattern.object.var;
+    }
+    if (rows.empty()) break;
+  }
+
+  return internal::FinalizeRows(query, rows, peak);
+}
+
+}  // namespace parj::baseline

@@ -1,0 +1,29 @@
+#ifndef PARJ_BASELINE_SORT_MERGE_ENGINE_H_
+#define PARJ_BASELINE_SORT_MERGE_ENGINE_H_
+
+#include "baseline/baseline_engine.h"
+
+namespace parj::baseline {
+
+/// Materializing sort-merge engine: at every join step the intermediate
+/// result is sorted on the join key and merged against the (already
+/// sorted) pattern pairs. This is RDF-3X-style merge processing stripped
+/// of its disk machinery and sideways information passing — the role the
+/// paper's RDF-3X column plays (see DESIGN.md substitutions).
+/// Single-threaded.
+class SortMergeEngine : public BaselineEngine {
+ public:
+  explicit SortMergeEngine(const storage::Database* db) : db_(db) {}
+
+  Result<BaselineResult> Execute(
+      const query::EncodedQuery& query) const override;
+
+  std::string name() const override { return "SortMerge"; }
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace parj::baseline
+
+#endif  // PARJ_BASELINE_SORT_MERGE_ENGINE_H_

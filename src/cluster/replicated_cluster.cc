@@ -1,0 +1,74 @@
+#include "cluster/replicated_cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+#include "query/algebra.h"
+#include "query/parser.h"
+
+namespace parj::cluster {
+
+Result<ClusterResult> ReplicatedCluster::Execute(
+    std::string_view sparql) const {
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                        query::EncodeQuery(ast, *db_));
+  PARJ_ASSIGN_OR_RETURN(query::Plan plan,
+                        query::Optimize(encoded, *db_, options_.optimizer));
+  return ExecutePlan(plan);
+}
+
+Result<ClusterResult> ReplicatedCluster::ExecutePlan(
+    const query::Plan& plan) const {
+  const int nodes = std::max(1, options_.nodes);
+  ClusterResult result;
+  result.column_count = plan.projection.size();
+  result.node_rows.assign(nodes, 0);
+  result.node_millis.assign(nodes, 0.0);
+
+  std::vector<Result<join::ExecResult>> node_results;
+  node_results.reserve(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    node_results.emplace_back(Status::Internal("node did not run"));
+  }
+
+  // One OS thread per node; each node's Executor fans out into
+  // threads_per_node shards within its slice.
+  auto node_body = [&](int node) {
+    join::Executor executor(db_);
+    join::ExecOptions exec;
+    exec.num_threads = options_.threads_per_node;
+    exec.strategy = options_.strategy;
+    exec.mode = options_.mode;
+    exec.total_workers = nodes;
+    exec.worker_index = node;
+    Stopwatch timer;
+    node_results[node] = executor.Execute(plan, exec);
+    result.node_millis[node] = timer.ElapsedMillis();
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(nodes - 1);
+  for (int n = 1; n < nodes; ++n) threads.emplace_back(node_body, n);
+  node_body(0);
+  for (std::thread& t : threads) t.join();
+
+  // Final gather (the only cross-node traffic).
+  for (int n = 0; n < nodes; ++n) {
+    if (!node_results[n].ok()) return node_results[n].status();
+    const join::ExecResult& node = *node_results[n];
+    result.row_count += node.row_count;
+    result.node_rows[n] = node.row_count;
+    result.counters.Add(node.counters);
+    if (options_.mode == join::ResultMode::kMaterialize) {
+      result.rows.insert(result.rows.end(), node.rows.begin(),
+                         node.rows.end());
+    }
+  }
+  result.gathered_tuples = result.row_count;
+  result.max_node_millis =
+      *std::max_element(result.node_millis.begin(), result.node_millis.end());
+  return result;
+}
+
+}  // namespace parj::cluster

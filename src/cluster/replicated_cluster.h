@@ -1,0 +1,64 @@
+#ifndef PARJ_CLUSTER_REPLICATED_CLUSTER_H_
+#define PARJ_CLUSTER_REPLICATED_CLUSTER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "join/executor.h"
+#include "query/optimizer.h"
+#include "storage/database.h"
+
+namespace parj::cluster {
+
+/// Simulation of the paper's §6 cluster design: "it is straightforward to
+/// extend PARJ to a 'cluster' version through full replication, such that
+/// during query execution each worker starts processing from a different
+/// initial shard" — with zero communication during the join.
+///
+/// Every node holds a full replica of the database (here: a shared
+/// read-only pointer, byte-identical to what each machine would hold);
+/// a query is planned once and each node executes only its slice of the
+/// first step's work range, multi-threaded locally. The only cross-node
+/// traffic is the final result gather, which the result quantifies.
+struct ClusterOptions {
+  int nodes = 2;
+  int threads_per_node = 1;
+  join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveBinary;
+  join::ResultMode mode = join::ResultMode::kCount;
+  query::OptimizerOptions optimizer;
+};
+
+struct ClusterResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  std::vector<TermId> rows;           ///< gathered (kMaterialize only)
+  std::vector<uint64_t> node_rows;    ///< rows produced per node
+  std::vector<double> node_millis;    ///< per-node execution wall time
+  double max_node_millis = 0.0;       ///< the cluster's modelled wall time
+  /// Tuples crossing node boundaries: exactly the final gather — PARJ's
+  /// cluster design exchanges nothing during the join.
+  uint64_t gathered_tuples = 0;
+  join::SearchCounters counters;
+};
+
+class ReplicatedCluster {
+ public:
+  ReplicatedCluster(const storage::Database* db, ClusterOptions options)
+      : db_(db), options_(options) {}
+
+  /// Plans once and executes the query across all nodes (each node runs
+  /// on its own thread group), gathering the per-node results.
+  Result<ClusterResult> Execute(std::string_view sparql) const;
+
+  /// Executes an already-built plan.
+  Result<ClusterResult> ExecutePlan(const query::Plan& plan) const;
+
+ private:
+  const storage::Database* db_;
+  ClusterOptions options_;
+};
+
+}  // namespace parj::cluster
+
+#endif  // PARJ_CLUSTER_REPLICATED_CLUSTER_H_

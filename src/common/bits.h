@@ -1,0 +1,27 @@
+#ifndef PARJ_COMMON_BITS_H_
+#define PARJ_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace parj {
+
+/// Number of set bits in `x`.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// Number of set bits of `word` strictly below bit index `bit` (0..64).
+inline int PopCountBelow(uint64_t word, unsigned bit) {
+  if (bit == 0) return 0;
+  if (bit >= 64) return std::popcount(word);
+  return std::popcount(word & ((uint64_t{1} << bit) - 1));
+}
+
+/// Smallest power of two >= x (x must be > 0, < 2^63).
+inline uint64_t NextPowerOfTwo(uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)) for x > 0.
+inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_BITS_H_

@@ -1,0 +1,82 @@
+#ifndef PARJ_COMMON_LOGGING_H_
+#define PARJ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace parj {
+
+/// Severity levels for the library logger. The default threshold is
+/// kWarning so that library consumers see nothing on the happy path.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that will be emitted to stderr.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+bool ShouldLog(LogLevel level);
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink used by PARJ_CHECK: prints and aborts on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace parj
+
+#define PARJ_LOG(LEVEL)                                                  \
+  if (::parj::internal_logging::ShouldLog(::parj::LogLevel::k##LEVEL))   \
+  ::parj::internal_logging::LogMessage(::parj::LogLevel::k##LEVEL,       \
+                                       __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types. Use for conditions
+/// whose violation would corrupt query results.
+#define PARJ_CHECK(cond)                                                 \
+  if (!(cond))                                                           \
+  ::parj::internal_logging::FatalMessage(__FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define PARJ_DCHECK(cond) PARJ_CHECK(cond)
+#else
+#define PARJ_DCHECK(cond) \
+  if (false) ::parj::internal_logging::FatalMessage(__FILE__, __LINE__, #cond)
+#endif
+
+#endif  // PARJ_COMMON_LOGGING_H_

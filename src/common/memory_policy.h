@@ -1,0 +1,20 @@
+#ifndef PARJ_COMMON_MEMORY_POLICY_H_
+#define PARJ_COMMON_MEMORY_POLICY_H_
+
+namespace parj {
+
+/// Memory-access policy used by the search kernels and the ID-to-Position
+/// index. The production policy (`DirectMemory`) compiles to a plain load;
+/// the instrumented policy in sim/instrumented_memory.h forwards every
+/// touched address to the cache-hierarchy simulator, letting benchmarks
+/// reproduce the paper's per-query cycle and cache-miss counts (Table 6).
+struct DirectMemory {
+  template <typename T>
+  T Load(const T* addr) const {
+    return *addr;
+  }
+};
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_MEMORY_POLICY_H_

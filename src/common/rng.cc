@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace parj {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  PARJ_DCHECK(n > 0);
+  if (n == 1) return 0;
+  const double u = NextDouble();
+  if (s == 1.0) {
+    // CDF ~ ln(1 + x) / ln(1 + n).
+    const double x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+    uint64_t r = static_cast<uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+  // CDF ~ ((1 + x)^(1-s) - 1) / ((1 + n)^(1-s) - 1).
+  const double e = 1.0 - s;
+  const double top = std::pow(static_cast<double>(n) + 1.0, e) - 1.0;
+  const double x = std::pow(u * top + 1.0, 1.0 / e) - 1.0;
+  uint64_t r = static_cast<uint64_t>(x);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace parj

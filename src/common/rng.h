@@ -1,0 +1,61 @@
+#ifndef PARJ_COMMON_RNG_H_
+#define PARJ_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace parj {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 core).
+/// Used by the synthetic workload generators so that every dataset and
+/// query instantiation is exactly reproducible from its seed, independent
+/// of the platform's std::mt19937 stream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGolden) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += kGolden);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    PARJ_DCHECK(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the bounds used by the generators (< 2^40).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    PARJ_DCHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Approximate Zipf-distributed rank in [0, n) with exponent `s`,
+  /// implemented via inverse-CDF on the continuous approximation. Used to
+  /// model the skewed in-degree of popular RDF resources.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+#ifndef PARJ_COMMON_STATUS_H_
+#define PARJ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace parj {
+
+/// Error categories used across the library. Mirrors the coarse error
+/// taxonomy of storage engines such as RocksDB: a small closed set of codes
+/// plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnsupported,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Functions that can fail return
+/// `Status` (or `Result<T>` when they also produce a value). `Status` is
+/// cheap to copy in the OK case and never throws.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper in the spirit of arrow::Result /
+/// absl::StatusOr. Accessing the value of an errored result is a programmer
+/// error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites natural:
+  /// `return parsed_triple;`
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status:
+  /// `return Status::ParseError(...);`
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace parj
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define PARJ_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::parj::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define PARJ_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PARJ_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!PARJ_CONCAT_(_res_, __LINE__).ok())        \
+    return PARJ_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(PARJ_CONCAT_(_res_, __LINE__)).value()
+
+#define PARJ_CONCAT_INNER_(a, b) a##b
+#define PARJ_CONCAT_(a, b) PARJ_CONCAT_INNER_(a, b)
+
+#endif  // PARJ_COMMON_STATUS_H_

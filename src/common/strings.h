@@ -1,0 +1,30 @@
+#ifndef PARJ_COMMON_STRINGS_H_
+#define PARJ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parj {
+
+/// Removes ASCII whitespace from both ends of `s`.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True when `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t n);
+
+/// Formats milliseconds with adaptive precision for benchmark tables.
+std::string FormatMillis(double ms);
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_STRINGS_H_

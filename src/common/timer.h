@@ -1,0 +1,41 @@
+#ifndef PARJ_COMMON_TIMER_H_
+#define PARJ_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace parj {
+
+/// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+/// Starts running on construction; `Restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_TIMER_H_

@@ -1,0 +1,32 @@
+#ifndef PARJ_COMMON_TYPES_H_
+#define PARJ_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace parj {
+
+/// Dictionary identifier for a resource appearing in the subject or object
+/// position. Subjects and objects share one ID space (paper §3); valid IDs
+/// start at 1.
+using TermId = uint32_t;
+
+/// Dictionary identifier for a predicate. Predicates use their own ID
+/// space (paper §3); valid IDs start at 1.
+using PredicateId = uint32_t;
+
+/// Sentinel for "no term" / "not found in dictionary".
+inline constexpr TermId kInvalidTermId = 0;
+inline constexpr PredicateId kInvalidPredicateId = 0;
+
+/// A dictionary-encoded RDF statement.
+struct EncodedTriple {
+  TermId subject = kInvalidTermId;
+  PredicateId predicate = kInvalidPredicateId;
+  TermId object = kInvalidTermId;
+
+  friend bool operator==(const EncodedTriple&, const EncodedTriple&) = default;
+};
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_TYPES_H_

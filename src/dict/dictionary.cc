@@ -1,0 +1,110 @@
+#include "dict/dictionary.h"
+
+#include "common/logging.h"
+
+namespace parj::dict {
+
+Dictionary Dictionary::Clone() const {
+  Dictionary copy;
+  copy.resources_ = resources_;
+  copy.predicates_ = predicates_;
+  copy.resource_ids_ = resource_ids_;
+  copy.predicate_ids_ = predicate_ids_;
+  return copy;
+}
+
+TermId Dictionary::EncodeResource(const rdf::Term& term) {
+  std::string key = term.DictionaryKey();
+  auto it = resource_ids_.find(key);
+  if (it != resource_ids_.end()) return it->second;
+  resources_.push_back(term);
+  TermId id = static_cast<TermId>(resources_.size());
+  resource_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+PredicateId Dictionary::EncodePredicate(const rdf::Term& term) {
+  std::string key = term.DictionaryKey();
+  auto it = predicate_ids_.find(key);
+  if (it != predicate_ids_.end()) return it->second;
+  predicates_.push_back(term);
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicate_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::LookupResource(const rdf::Term& term) const {
+  auto it = resource_ids_.find(term.DictionaryKey());
+  return it == resource_ids_.end() ? kInvalidTermId : it->second;
+}
+
+PredicateId Dictionary::LookupPredicate(const rdf::Term& term) const {
+  auto it = predicate_ids_.find(term.DictionaryKey());
+  return it == predicate_ids_.end() ? kInvalidPredicateId : it->second;
+}
+
+const rdf::Term& Dictionary::DecodeResource(TermId id) const {
+  PARJ_CHECK(id != kInvalidTermId && id <= resources_.size())
+      << "resource id out of range: " << id;
+  return resources_[id - 1];
+}
+
+const rdf::Term& Dictionary::DecodePredicate(PredicateId id) const {
+  PARJ_CHECK(id != kInvalidPredicateId && id <= predicates_.size())
+      << "predicate id out of range: " << id;
+  return predicates_[id - 1];
+}
+
+EncodedTriple Dictionary::Encode(const rdf::Triple& triple) {
+  EncodedTriple out;
+  out.subject = EncodeResource(triple.subject);
+  out.predicate = EncodePredicate(triple.predicate);
+  out.object = EncodeResource(triple.object);
+  return out;
+}
+
+Result<EncodedTriple> Dictionary::EncodeExisting(
+    const rdf::Triple& triple) const {
+  EncodedTriple out;
+  out.subject = LookupResource(triple.subject);
+  out.predicate = LookupPredicate(triple.predicate);
+  out.object = LookupResource(triple.object);
+  if (out.subject == kInvalidTermId) {
+    return Status::NotFound("subject not in dictionary: " +
+                            triple.subject.ToNTriples());
+  }
+  if (out.predicate == kInvalidPredicateId) {
+    return Status::NotFound("predicate not in dictionary: " +
+                            triple.predicate.ToNTriples());
+  }
+  if (out.object == kInvalidTermId) {
+    return Status::NotFound("object not in dictionary: " +
+                            triple.object.ToNTriples());
+  }
+  return out;
+}
+
+rdf::Triple Dictionary::Decode(const EncodedTriple& triple) const {
+  return rdf::Triple{DecodeResource(triple.subject),
+                     DecodePredicate(triple.predicate),
+                     DecodeResource(triple.object)};
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t bytes = 0;
+  auto term_bytes = [](const rdf::Term& t) {
+    return sizeof(rdf::Term) + t.lexical().capacity() +
+           t.datatype().capacity() + t.lang().capacity();
+  };
+  for (const auto& t : resources_) bytes += term_bytes(t);
+  for (const auto& t : predicates_) bytes += term_bytes(t);
+  for (const auto& [k, v] : resource_ids_) {
+    bytes += k.capacity() + sizeof(v) + 32;  // bucket overhead estimate
+  }
+  for (const auto& [k, v] : predicate_ids_) {
+    bytes += k.capacity() + sizeof(v) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace parj::dict

@@ -1,0 +1,86 @@
+#ifndef PARJ_DICT_DICTIONARY_H_
+#define PARJ_DICT_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rdf/term.h"
+
+namespace parj::dict {
+
+/// Dictionary encoding for RDF terms (paper §3): every distinct value that
+/// appears in a subject or object position receives a dense integer ID from
+/// one shared ID space (1..N); predicates receive IDs from a second,
+/// independent space. ID 0 is reserved as invalid in both spaces.
+///
+/// The dictionary is append-only; IDs are assigned in first-seen order,
+/// which the loader exploits to make encoding deterministic for a given
+/// input order.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not implicitly copyable: the dictionary can hold hundreds
+  // of MB. Use Clone() when a copy is genuinely needed (e.g. building a
+  // materialized database next to the base one).
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Explicit deep copy preserving all ID assignments.
+  Dictionary Clone() const;
+
+  /// Returns the ID for `term`, inserting it if absent.
+  TermId EncodeResource(const rdf::Term& term);
+
+  /// Returns the ID for predicate `term`, inserting it if absent.
+  PredicateId EncodePredicate(const rdf::Term& term);
+
+  /// Returns the ID for `term` or kInvalidTermId when absent.
+  TermId LookupResource(const rdf::Term& term) const;
+
+  /// Returns the predicate ID or kInvalidPredicateId when absent.
+  PredicateId LookupPredicate(const rdf::Term& term) const;
+
+  /// Decodes a resource ID. Asserts on out-of-range IDs.
+  const rdf::Term& DecodeResource(TermId id) const;
+
+  /// Decodes a predicate ID. Asserts on out-of-range IDs.
+  const rdf::Term& DecodePredicate(PredicateId id) const;
+
+  /// Encodes a string-level triple, inserting unseen terms.
+  EncodedTriple Encode(const rdf::Triple& triple);
+
+  /// Encodes without inserting; any unseen term yields NotFound.
+  Result<EncodedTriple> EncodeExisting(const rdf::Triple& triple) const;
+
+  /// Decodes an encoded triple back to string level.
+  rdf::Triple Decode(const EncodedTriple& triple) const;
+
+  /// Number of distinct resources (max resource ID).
+  TermId resource_count() const {
+    return static_cast<TermId>(resources_.size());
+  }
+
+  /// Number of distinct predicates (max predicate ID).
+  PredicateId predicate_count() const {
+    return static_cast<PredicateId>(predicates_.size());
+  }
+
+  /// Approximate heap footprint in bytes (strings + hash tables).
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<rdf::Term> resources_;    // index = id - 1
+  std::vector<rdf::Term> predicates_;   // index = id - 1
+  std::unordered_map<std::string, TermId> resource_ids_;
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+};
+
+}  // namespace parj::dict
+
+#endif  // PARJ_DICT_DICTIONARY_H_

@@ -1,0 +1,297 @@
+#include "engine/parj_engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "common/timer.h"
+#include "rdf/ntriples.h"
+
+namespace parj::engine {
+
+namespace {
+
+/// In-place lexicographic dedup of row-major `rows`.
+void DeduplicateRows(std::vector<TermId>* rows, size_t width,
+                     uint64_t* row_count) {
+  if (width == 0 || rows->empty()) return;
+  const size_t n = rows->size() / width;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  auto row_less = [&](size_t a, size_t b) {
+    return std::lexicographical_compare(
+        rows->begin() + a * width, rows->begin() + (a + 1) * width,
+        rows->begin() + b * width, rows->begin() + (b + 1) * width);
+  };
+  auto row_eq = [&](size_t a, size_t b) {
+    return std::equal(rows->begin() + a * width,
+                      rows->begin() + (a + 1) * width,
+                      rows->begin() + b * width);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  order.erase(std::unique(order.begin(), order.end(), row_eq), order.end());
+  std::vector<TermId> deduped;
+  deduped.reserve(order.size() * width);
+  for (size_t idx : order) {
+    deduped.insert(deduped.end(), rows->begin() + idx * width,
+                   rows->begin() + (idx + 1) * width);
+  }
+  *rows = std::move(deduped);
+  *row_count = order.size();
+}
+
+/// Evaluates a UNION query: every arm is encoded, planned and executed
+/// independently (projection is by name, so arms with different variable
+/// numberings still align column-wise); rows are bag-unioned, then
+/// DISTINCT / LIMIT apply to the whole union, per SPARQL semantics.
+Result<engine::QueryResult> ExecuteUnionAst(
+    const storage::Database& db, const query::SelectQueryAst& ast,
+    const engine::QueryOptions& options, double parse_millis) {
+  using engine::QueryResult;
+  if (ast.select_all) {
+    return Status::Unsupported(
+        "SELECT * with UNION is ambiguous; list the projected variables");
+  }
+  QueryResult result;
+  result.parse_millis = parse_millis;
+  result.var_names = ast.projection;
+  result.column_count = ast.projection.size();
+
+  std::vector<query::SelectQueryAst> arms;
+  {
+    query::SelectQueryAst first = ast;
+    first.union_arms.clear();
+    first.distinct = false;
+    first.limit = 0;
+    arms.push_back(std::move(first));
+    for (const auto& arm : ast.union_arms) {
+      query::SelectQueryAst next = arms[0];
+      next.patterns = arm.patterns;
+      next.filters = arm.filters;
+      arms.push_back(std::move(next));
+    }
+  }
+
+  join::Executor executor(&db);
+  for (const query::SelectQueryAst& arm : arms) {
+    PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                          query::EncodeQuery(arm, db));
+    Stopwatch optimize_timer;
+    PARJ_ASSIGN_OR_RETURN(query::Plan plan,
+                          query::Optimize(encoded, db, options.optimizer));
+    result.optimize_millis += optimize_timer.ElapsedMillis();
+    if (plan.known_empty) continue;
+
+    join::ExecOptions exec;
+    exec.num_threads = options.num_threads;
+    exec.strategy = options.strategy;
+    exec.emulate_parallel = options.emulate_parallel;
+    exec.mode = join::ResultMode::kMaterialize;
+    PARJ_ASSIGN_OR_RETURN(join::ExecResult arm_result,
+                          executor.Execute(plan, exec));
+    result.row_count += arm_result.row_count;
+    result.counters.Add(arm_result.counters);
+    result.execute_millis += arm_result.wall_millis;
+    result.emulated_parallel_millis += arm_result.emulated_parallel_millis;
+    result.rows.insert(result.rows.end(), arm_result.rows.begin(),
+                       arm_result.rows.end());
+    result.plan = std::move(plan);  // last non-empty arm's plan, for EXPLAIN
+  }
+
+  if (ast.distinct) {
+    DeduplicateRows(&result.rows, result.column_count, &result.row_count);
+  }
+  if (ast.limit != 0 && result.row_count > ast.limit) {
+    result.row_count = ast.limit;
+    result.rows.resize(ast.limit * result.column_count);
+  }
+  if (options.mode == join::ResultMode::kCount) {
+    result.rows.clear();
+    result.rows.shrink_to_fit();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ParjEngine> ParjEngine::FromEncoded(dict::Dictionary dict,
+                                           std::vector<EncodedTriple> triples,
+                                           const EngineOptions& options) {
+  PARJ_ASSIGN_OR_RETURN(
+      storage::Database db,
+      storage::Database::Build(std::move(dict), std::move(triples),
+                               options.database));
+  ParjEngine engine(std::move(db), options.calibration);
+  if (options.calibrate) engine.Calibrate();
+  return engine;
+}
+
+Result<ParjEngine> ParjEngine::FromTriples(
+    const std::vector<rdf::Triple>& triples, const EngineOptions& options) {
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> encoded;
+  encoded.reserve(triples.size());
+  for (const rdf::Triple& t : triples) encoded.push_back(dict.Encode(t));
+  return FromEncoded(std::move(dict), std::move(encoded), options);
+}
+
+Result<ParjEngine> ParjEngine::FromNTriplesText(std::string_view text,
+                                                const EngineOptions& options) {
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> encoded;
+  rdf::NTriplesParser parser;
+  PARJ_RETURN_NOT_OK(parser.ParseDocument(text, [&](rdf::Triple t) {
+    encoded.push_back(dict.Encode(t));
+  }));
+  return FromEncoded(std::move(dict), std::move(encoded), options);
+}
+
+Result<ParjEngine> ParjEngine::FromNTriplesFile(const std::string& path,
+                                                const EngineOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> encoded;
+  rdf::NTriplesParser parser;
+  PARJ_RETURN_NOT_OK(parser.ParseStream(in, [&](rdf::Triple t) {
+    encoded.push_back(dict.Encode(t));
+  }));
+  return FromEncoded(std::move(dict), std::move(encoded), options);
+}
+
+Result<query::Plan> ParjEngine::Explain(
+    std::string_view sparql, const query::OptimizerOptions& options) const {
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                        query::EncodeQuery(ast, db_));
+  return query::Optimize(encoded, db_, options);
+}
+
+Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
+                                        const QueryOptions& options) const {
+  QueryResult result;
+
+  Stopwatch parse_timer;
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  if (!ast.union_arms.empty()) {
+    return ExecuteUnionAst(db_, ast, options, parse_timer.ElapsedMillis());
+  }
+  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                        query::EncodeQuery(ast, db_));
+  result.parse_millis = parse_timer.ElapsedMillis();
+
+  Stopwatch optimize_timer;
+  PARJ_ASSIGN_OR_RETURN(query::Plan plan,
+                        query::Optimize(encoded, db_, options.optimizer));
+  result.optimize_millis = optimize_timer.ElapsedMillis();
+
+  join::ExecOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.strategy = options.strategy;
+  exec.emulate_parallel = options.emulate_parallel;
+  exec.collect_probe_trace = options.collect_probe_trace;
+  // DISTINCT needs materialized rows to deduplicate, whatever the caller
+  // asked for; LIMIT without DISTINCT can stop shards early.
+  const bool need_rows =
+      plan.distinct || options.mode == join::ResultMode::kMaterialize;
+  exec.mode = need_rows ? join::ResultMode::kMaterialize
+                        : join::ResultMode::kCount;
+  if (plan.limit != 0 && !plan.distinct) exec.per_shard_limit = plan.limit;
+  if (options.max_rows != 0 &&
+      (exec.per_shard_limit == 0 || options.max_rows < exec.per_shard_limit)) {
+    exec.per_shard_limit = options.max_rows;
+  }
+
+  join::Executor executor(&db_);
+  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                        executor.Execute(plan, exec));
+
+  result.row_count = exec_result.row_count;
+  result.column_count = exec_result.column_count;
+  result.rows = std::move(exec_result.rows);
+  result.step_rows = std::move(exec_result.step_rows);
+  result.counters = exec_result.counters;
+  result.execute_millis = exec_result.wall_millis;
+  result.emulated_parallel_millis = exec_result.emulated_parallel_millis;
+  result.shard_millis = std::move(exec_result.shard_millis);
+  result.trace = std::move(exec_result.trace);
+
+  if (plan.distinct) {
+    DeduplicateRows(&result.rows, result.column_count, &result.row_count);
+  }
+  if (plan.limit != 0 && result.row_count > plan.limit) {
+    result.row_count = plan.limit;
+    if (!result.rows.empty()) {
+      result.rows.resize(plan.limit * result.column_count);
+    }
+  }
+  if (options.mode == join::ResultMode::kCount) {
+    result.rows.clear();
+    result.rows.shrink_to_fit();
+  }
+
+  result.var_names.reserve(plan.projection.size());
+  for (int var : plan.projection) result.var_names.push_back(plan.var_names[var]);
+  result.plan = std::move(plan);
+  return result;
+}
+
+Result<QueryResult> ParjEngine::ExecuteStreaming(
+    std::string_view sparql, const QueryOptions& options,
+    const join::RowVisitor& visitor) const {
+  QueryResult result;
+
+  Stopwatch parse_timer;
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                        query::EncodeQuery(ast, db_));
+  result.parse_millis = parse_timer.ElapsedMillis();
+  if (encoded.distinct) {
+    return Status::Unsupported(
+        "DISTINCT requires buffering and is not available in streaming mode");
+  }
+
+  Stopwatch optimize_timer;
+  PARJ_ASSIGN_OR_RETURN(query::Plan plan,
+                        query::Optimize(encoded, db_, options.optimizer));
+  result.optimize_millis = optimize_timer.ElapsedMillis();
+
+  join::ExecOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.strategy = options.strategy;
+  exec.emulate_parallel = options.emulate_parallel;
+  exec.mode = join::ResultMode::kVisit;
+  exec.visitor = visitor;
+  if (plan.limit != 0) exec.per_shard_limit = plan.limit;
+  if (options.max_rows != 0 &&
+      (exec.per_shard_limit == 0 || options.max_rows < exec.per_shard_limit)) {
+    exec.per_shard_limit = options.max_rows;
+  }
+
+  join::Executor executor(&db_);
+  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                        executor.Execute(plan, exec));
+  result.row_count = exec_result.row_count;
+  result.column_count = exec_result.column_count;
+  result.counters = exec_result.counters;
+  result.execute_millis = exec_result.wall_millis;
+  result.emulated_parallel_millis = exec_result.emulated_parallel_millis;
+  result.shard_millis = std::move(exec_result.shard_millis);
+  result.var_names.reserve(plan.projection.size());
+  for (int var : plan.projection) result.var_names.push_back(plan.var_names[var]);
+  result.plan = std::move(plan);
+  return result;
+}
+
+std::vector<std::string> ParjEngine::DecodeRow(const QueryResult& result,
+                                               size_t row) const {
+  std::vector<std::string> out;
+  out.reserve(result.column_count);
+  for (size_t c = 0; c < result.column_count; ++c) {
+    TermId id = result.rows[row * result.column_count + c];
+    out.push_back(db_.dictionary().DecodeResource(id).ToNTriples());
+  }
+  return out;
+}
+
+}  // namespace parj::engine

@@ -1,0 +1,157 @@
+#ifndef PARJ_ENGINE_PARJ_ENGINE_H_
+#define PARJ_ENGINE_PARJ_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "join/executor.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "storage/database.h"
+
+namespace parj::engine {
+
+/// Load-time options for a PARJ instance.
+struct EngineOptions {
+  storage::DatabaseOptions database;
+  /// Run Algorithm 2 after load (paper: calibration happens "after data
+  /// loading, prior to query execution"). Off by default because timing
+  /// calibration takes measurable wall time; the database then uses the
+  /// paper's published windows (200 / 20 positions).
+  bool calibrate = false;
+  join::CalibrationOptions calibration;
+};
+
+/// Per-query execution options.
+struct QueryOptions {
+  int num_threads = 1;
+  join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveBinary;
+  /// kCount reproduces the paper's silent mode; kMaterialize its full
+  /// result handling (minus printing).
+  join::ResultMode mode = join::ResultMode::kMaterialize;
+  /// See join::ExecOptions::emulate_parallel.
+  bool emulate_parallel = false;
+  bool collect_probe_trace = false;
+  /// Hard per-shard row cap applied on top of any query LIMIT (0 = none).
+  /// A safety valve for workloads with combinatorially exploding results
+  /// (e.g. WatDiv IL-3 at large path lengths).
+  uint64_t max_rows = 0;
+  query::OptimizerOptions optimizer;
+};
+
+/// Result of one query execution, with timing broken down the way the
+/// paper reports it (optimization time is part of every reported number;
+/// silent mode skips decode/aggregation).
+struct QueryResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  std::vector<TermId> rows;  ///< row-major IDs (kMaterialize only)
+  std::vector<std::string> var_names;
+
+  /// Actual intermediate tuples per plan step (EXPLAIN ANALYZE data; see
+  /// join::ExecResult::step_rows). Empty for UNION queries.
+  std::vector<uint64_t> step_rows;
+  join::SearchCounters counters;
+  double parse_millis = 0.0;
+  double optimize_millis = 0.0;
+  double execute_millis = 0.0;
+  double emulated_parallel_millis = 0.0;
+  std::vector<double> shard_millis;
+  join::ProbeTrace trace;
+  query::Plan plan;
+
+  /// parse + optimize + execute (wall model); for emulated parallel runs
+  /// use emulated_total_millis() instead.
+  double total_millis() const {
+    return parse_millis + optimize_millis + execute_millis;
+  }
+  /// parse + optimize + max-shard execution time: models the wall time of
+  /// a true multi-core run (parsing/optimization are single-threaded in
+  /// the paper too and dominate very selective queries, §5.2.3).
+  double emulated_total_millis() const {
+    return parse_millis + optimize_millis + emulated_parallel_millis;
+  }
+};
+
+/// The public PARJ facade: loads RDF data into the in-memory store and
+/// evaluates SPARQL BGP queries with the parallel adaptive join.
+///
+/// Typical use:
+///
+///   auto engine = ParjEngine::FromNTriplesFile("data.nt").value();
+///   QueryOptions opts;
+///   opts.num_threads = 16;
+///   auto result = engine.Execute(
+///       "SELECT ?x WHERE { ?x <p> ?y . ?y <q> <o> }", opts).value();
+///   for (size_t r = 0; r < result.row_count; ++r)
+///     Print(engine.DecodeRow(result, r));
+class ParjEngine {
+ public:
+  /// Builds from string-level triples.
+  static Result<ParjEngine> FromTriples(const std::vector<rdf::Triple>& triples,
+                                        const EngineOptions& options = {});
+
+  /// Parses `text` as N-Triples and builds.
+  static Result<ParjEngine> FromNTriplesText(std::string_view text,
+                                             const EngineOptions& options = {});
+
+  /// Reads and parses an N-Triples file and builds.
+  static Result<ParjEngine> FromNTriplesFile(const std::string& path,
+                                             const EngineOptions& options = {});
+
+  /// Builds from an already-encoded dataset (the workload generators emit
+  /// this form directly, skipping string materialization).
+  static Result<ParjEngine> FromEncoded(dict::Dictionary dict,
+                                        std::vector<EncodedTriple> triples,
+                                        const EngineOptions& options = {});
+
+  /// Wraps an already-built database (e.g. one loaded from a snapshot —
+  /// see storage/snapshot.h).
+  static ParjEngine FromDatabase(storage::Database db) {
+    return ParjEngine(std::move(db), join::CalibrationOptions{});
+  }
+
+  ParjEngine(ParjEngine&&) = default;
+  ParjEngine& operator=(ParjEngine&&) = default;
+
+  /// Parses, plans and executes a SPARQL query.
+  Result<QueryResult> Execute(std::string_view sparql,
+                              const QueryOptions& options = {}) const;
+
+  /// Executes, streaming every projected row to `visitor` instead of
+  /// materializing (the paper's iterator-style result handling, §5.2).
+  /// The returned QueryResult carries counts/timings but no rows.
+  /// Restrictions: DISTINCT is rejected (it requires buffering); with
+  /// num_threads > 1 and no emulation the visitor is called concurrently
+  /// from different shards.
+  Result<QueryResult> ExecuteStreaming(std::string_view sparql,
+                                       const QueryOptions& options,
+                                       const join::RowVisitor& visitor) const;
+
+  /// Parses and plans without executing.
+  Result<query::Plan> Explain(std::string_view sparql,
+                              const query::OptimizerOptions& options = {}) const;
+
+  /// Runs Algorithm 2 on all replicas (idempotent; repeatable).
+  void Calibrate() { db_.Calibrate(calibration_options_); }
+
+  const storage::Database& database() const { return db_; }
+
+  /// Decodes one materialized row to N-Triples term strings.
+  std::vector<std::string> DecodeRow(const QueryResult& result,
+                                     size_t row) const;
+
+ private:
+  explicit ParjEngine(storage::Database db,
+                      join::CalibrationOptions calibration)
+      : db_(std::move(db)), calibration_options_(calibration) {}
+
+  storage::Database db_;
+  join::CalibrationOptions calibration_options_;
+};
+
+}  // namespace parj::engine
+
+#endif  // PARJ_ENGINE_PARJ_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "index/id_position_index.h"
+
+#include "common/logging.h"
+
+namespace parj::index {
+
+IdPositionIndex IdPositionIndex::Build(std::span<const TermId> keys,
+                                       TermId max_id) {
+  IdPositionIndex idx;
+  idx.universe_ = max_id;
+  idx.key_count_ = keys.size();
+  const size_t bit_count = static_cast<size_t>(max_id) + 1;
+  const size_t block_count = (bit_count + kBlockBits - 1) / kBlockBits;
+  idx.bits_.assign(block_count * kWordsPerBlock, 0);
+  idx.samples_.assign(block_count, 0);
+
+  for (TermId key : keys) {
+    PARJ_CHECK(key <= max_id) << "key " << key << " beyond universe "
+                              << max_id;
+    idx.bits_[key / 64] |= uint64_t{1} << (key % 64);
+  }
+
+  uint32_t running = 0;
+  for (size_t block = 0; block < block_count; ++block) {
+    idx.samples_[block] = running;
+    for (size_t w = 0; w < kWordsPerBlock; ++w) {
+      running +=
+          static_cast<uint32_t>(PopCount64(idx.bits_[block * kWordsPerBlock + w]));
+    }
+  }
+  PARJ_CHECK(running == keys.size())
+      << "duplicate keys passed to IdPositionIndex::Build";
+  return idx;
+}
+
+}  // namespace parj::index

@@ -1,0 +1,449 @@
+#include "join/executor.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace parj::join {
+
+namespace {
+
+using query::PatternTerm;
+using query::Plan;
+using query::PlanStep;
+using storage::ReplicaMeta;
+using storage::TableReplica;
+
+/// Immutable per-step lookup info resolved once per execution.
+struct StepInfo {
+  const TableReplica* replica = nullptr;
+  const index::IdPositionIndex* index = nullptr;
+  int64_t threshold = 0;
+  PatternTerm key;
+  PatternTerm value;
+  bool key_bound = false;
+  bool value_bound = false;
+  bool value_is_key_var = false;
+};
+
+/// All mutable state of one shard's pipeline run. Shards never share
+/// mutable state — this is the paper's "no communication or
+/// synchronization between the workers".
+struct ShardContext {
+  const std::vector<StepInfo>* steps = nullptr;
+  /// filters_at[d] is checked on entry to Descend(d), i.e. as soon as the
+  /// bindings of steps 0..d-1 exist (filter pushdown).
+  const std::vector<std::vector<const query::EncodedFilter*>>* filters_at =
+      nullptr;
+  const std::vector<int>* projection = nullptr;
+  ResultMode mode = ResultMode::kCount;
+  uint64_t per_shard_limit = 0;
+  size_t shard_id = 0;
+  const RowVisitor* visitor = nullptr;
+  std::vector<TermId> visit_row;
+
+  std::vector<TermId> bindings;
+  std::vector<size_t> cursors;
+  std::vector<uint64_t> step_rows;  // index d-1: tuples entering Descend(d)
+  SearchCounters counters;
+  uint64_t row_count = 0;
+  std::vector<TermId> rows;
+  bool limit_reached = false;
+
+  bool tracing = false;
+  size_t max_trace_entries = 0;
+  size_t trace_entries = 0;
+  std::vector<std::vector<TermId>> trace;
+
+  void Emit() {
+    ++row_count;
+    if (mode == ResultMode::kMaterialize) {
+      for (int var : *projection) rows.push_back(bindings[var]);
+    } else if (mode == ResultMode::kVisit) {
+      visit_row.clear();
+      for (int var : *projection) visit_row.push_back(bindings[var]);
+      (*visitor)(shard_id, visit_row);
+    }
+    if (per_shard_limit != 0 && row_count >= per_shard_limit) {
+      limit_reached = true;
+    }
+  }
+
+  void Trace(size_t step, TermId value) {
+    if (!tracing || trace_entries >= max_trace_entries) return;
+    trace[step].push_back(value);
+    ++trace_entries;
+  }
+
+  bool PassesFilter(const query::EncodedFilter& filter) const {
+    const TermId lhs = bindings[filter.lhs.var];
+    if (filter.passing != nullptr) return (*filter.passing)[lhs];
+    const TermId rhs = filter.rhs.is_variable() ? bindings[filter.rhs.var]
+                                                : filter.rhs.constant;
+    return filter.op == query::FilterOp::kEq ? lhs == rhs : lhs != rhs;
+  }
+
+  /// Evaluates steps[depth..] given bindings for earlier steps.
+  void Descend(size_t depth, SearchStrategy strategy) {
+    if (limit_reached) return;
+    for (const query::EncodedFilter* filter : (*filters_at)[depth]) {
+      if (!PassesFilter(*filter)) return;
+    }
+    ++step_rows[depth - 1];
+    if (depth == steps->size()) {
+      Emit();
+      return;
+    }
+    const StepInfo& step = (*steps)[depth];
+    const TableReplica& replica = *step.replica;
+    if (replica.empty()) return;
+
+    if (!step.key_bound) {
+      // Cartesian continuation (or a forced odd plan): scan every key.
+      const size_t key_count = replica.key_count();
+      for (size_t pos = 0; pos < key_count && !limit_reached; ++pos) {
+        bindings[step.key.var] = replica.KeyAt(pos);
+        DescendIntoRun(depth, pos, strategy);
+      }
+      return;
+    }
+
+    const TermId key_value = step.key.is_constant()
+                                 ? step.key.constant
+                                 : bindings[step.key.var];
+    Trace(depth, key_value);
+    size_t pos = AdaptiveSearch(replica.keys(), key_value, &cursors[depth],
+                                step.threshold, strategy, step.index,
+                                &counters);
+    if (pos == kNotFound) return;
+    if (step.key.is_variable()) bindings[step.key.var] = key_value;
+    DescendIntoRun(depth, pos, strategy);
+  }
+
+  void DescendIntoRun(size_t depth, size_t key_pos, SearchStrategy strategy) {
+    const StepInfo& step = (*steps)[depth];
+    std::span<const TermId> run = step.replica->Run(key_pos);
+    if (step.value.is_constant()) {
+      ++counters.run_probes;
+      if (RunContains(run, step.value.constant)) {
+        Descend(depth + 1, strategy);
+      }
+      return;
+    }
+    if (step.value_is_key_var) {
+      ++counters.run_probes;
+      if (RunContains(run, bindings[step.key.var])) {
+        Descend(depth + 1, strategy);
+      }
+      return;
+    }
+    if (step.value_bound) {
+      ++counters.run_probes;
+      if (RunContains(run, bindings[step.value.var])) {
+        Descend(depth + 1, strategy);
+      }
+      return;
+    }
+    for (TermId v : run) {
+      if (limit_reached) return;
+      bindings[step.value.var] = v;
+      Descend(depth + 1, strategy);
+    }
+  }
+};
+
+/// Description of the first step's parallelizable work.
+struct WorkSource {
+  enum class Kind {
+    kEmpty,      ///< no results possible
+    kKeyRange,   ///< iterate first replica's keys [0, size)
+    kRunRange,   ///< constant first key: iterate its value run [0, size)
+    kSingle,     ///< fully constant first pattern: one existence check
+  };
+  Kind kind = Kind::kEmpty;
+  size_t size = 0;
+  size_t key_pos = 0;  ///< for kRunRange / kSingle
+};
+
+WorkSource ResolveWorkSource(const StepInfo& first) {
+  WorkSource src;
+  const TableReplica& replica = *first.replica;
+  if (replica.empty()) return src;
+  if (first.key.is_constant()) {
+    const size_t pos = replica.FindKey(first.key.constant);
+    if (pos == SIZE_MAX) return src;
+    src.key_pos = pos;
+    if (first.value.is_constant() || first.value_is_key_var) {
+      src.kind = WorkSource::Kind::kSingle;
+      src.size = 1;
+    } else {
+      src.kind = WorkSource::Kind::kRunRange;
+      src.size = replica.RunLength(pos);
+    }
+    return src;
+  }
+  // Variable (unbound) first key: shard the key array.
+  src.kind = WorkSource::Kind::kKeyRange;
+  src.size = replica.key_count();
+  return src;
+}
+
+/// Executes one shard [begin, end) of the work source.
+void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
+              size_t begin, size_t end, SearchStrategy strategy,
+              ShardContext* ctx) {
+  const StepInfo& first = steps[0];
+  const TableReplica& replica = *first.replica;
+  switch (src.kind) {
+    case WorkSource::Kind::kEmpty:
+      return;
+    case WorkSource::Kind::kSingle: {
+      // Fully bound first pattern: existence check of (key, value).
+      std::span<const TermId> run = replica.Run(src.key_pos);
+      const TermId value = first.value.is_constant()
+                               ? first.value.constant
+                               : first.key.constant;  // ?x==?x impossible here
+      ++ctx->counters.run_probes;
+      if (RunContains(run, value)) {
+        if (first.key.is_variable()) {
+          ctx->bindings[first.key.var] = replica.KeyAt(src.key_pos);
+        }
+        ctx->Descend(1, strategy);
+      }
+      return;
+    }
+    case WorkSource::Kind::kRunRange: {
+      std::span<const TermId> run = replica.Run(src.key_pos);
+      for (size_t i = begin; i < end && !ctx->limit_reached; ++i) {
+        ctx->bindings[first.value.var] = run[i];
+        ctx->Descend(1, strategy);
+      }
+      return;
+    }
+    case WorkSource::Kind::kKeyRange: {
+      for (size_t pos = begin; pos < end && !ctx->limit_reached; ++pos) {
+        const TermId key = replica.KeyAt(pos);
+        if (first.value_is_key_var) {
+          // ?x p ?x: key scan with reflexive membership check.
+          ++ctx->counters.run_probes;
+          if (!RunContains(replica.Run(pos), key)) continue;
+          ctx->bindings[first.key.var] = key;
+          ctx->Descend(1, strategy);
+          continue;
+        }
+        ctx->bindings[first.key.var] = key;
+        if (first.value.is_constant()) {
+          ++ctx->counters.run_probes;
+          if (RunContains(replica.Run(pos), first.value.constant)) {
+            ctx->Descend(1, strategy);
+          }
+          continue;
+        }
+        std::span<const TermId> run = replica.Run(pos);
+        for (TermId v : run) {
+          if (ctx->limit_reached) break;
+          ctx->bindings[first.value.var] = v;
+          ctx->Descend(1, strategy);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const Plan& plan,
+                                     const ExecOptions& options) const {
+  ExecResult result;
+  result.column_count = plan.projection.size();
+  if (plan.known_empty) return result;
+  if (plan.steps.empty()) {
+    return Status::InvalidArgument("plan has no steps");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.mode == ResultMode::kVisit && !options.visitor) {
+    return Status::InvalidArgument("kVisit mode requires a visitor");
+  }
+
+  const bool needs_index = options.strategy == SearchStrategy::kIndex ||
+                           options.strategy == SearchStrategy::kAdaptiveIndex;
+
+  // Resolve step info against the database.
+  std::vector<StepInfo> steps;
+  steps.reserve(plan.steps.size());
+  for (const PlanStep& ps : plan.steps) {
+    const storage::PropertyEntry* entry = db_->FindEntry(ps.predicate);
+    if (entry == nullptr) {
+      return Status::InvalidArgument("plan references unknown predicate " +
+                                     std::to_string(ps.predicate));
+    }
+    StepInfo info;
+    info.replica = &entry->table.replica(ps.replica);
+    const ReplicaMeta& meta = entry->meta(ps.replica);
+    if (needs_index) {
+      if (!meta.has_index && !info.replica->empty()) {
+        return Status::InvalidArgument(
+            "strategy requires ID-to-Position indexes, but predicate " +
+            std::to_string(ps.predicate) + " has none");
+      }
+      info.index = &meta.id_index;
+    }
+    info.threshold = meta.ThresholdFor(options.strategy);
+    info.key = ps.key;
+    info.value = ps.value;
+    info.key_bound = ps.key_bound;
+    info.value_bound = ps.value_bound;
+    info.value_is_key_var = ps.value.is_variable() && ps.key.is_variable() &&
+                            ps.value.var == ps.key.var;
+    steps.push_back(info);
+  }
+  PARJ_CHECK(!steps[0].key_bound || steps[0].key.is_constant())
+      << "first plan step cannot have a pre-bound key variable";
+
+  // Push every FILTER down to the earliest depth at which its variables
+  // are bound; filters_at[d] is evaluated on entry to Descend(d).
+  std::vector<std::vector<const query::EncodedFilter*>> filters_at(
+      plan.steps.size() + 1);
+  {
+    std::vector<uint64_t> bound_after(plan.steps.size(), 0);
+    uint64_t bound = 0;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const query::PlanStep& ps = plan.steps[i];
+      if (ps.key.is_variable()) bound |= uint64_t{1} << ps.key.var;
+      if (ps.value.is_variable()) bound |= uint64_t{1} << ps.value.var;
+      bound_after[i] = bound;
+    }
+    for (const query::EncodedFilter& filter : plan.filters) {
+      uint64_t needed = uint64_t{1} << filter.lhs.var;
+      if (filter.rhs.is_variable()) needed |= uint64_t{1} << filter.rhs.var;
+      size_t depth = plan.steps.size();
+      for (size_t i = 0; i < plan.steps.size(); ++i) {
+        if ((bound_after[i] & needed) == needed) {
+          depth = i + 1;
+          break;
+        }
+      }
+      if ((bound_after.back() & needed) != needed) {
+        return Status::InvalidArgument(
+            "FILTER references a variable the plan never binds");
+      }
+      filters_at[depth].push_back(&filter);
+    }
+  }
+
+  if (options.total_workers < 1 || options.worker_index < 0 ||
+      options.worker_index >= options.total_workers) {
+    return Status::InvalidArgument("invalid worker slice");
+  }
+
+  Stopwatch total_timer;
+  const WorkSource src = ResolveWorkSource(steps[0]);
+  if (src.kind == WorkSource::Kind::kEmpty) {
+    result.wall_millis = total_timer.ElapsedMillis();
+    return result;
+  }
+
+  // Cluster slice of the global work range (identity when total_workers
+  // is 1). Single-item work goes to worker 0.
+  const size_t worker_begin =
+      src.size * static_cast<size_t>(options.worker_index) /
+      static_cast<size_t>(options.total_workers);
+  const size_t worker_end =
+      src.size * (static_cast<size_t>(options.worker_index) + 1) /
+      static_cast<size_t>(options.total_workers);
+  const size_t slice_size = worker_end - worker_begin;
+  if (slice_size == 0) {
+    result.wall_millis = total_timer.ElapsedMillis();
+    return result;
+  }
+
+  const size_t num_shards = std::max<size_t>(
+      1,
+      std::min<size_t>(static_cast<size_t>(options.num_threads), slice_size));
+
+  std::vector<ShardContext> contexts(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    ShardContext& ctx = contexts[shard];
+    ctx.shard_id = shard;
+    ctx.visitor = &options.visitor;
+    ctx.steps = &steps;
+    ctx.filters_at = &filters_at;
+    ctx.projection = &plan.projection;
+    ctx.mode = options.mode;
+    ctx.per_shard_limit = options.per_shard_limit;
+    ctx.bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
+    ctx.cursors.assign(steps.size(), 0);
+    ctx.step_rows.assign(steps.size(), 0);
+    ctx.tracing = options.collect_probe_trace;
+    if (ctx.tracing) {
+      ctx.max_trace_entries = options.max_trace_entries / num_shards + 1;
+      ctx.trace.resize(steps.size());
+    }
+  }
+
+  auto shard_range = [&](size_t shard) {
+    const size_t begin = worker_begin + slice_size * shard / num_shards;
+    const size_t end = worker_begin + slice_size * (shard + 1) / num_shards;
+    return std::pair<size_t, size_t>(begin, end);
+  };
+
+  if (options.emulate_parallel || num_shards == 1) {
+    result.shard_millis.reserve(num_shards);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      auto [begin, end] = shard_range(shard);
+      Stopwatch shard_timer;
+      RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+      result.shard_millis.push_back(shard_timer.ElapsedMillis());
+    }
+    result.emulated_parallel_millis =
+        *std::max_element(result.shard_millis.begin(),
+                          result.shard_millis.end());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_shards - 1);
+    for (size_t shard = 1; shard < num_shards; ++shard) {
+      auto [begin, end] = shard_range(shard);
+      threads.emplace_back([&, begin, end, shard] {
+        RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+      });
+    }
+    auto [begin, end] = shard_range(0);
+    RunShard(steps, src, begin, end, options.strategy, &contexts[0]);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Merge per-shard buffers (the only post-processing step; during the
+  // join there is no cross-thread traffic).
+  result.step_rows.assign(steps.size(), 0);
+  for (ShardContext& ctx : contexts) {
+    result.row_count += ctx.row_count;
+    result.counters.Add(ctx.counters);
+    for (size_t s = 0; s < steps.size(); ++s) {
+      result.step_rows[s] += ctx.step_rows[s];
+    }
+    if (options.mode == ResultMode::kMaterialize) {
+      result.rows.insert(result.rows.end(), ctx.rows.begin(), ctx.rows.end());
+    }
+  }
+  if (options.collect_probe_trace) {
+    result.trace.step_values.resize(steps.size());
+    for (ShardContext& ctx : contexts) {
+      for (size_t s = 0; s < ctx.trace.size(); ++s) {
+        auto& dst = result.trace.step_values[s];
+        dst.insert(dst.end(), ctx.trace[s].begin(), ctx.trace[s].end());
+      }
+    }
+  }
+  result.wall_millis = total_timer.ElapsedMillis();
+  if (num_shards == 1 && result.shard_millis.size() == 1) {
+    result.emulated_parallel_millis = result.shard_millis[0];
+  }
+  return result;
+}
+
+}  // namespace parj::join

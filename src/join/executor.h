@@ -1,0 +1,114 @@
+#ifndef PARJ_JOIN_EXECUTOR_H_
+#define PARJ_JOIN_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "join/search.h"
+#include "query/plan.h"
+#include "storage/database.h"
+
+namespace parj::join {
+
+/// What the executor does with result tuples.
+enum class ResultMode : uint8_t {
+  /// Count only — the paper's "silent mode" used in all timing tables.
+  kCount = 0,
+  /// Materialize projected rows (IDs; dictionary decoding is the engine's
+  /// job) — the paper's "full result handling".
+  kMaterialize = 1,
+  /// Stream each projected row to ExecOptions::visitor as it is produced —
+  /// the paper's iterator-style result handling ("send the results to the
+  /// master as they are produced" instead of keeping them in memory,
+  /// §5.2). Nothing is buffered.
+  kVisit = 2,
+};
+
+/// Callback for ResultMode::kVisit. `shard` identifies the producing
+/// worker; with num_threads > 1 (and no emulation) the visitor is invoked
+/// CONCURRENTLY from different shards and must be thread-safe for distinct
+/// shard ids. The row span is only valid during the call.
+using RowVisitor =
+    std::function<void(size_t shard, std::span<const TermId> row)>;
+
+struct ExecOptions {
+  /// Number of shards/threads for the first step (paper §3: each worker is
+  /// exactly one thread).
+  int num_threads = 1;
+  SearchStrategy strategy = SearchStrategy::kAdaptiveBinary;
+  ResultMode mode = ResultMode::kMaterialize;
+  /// Run shards sequentially on the calling thread, timing each shard.
+  /// `emulated_parallel_millis` then models wall time on num_threads real
+  /// cores (shards share nothing, so max-of-shard-times is exact up to
+  /// spawn overhead). Used for the scaling experiments on machines with
+  /// fewer cores than the paper's server.
+  bool emulate_parallel = false;
+  /// Record every probe value per plan step (Table 6 replay input).
+  bool collect_probe_trace = false;
+  /// Safety cap for trace memory.
+  size_t max_trace_entries = 50000000;
+  /// Stop each shard after this many rows (0 = unlimited). The engine
+  /// trims the merged result to the plan's LIMIT.
+  uint64_t per_shard_limit = 0;
+  /// Required when mode == kVisit.
+  RowVisitor visitor;
+  /// Cluster slicing (paper §6's full-replication cluster design): this
+  /// execution processes only worker `worker_index` of `total_workers`
+  /// equal slices of the first step's work range, then shards its slice
+  /// across num_threads as usual. Workers share nothing, so running one
+  /// execution per worker (on any machine holding a replica) and
+  /// concatenating results is equivalent to a single full execution.
+  int total_workers = 1;
+  int worker_index = 0;
+};
+
+/// Probe values observed per plan step, in shard order. Step 0 records the
+/// first step's constant-key lookup (if any); probe steps record one entry
+/// per search into the step's key array.
+struct ProbeTrace {
+  std::vector<std::vector<TermId>> step_values;
+};
+
+struct ExecResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  /// Row-major projected bindings; size = row_count * column_count.
+  std::vector<TermId> rows;
+  /// step_rows[i] = number of intermediate tuples that survived steps
+  /// 0..i (the pipeline's actual per-step cardinalities — the runtime
+  /// counterpart of PlanStep::estimated_rows).
+  std::vector<uint64_t> step_rows;
+  SearchCounters counters;
+  /// Per-shard execution times (emulate_parallel mode only).
+  std::vector<double> shard_millis;
+  /// Wall-clock of the whole execution.
+  double wall_millis = 0.0;
+  /// max(shard_millis) — the shard-sequential model of parallel wall time.
+  double emulated_parallel_millis = 0.0;
+  ProbeTrace trace;
+};
+
+/// Evaluates left-deep plans over a read-only Database with the paper's
+/// pipelined, communication-free parallelization: the first step's key
+/// range (or, for a constant first key, its value run — Example 3.2) is
+/// split into contiguous shards; each thread runs the entire pipeline on
+/// its shard with private cursors, counters and result buffers. No locks,
+/// no queues, no data exchange.
+class Executor {
+ public:
+  explicit Executor(const storage::Database* db) : db_(db) {}
+
+  Result<ExecResult> Execute(const query::Plan& plan,
+                             const ExecOptions& options = {}) const;
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace parj::join
+
+#endif  // PARJ_JOIN_EXECUTOR_H_

@@ -1,0 +1,47 @@
+#include "join/search.h"
+
+#include <algorithm>
+
+namespace parj::join {
+
+const char* SearchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kBinary:
+      return "Binary";
+    case SearchStrategy::kAdaptiveBinary:
+      return "AdBinary";
+    case SearchStrategy::kIndex:
+      return "Index";
+    case SearchStrategy::kAdaptiveIndex:
+      return "AdIndex";
+  }
+  return "?";
+}
+
+size_t BinarySearch(std::span<const TermId> array, TermId value,
+                    size_t* cursor) {
+  DirectMemory mem;
+  return BinarySearchWith(array, value, cursor, mem);
+}
+
+size_t SequentialSearch(std::span<const TermId> array, TermId value,
+                        size_t* cursor, uint64_t* steps_out) {
+  DirectMemory mem;
+  return SequentialSearchWith(array, value, cursor, mem, steps_out);
+}
+
+size_t AdaptiveSearch(std::span<const TermId> array, TermId value,
+                      size_t* cursor, int64_t threshold,
+                      SearchStrategy strategy,
+                      const index::IdPositionIndex* index,
+                      SearchCounters* counters) {
+  DirectMemory mem;
+  return AdaptiveSearchWith(array, value, cursor, threshold, strategy, index,
+                            counters, mem);
+}
+
+bool RunContains(std::span<const TermId> run, TermId value) {
+  return std::binary_search(run.begin(), run.end(), value);
+}
+
+}  // namespace parj::join

@@ -1,0 +1,179 @@
+#ifndef PARJ_JOIN_SEARCH_H_
+#define PARJ_JOIN_SEARCH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/memory_policy.h"
+#include "common/types.h"
+#include "index/id_position_index.h"
+
+namespace parj::join {
+
+/// Returned by all search kernels when the value is absent.
+inline constexpr size_t kNotFound = SIZE_MAX;
+
+/// Which lookup method the join uses for probe steps (Table 5's four
+/// configurations).
+enum class SearchStrategy : uint8_t {
+  kBinary = 0,         ///< always binary search
+  kAdaptiveBinary = 1, ///< Algorithm 1: sequential vs binary
+  kIndex = 2,          ///< always ID-to-Position index lookup
+  kAdaptiveIndex = 3,  ///< Algorithm 1 with index instead of binary search
+};
+
+const char* SearchStrategyName(SearchStrategy strategy);
+
+/// Per-run tallies of the adaptive method's decisions (Table 6 columns
+/// "#Binary" / "#Sequential") plus work metrics.
+struct SearchCounters {
+  uint64_t binary_searches = 0;
+  uint64_t sequential_searches = 0;
+  uint64_t sequential_steps = 0;  ///< elements advanced during scans
+  uint64_t index_lookups = 0;
+  uint64_t run_probes = 0;        ///< membership checks inside value runs
+
+  void Add(const SearchCounters& other) {
+    binary_searches += other.binary_searches;
+    sequential_searches += other.sequential_searches;
+    sequential_steps += other.sequential_steps;
+    index_lookups += other.index_lookups;
+    run_probes += other.run_probes;
+  }
+
+  uint64_t total_searches() const {
+    return binary_searches + sequential_searches + index_lookups;
+  }
+};
+
+/// Binary search over the whole sorted array (the paper deliberately does
+/// NOT anchor the range at the cursor: the first probe positions of a
+/// whole-array binary search recur across calls and stay cache-resident).
+/// `*cursor` is updated to the last accessed position on both hit and miss.
+template <typename MemoryPolicy>
+size_t BinarySearchWith(std::span<const TermId> array, TermId value,
+                        size_t* cursor, MemoryPolicy& mem) {
+  size_t lo = 0;
+  size_t hi = array.size();
+  size_t last = *cursor;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    last = mid;
+    TermId probe = mem.Load(&array[mid]);
+    if (probe < value) {
+      lo = mid + 1;
+    } else if (probe > value) {
+      hi = mid;
+    } else {
+      *cursor = mid;
+      return mid;
+    }
+  }
+  *cursor = last;
+  return kNotFound;
+}
+
+/// Directional sequential search continuing from `*cursor` (merge-join-like
+/// behaviour). Scans toward `value` in whichever direction it lies;
+/// `*cursor` ends at the last accessed position on both hit and miss.
+template <typename MemoryPolicy>
+size_t SequentialSearchWith(std::span<const TermId> array, TermId value,
+                            size_t* cursor, MemoryPolicy& mem,
+                            uint64_t* steps_out) {
+  if (array.empty()) return kNotFound;
+  size_t pos = *cursor;
+  if (pos >= array.size()) pos = array.size() - 1;
+  uint64_t steps = 0;
+  TermId current = mem.Load(&array[pos]);
+  if (current < value) {
+    while (current < value && pos + 1 < array.size()) {
+      ++pos;
+      ++steps;
+      current = mem.Load(&array[pos]);
+    }
+  } else if (current > value) {
+    while (current > value && pos > 0) {
+      --pos;
+      ++steps;
+      current = mem.Load(&array[pos]);
+    }
+  }
+  *cursor = pos;
+  if (steps_out != nullptr) *steps_out += steps;
+  return current == value ? pos : kNotFound;
+}
+
+/// ID-to-Position lookup. Updates `*cursor` on hit (the found position is
+/// the natural continuation point for subsequent sequential scans).
+template <typename MemoryPolicy>
+size_t IndexSearchWith(std::span<const TermId> array, TermId value,
+                       size_t* cursor, const index::IdPositionIndex& index,
+                       MemoryPolicy& mem) {
+  (void)array;
+  size_t pos = index.FindWith(value, mem);
+  if (pos != kNotFound) *cursor = pos;
+  return pos;
+}
+
+/// Algorithm 1 (paper §4.1): chooses sequential search when the arithmetic
+/// distance between the element under the cursor and the probe value is at
+/// most `threshold` (a per-table value distance derived from the calibrated
+/// window size), otherwise falls back to `fallback` (binary search or
+/// ID-to-Position lookup).
+///
+/// `index` may be null unless the strategy is kIndex / kAdaptiveIndex.
+template <typename MemoryPolicy>
+size_t AdaptiveSearchWith(std::span<const TermId> array, TermId value,
+                          size_t* cursor, int64_t threshold,
+                          SearchStrategy strategy,
+                          const index::IdPositionIndex* index,
+                          SearchCounters* counters, MemoryPolicy& mem) {
+  if (array.empty()) return kNotFound;
+  switch (strategy) {
+    case SearchStrategy::kBinary:
+      if (counters != nullptr) ++counters->binary_searches;
+      return BinarySearchWith(array, value, cursor, mem);
+    case SearchStrategy::kIndex:
+      if (counters != nullptr) ++counters->index_lookups;
+      return IndexSearchWith(array, value, cursor, *index, mem);
+    case SearchStrategy::kAdaptiveBinary:
+    case SearchStrategy::kAdaptiveIndex: {
+      size_t pos = *cursor;
+      if (pos >= array.size()) pos = array.size() - 1;
+      const int64_t distance = static_cast<int64_t>(mem.Load(&array[pos])) -
+                               static_cast<int64_t>(value);
+      if (distance <= threshold && distance >= -threshold) {
+        if (counters != nullptr) ++counters->sequential_searches;
+        return SequentialSearchWith(
+            array, value, cursor, mem,
+            counters != nullptr ? &counters->sequential_steps : nullptr);
+      }
+      if (strategy == SearchStrategy::kAdaptiveBinary) {
+        if (counters != nullptr) ++counters->binary_searches;
+        return BinarySearchWith(array, value, cursor, mem);
+      }
+      if (counters != nullptr) ++counters->index_lookups;
+      return IndexSearchWith(array, value, cursor, *index, mem);
+    }
+  }
+  return kNotFound;
+}
+
+/// Convenience non-instrumented wrappers.
+size_t BinarySearch(std::span<const TermId> array, TermId value,
+                    size_t* cursor);
+size_t SequentialSearch(std::span<const TermId> array, TermId value,
+                        size_t* cursor, uint64_t* steps_out = nullptr);
+size_t AdaptiveSearch(std::span<const TermId> array, TermId value,
+                      size_t* cursor, int64_t threshold,
+                      SearchStrategy strategy,
+                      const index::IdPositionIndex* index,
+                      SearchCounters* counters);
+
+/// Plain membership binary search inside a (typically short) sorted value
+/// run; no cursor.
+bool RunContains(std::span<const TermId> run, TermId value);
+
+}  // namespace parj::join
+
+#endif  // PARJ_JOIN_SEARCH_H_

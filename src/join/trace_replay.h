@@ -1,0 +1,37 @@
+#ifndef PARJ_JOIN_TRACE_REPLAY_H_
+#define PARJ_JOIN_TRACE_REPLAY_H_
+
+#include "common/status.h"
+#include "join/executor.h"
+#include "sim/cache.h"
+
+namespace parj::join {
+
+/// Result of replaying a query's search stream through the cache model.
+struct ReplayStats {
+  SearchCounters counters;
+  sim::CacheStats cache;
+};
+
+/// Replays the per-step probe values recorded by an execution
+/// (`ExecOptions::collect_probe_trace`) through the search kernels with an
+/// instrumented memory policy, reproducing Table 6's measurement: the
+/// exact cycles and cache misses spent *inside the lookup procedure*,
+/// comparing binary search against the ID-to-Position index.
+///
+/// Per the paper (§5.2.2), the adaptive threshold is kept at the
+/// binary-search calibration for both strategies, so the sequential /
+/// fallback decision sequence is identical and only the fallback method
+/// differs. The probe value stream itself is strategy-independent (every
+/// strategy visits the same tuples), which is what makes offline replay
+/// exact.
+Result<ReplayStats> ReplaySearchTrace(const storage::Database& db,
+                                      const query::Plan& plan,
+                                      const ProbeTrace& trace,
+                                      SearchStrategy strategy,
+                                      const sim::CacheHierarchyConfig& config =
+                                          sim::CacheHierarchyConfig());
+
+}  // namespace parj::join
+
+#endif  // PARJ_JOIN_TRACE_REPLAY_H_

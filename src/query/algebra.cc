@@ -1,0 +1,232 @@
+#include "query/algebra.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace parj::query {
+
+const char* FilterOpName(FilterOp op) {
+  switch (op) {
+    case FilterOp::kEq:
+      return "=";
+    case FilterOp::kNe:
+      return "!=";
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool TryNumericValue(const rdf::Term& term, double* value) {
+  if (!term.is_literal() || term.lexical().empty()) return false;
+  const std::string& text = term.lexical();
+  char* end = nullptr;
+  double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(parsed)) return false;
+  *value = parsed;
+  return true;
+}
+
+namespace {
+
+bool CompareDoubles(double lhs, FilterOp op, double rhs) {
+  switch (op) {
+    case FilterOp::kEq:
+      return lhs == rhs;
+    case FilterOp::kNe:
+      return lhs != rhs;
+    case FilterOp::kLt:
+      return lhs < rhs;
+    case FilterOp::kLe:
+      return lhs <= rhs;
+    case FilterOp::kGt:
+      return lhs > rhs;
+    case FilterOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+FilterOp FlipOp(FilterOp op) {
+  switch (op) {
+    case FilterOp::kLt:
+      return FilterOp::kGt;
+    case FilterOp::kLe:
+      return FilterOp::kGe;
+    case FilterOp::kGt:
+      return FilterOp::kLt;
+    case FilterOp::kGe:
+      return FilterOp::kLe;
+    default:
+      return op;  // = and != are symmetric
+  }
+}
+
+}  // namespace
+
+Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
+                                 const storage::Database& db) {
+  if (ast.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  if (!ast.union_arms.empty()) {
+    return Status::InvalidArgument(
+        "UNION queries must be split into arms before encoding "
+        "(ParjEngine::Execute handles this)");
+  }
+  EncodedQuery out;
+  out.distinct = ast.distinct;
+  out.limit = ast.limit;
+
+  std::unordered_map<std::string, int> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    int id = static_cast<int>(out.var_names.size());
+    var_ids.emplace(name, id);
+    out.var_names.push_back(name);
+    return id;
+  };
+
+  const dict::Dictionary& dict = db.dictionary();
+  for (const TriplePatternAst& p : ast.patterns) {
+    EncodedPattern enc;
+    if (p.predicate.is_variable) {
+      return Status::Unsupported(
+          "variable predicates are not supported (pattern with ?" +
+          p.predicate.var + ")");
+    }
+    enc.predicate = dict.LookupPredicate(p.predicate.term);
+    if (enc.predicate == kInvalidPredicateId) out.known_empty = true;
+
+    auto encode_slot = [&](const TermOrVar& t) -> PatternTerm {
+      if (t.is_variable) return PatternTerm::Variable(intern_var(t.var));
+      TermId id = dict.LookupResource(t.term);
+      if (id == kInvalidTermId) out.known_empty = true;
+      return PatternTerm::Constant(id);
+    };
+    enc.subject = encode_slot(p.subject);
+    enc.object = encode_slot(p.object);
+    out.patterns.push_back(enc);
+  }
+  out.variable_count = static_cast<int>(out.var_names.size());
+
+  // ---- FILTER constraints.
+  for (const FilterAst& f : ast.filters) {
+    FilterAst filter = f;
+    // Normalize: a lone variable goes to the left.
+    if (!filter.lhs.is_variable && filter.rhs.is_variable) {
+      std::swap(filter.lhs, filter.rhs);
+      filter.op = FlipOp(filter.op);
+    }
+    const bool ordering =
+        filter.op != FilterOp::kEq && filter.op != FilterOp::kNe;
+
+    if (!filter.lhs.is_variable && !filter.rhs.is_variable) {
+      // Constant-constant: fold now.
+      bool holds;
+      double lv, rv;
+      if (ordering) {
+        if (!TryNumericValue(filter.lhs.term, &lv) ||
+            !TryNumericValue(filter.rhs.term, &rv)) {
+          return Status::Unsupported(
+              "ordering FILTER requires numeric operands");
+        }
+        holds = CompareDoubles(lv, filter.op, rv);
+      } else if (TryNumericValue(filter.lhs.term, &lv) &&
+                 TryNumericValue(filter.rhs.term, &rv)) {
+        holds = CompareDoubles(lv, filter.op, rv);
+      } else {
+        const bool equal = filter.lhs.term == filter.rhs.term;
+        holds = filter.op == FilterOp::kEq ? equal : !equal;
+      }
+      if (!holds) out.known_empty = true;
+      continue;  // a true constant filter is a no-op
+    }
+
+    auto require_var = [&](const TermOrVar& t) -> Result<int> {
+      auto it = var_ids.find(t.var);
+      if (it == var_ids.end()) {
+        return Status::InvalidArgument("FILTER variable ?" + t.var +
+                                       " does not occur in the BGP");
+      }
+      return it->second;
+    };
+
+    EncodedFilter enc;
+    enc.op = filter.op;
+    PARJ_ASSIGN_OR_RETURN(int lhs_var, require_var(filter.lhs));
+    enc.lhs = PatternTerm::Variable(lhs_var);
+
+    if (filter.rhs.is_variable) {
+      PARJ_ASSIGN_OR_RETURN(int rhs_var, require_var(filter.rhs));
+      if (ordering) {
+        return Status::Unsupported(
+            "ordering FILTER between two variables is not supported");
+      }
+      enc.rhs = PatternTerm::Variable(rhs_var);
+      out.filters.push_back(std::move(enc));
+      continue;
+    }
+
+    if (ordering) {
+      // Precompile the passing bitmap over all dictionary IDs.
+      double bound;
+      if (!TryNumericValue(filter.rhs.term, &bound)) {
+        return Status::Unsupported(
+            "ordering FILTER requires a numeric constant");
+      }
+      auto passing = std::make_shared<std::vector<bool>>(
+          static_cast<size_t>(dict.resource_count()) + 1, false);
+      for (TermId id = 1; id <= dict.resource_count(); ++id) {
+        double value;
+        if (TryNumericValue(dict.DecodeResource(id), &value) &&
+            CompareDoubles(value, filter.op, bound)) {
+          (*passing)[id] = true;
+        }
+      }
+      enc.rhs = PatternTerm::Constant(kInvalidTermId);
+      enc.passing = std::move(passing);
+      out.filters.push_back(std::move(enc));
+      continue;
+    }
+
+    // Equality / inequality against a constant term.
+    TermId rhs_id = dict.LookupResource(filter.rhs.term);
+    if (rhs_id == kInvalidTermId) {
+      // No term equals a value absent from the data: '=' can never hold,
+      // '!=' always holds.
+      if (filter.op == FilterOp::kEq) out.known_empty = true;
+      continue;
+    }
+    enc.rhs = PatternTerm::Constant(rhs_id);
+    out.filters.push_back(std::move(enc));
+  }
+
+  if (ast.select_all) {
+    for (int v = 0; v < out.variable_count; ++v) out.projection.push_back(v);
+  } else {
+    for (const std::string& name : ast.projection) {
+      auto it = var_ids.find(name);
+      if (it == var_ids.end()) {
+        return Status::InvalidArgument("projected variable ?" + name +
+                                       " does not occur in the BGP");
+      }
+      out.projection.push_back(it->second);
+    }
+  }
+  if (out.projection.empty()) {
+    return Status::InvalidArgument("empty projection");
+  }
+  return out;
+}
+
+}  // namespace parj::query

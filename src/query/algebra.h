@@ -1,0 +1,171 @@
+#ifndef PARJ_QUERY_ALGEBRA_H_
+#define PARJ_QUERY_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rdf/term.h"
+#include "storage/database.h"
+
+namespace parj::query {
+
+/// A triple-pattern slot at the string level: either a variable or a
+/// concrete RDF term.
+struct TermOrVar {
+  bool is_variable = false;
+  std::string var;   ///< variable name without the '?' sigil
+  rdf::Term term;    ///< valid when !is_variable
+
+  static TermOrVar Variable(std::string name) {
+    TermOrVar t;
+    t.is_variable = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static TermOrVar Constant(rdf::Term term) {
+    TermOrVar t;
+    t.term = std::move(term);
+    return t;
+  }
+};
+
+/// One SPARQL triple pattern at the string level.
+struct TriplePatternAst {
+  TermOrVar subject;
+  TermOrVar predicate;
+  TermOrVar object;
+};
+
+/// Comparison operator of a FILTER expression.
+enum class FilterOp : uint8_t {
+  kEq = 0,   // =
+  kNe = 1,   // !=
+  kLt = 2,   // <
+  kLe = 3,   // <=
+  kGt = 4,   // >
+  kGe = 5,   // >=
+};
+
+const char* FilterOpName(FilterOp op);
+
+/// One FILTER(lhs op rhs) constraint at the string level. The engine
+/// evaluates the SPARQL subset that the paper's workloads need:
+/// equality/inequality between any terms, and numeric ordering between a
+/// variable and a numeric literal (or two variables bound to numeric
+/// literals).
+struct FilterAst {
+  TermOrVar lhs;
+  FilterOp op = FilterOp::kEq;
+  TermOrVar rhs;
+};
+
+/// A parsed SELECT query over a Basic Graph Pattern (or a UNION of them).
+struct SelectQueryAst {
+  bool distinct = false;
+  bool select_all = false;               ///< SELECT *
+  std::vector<std::string> projection;   ///< when !select_all
+  std::vector<TriplePatternAst> patterns;
+  std::vector<FilterAst> filters;
+  /// Additional UNION arms; `patterns`/`filters` form the first arm. Every
+  /// arm must bind all projected variables.
+  struct UnionArm {
+    std::vector<TriplePatternAst> patterns;
+    std::vector<FilterAst> filters;
+  };
+  std::vector<UnionArm> union_arms;
+  uint64_t limit = 0;                    ///< 0 = no limit
+};
+
+/// A triple-pattern slot after dictionary encoding.
+struct PatternTerm {
+  enum class Kind : uint8_t { kVariable = 0, kConstant = 1 };
+  Kind kind = Kind::kVariable;
+  int var = -1;                ///< dense variable id when kVariable
+  TermId constant = kInvalidTermId;  ///< when kConstant
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  static PatternTerm Variable(int id) {
+    PatternTerm t;
+    t.kind = Kind::kVariable;
+    t.var = id;
+    return t;
+  }
+  static PatternTerm Constant(TermId id) {
+    PatternTerm t;
+    t.kind = Kind::kConstant;
+    t.constant = id;
+    return t;
+  }
+};
+
+/// A dictionary-encoded triple pattern. Variable predicates are not
+/// supported by the engine (paper §3: "rarely encountered in real world
+/// queries"); encoding rejects them.
+struct EncodedPattern {
+  PatternTerm subject;
+  PredicateId predicate = kInvalidPredicateId;
+  PatternTerm object;
+
+  /// The slot playing `role`.
+  const PatternTerm& slot(storage::Role role) const {
+    return role == storage::Role::kSubject ? subject : object;
+  }
+};
+
+/// A dictionary-encoded FILTER constraint, ready for evaluation. Equality
+/// and inequality compare term IDs; ordering comparisons against a numeric
+/// constant are precompiled into a passing-ID bitmap (so the hot path is
+/// one bit test per candidate row).
+struct EncodedFilter {
+  PatternTerm lhs;  ///< always a variable after normalization
+  FilterOp op = FilterOp::kEq;
+  PatternTerm rhs;  ///< variable (kEq/kNe only) or constant
+  /// For ordering ops with a numeric constant: passing[id] == true iff the
+  /// term with that ID is a numeric literal satisfying the comparison.
+  std::shared_ptr<const std::vector<bool>> passing;
+};
+
+/// A fully encoded query, ready for the optimizer.
+struct EncodedQuery {
+  std::vector<EncodedPattern> patterns;
+  std::vector<EncodedFilter> filters;
+  int variable_count = 0;
+  std::vector<std::string> var_names;  ///< index = variable id
+  std::vector<int> projection;         ///< variable ids, SELECT order
+  bool distinct = false;
+  uint64_t limit = 0;
+  /// True when some constant (resource or predicate) does not occur in the
+  /// dictionary — the query's result is empty without executing anything.
+  bool known_empty = false;
+};
+
+/// Parses a term as a numeric value (integer or decimal literal, typed or
+/// plain). Returns false for non-numeric terms.
+bool TryNumericValue(const rdf::Term& term, double* value);
+
+/// Evaluates an encoded filter against a full-width binding row (indexed
+/// by variable id). All referenced variables must be bound.
+inline bool EvaluateFilter(const EncodedFilter& filter,
+                           const TermId* bindings) {
+  const TermId lhs = bindings[filter.lhs.var];
+  if (filter.passing != nullptr) return (*filter.passing)[lhs];
+  const TermId rhs = filter.rhs.is_variable() ? bindings[filter.rhs.var]
+                                              : filter.rhs.constant;
+  return filter.op == FilterOp::kEq ? lhs == rhs : lhs != rhs;
+}
+
+/// Encodes a parsed query against `db`'s dictionary. Unknown constants mark
+/// the query `known_empty` rather than failing. Returns InvalidArgument for
+/// unsupported shapes (variable predicate, projection of an unused
+/// variable, no patterns).
+Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
+                                 const storage::Database& db);
+
+}  // namespace parj::query
+
+#endif  // PARJ_QUERY_ALGEBRA_H_

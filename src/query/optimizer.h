@@ -1,0 +1,39 @@
+#ifndef PARJ_QUERY_OPTIMIZER_H_
+#define PARJ_QUERY_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/algebra.h"
+#include "query/plan.h"
+#include "storage/database.h"
+
+namespace parj::query {
+
+struct OptimizerOptions {
+  /// Use precomputed pairwise property-join cardinalities as the
+  /// corrective step of paper §4.3 when the database has them.
+  bool use_pair_stats = true;
+  /// Use characteristic-set statistics for subject-star selectivities
+  /// when the database has them (paper §4.3's planned extension).
+  bool use_characteristic_sets = true;
+  /// Exact bottom-up DP is used up to this many patterns; beyond it the
+  /// optimizer falls back to greedy extension.
+  size_t dp_max_patterns = 14;
+  /// When non-empty, bypass join ordering: patterns are planned in exactly
+  /// this order (indices into EncodedQuery::patterns); replicas are still
+  /// chosen per step. Used by tests and ablation benchmarks.
+  std::vector<int> forced_order;
+};
+
+/// Produces a left-deep plan for `query` (paper §4.3): bottom-up dynamic
+/// programming over left-deep orders, centralized cost model (parallelism
+/// deliberately ignored — the paper assumes a fixed speedup factor for
+/// every order), per-step replica selection, selectivity from equi-depth
+/// histograms plus pairwise join cardinalities.
+Result<Plan> Optimize(const EncodedQuery& query, const storage::Database& db,
+                      const OptimizerOptions& options = {});
+
+}  // namespace parj::query
+
+#endif  // PARJ_QUERY_OPTIMIZER_H_

@@ -1,0 +1,29 @@
+#ifndef PARJ_QUERY_PARSER_H_
+#define PARJ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/algebra.h"
+
+namespace parj::query {
+
+/// Parses the SPARQL subset the engine evaluates:
+///
+///   [PREFIX ns: <iri>]*
+///   SELECT [DISTINCT] (?var+ | *)
+///   WHERE '{' triple-pattern (('.' | ';' | ',') triple-pattern-part)* '}'
+///   [LIMIT n]
+///
+/// Triple-pattern slots may be variables (?x), IRIs (<...> or prefixed
+/// names such as ub:worksFor), literals ("v", "v"@en, "v"^^<dt>, bare
+/// integers) or the keyword `a` (rdf:type, predicate position only).
+/// ';' repeats the subject; ',' repeats subject and predicate.
+///
+/// The parser covers everything the paper's workloads need (BGPs with
+/// constants standing in for FILTER equality, per paper Example 3.2).
+Result<SelectQueryAst> ParseQuery(std::string_view text);
+
+}  // namespace parj::query
+
+#endif  // PARJ_QUERY_PARSER_H_

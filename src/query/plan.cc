@@ -1,0 +1,46 @@
+#include "query/plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace parj::query {
+
+namespace {
+
+std::string TermToString(const PatternTerm& term,
+                         const std::vector<std::string>& names) {
+  if (term.is_variable()) {
+    if (term.var >= 0 && term.var < static_cast<int>(names.size())) {
+      return "?" + names[term.var];
+    }
+    return "?_" + std::to_string(term.var);
+  }
+  return "#" + std::to_string(term.constant);
+}
+
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  if (known_empty) {
+    out << "Plan: known empty result\n";
+    return out.str();
+  }
+  out << "Plan (" << steps.size() << " steps, est. cost ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", total_cost);
+  out << buf << "):\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    out << "  " << (i == 0 ? "scan " : "probe") << " p" << s.predicate << "/"
+        << storage::ReplicaKindName(s.replica) << "  key="
+        << TermToString(s.key, var_names) << (s.key_bound ? "[bound]" : "")
+        << " value=" << TermToString(s.value, var_names)
+        << (s.value_bound ? "[bound]" : "");
+    std::snprintf(buf, sizeof(buf), "%.3g", s.estimated_rows);
+    out << "  est_rows=" << buf << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace parj::query

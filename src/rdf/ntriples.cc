@@ -1,0 +1,196 @@
+#include "rdf/ntriples.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace parj::rdf {
+
+namespace {
+
+void SkipSpaces(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++(*pos);
+  }
+}
+
+bool IsPnChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<Term> ParseTerm(std::string_view line, size_t* pos) {
+  SkipSpaces(line, pos);
+  if (*pos >= line.size()) {
+    return Status::ParseError("expected term, found end of line");
+  }
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    std::string iri(line.substr(*pos + 1, end - *pos - 1));
+    if (iri.empty()) return Status::ParseError("empty IRI");
+    *pos = end + 1;
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      return Status::ParseError("malformed blank node: expected _:");
+    }
+    size_t start = *pos + 2;
+    size_t end = start;
+    while (end < line.size() && IsPnChar(line[end])) ++end;
+    if (end == start) return Status::ParseError("empty blank node label");
+    std::string label(line.substr(start, end - start));
+    *pos = end;
+    return Term::Blank(std::move(label));
+  }
+  if (c == '"') {
+    // Find the closing quote, honouring backslash escapes.
+    size_t end = *pos + 1;
+    bool escaped = false;
+    while (end < line.size()) {
+      if (escaped) {
+        escaped = false;
+      } else if (line[end] == '\\') {
+        escaped = true;
+      } else if (line[end] == '"') {
+        break;
+      }
+      ++end;
+    }
+    if (end >= line.size()) {
+      return Status::ParseError("unterminated literal");
+    }
+    PARJ_ASSIGN_OR_RETURN(std::string value,
+                          UnescapeLiteral(line.substr(*pos + 1, end - *pos - 1)));
+    *pos = end + 1;
+    // Optional language tag or datatype.
+    if (*pos < line.size() && line[*pos] == '@') {
+      size_t start = *pos + 1;
+      size_t lang_end = start;
+      while (lang_end < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[lang_end])) ||
+              line[lang_end] == '-')) {
+        ++lang_end;
+      }
+      if (lang_end == start) return Status::ParseError("empty language tag");
+      std::string lang(line.substr(start, lang_end - start));
+      *pos = lang_end;
+      return Term::LangLiteral(std::move(value), std::move(lang));
+    }
+    if (*pos + 1 < line.size() && line[*pos] == '^' && line[*pos + 1] == '^') {
+      *pos += 2;
+      if (*pos >= line.size() || line[*pos] != '<') {
+        return Status::ParseError("expected datatype IRI after ^^");
+      }
+      size_t end_dt = line.find('>', *pos + 1);
+      if (end_dt == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      std::string dt(line.substr(*pos + 1, end_dt - *pos - 1));
+      *pos = end_dt + 1;
+      return Term::TypedLiteral(std::move(value), std::move(dt));
+    }
+    return Term::Literal(std::move(value));
+  }
+  return Status::ParseError(std::string("unexpected character '") + c +
+                            "' at start of term");
+}
+
+Result<Triple> ParseStatementLine(std::string_view raw) {
+  std::string_view line = TrimWhitespace(raw);
+  if (line.empty() || line[0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  size_t pos = 0;
+  PARJ_ASSIGN_OR_RETURN(Term subject, ParseTerm(line, &pos));
+  if (subject.is_literal()) {
+    return Status::ParseError("literal in subject position");
+  }
+  PARJ_ASSIGN_OR_RETURN(Term predicate, ParseTerm(line, &pos));
+  if (!predicate.is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+  PARJ_ASSIGN_OR_RETURN(Term object, ParseTerm(line, &pos));
+  SkipSpaces(line, &pos);
+  if (pos >= line.size() || line[pos] != '.') {
+    return Status::ParseError("expected '.' terminating statement");
+  }
+  ++pos;
+  SkipSpaces(line, &pos);
+  if (pos != line.size()) {
+    return Status::ParseError("trailing garbage after '.'");
+  }
+  return Triple{std::move(subject), std::move(predicate), std::move(object)};
+}
+
+Status NTriplesParser::HandleLine(std::string_view line, uint64_t line_no,
+                                  const std::function<void(Triple)>& sink) {
+  Result<Triple> triple = ParseStatementLine(line);
+  if (triple.ok()) {
+    ++parsed_triples_;
+    sink(std::move(triple).value());
+    return Status::OK();
+  }
+  if (triple.status().code() == StatusCode::kNotFound) {
+    return Status::OK();  // blank line / comment
+  }
+  if (!options_.strict) {
+    ++skipped_lines_;
+    return Status::OK();
+  }
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            triple.status().message());
+}
+
+Status NTriplesParser::ParseDocument(std::string_view text,
+                                     const std::function<void(Triple)>& sink) {
+  uint64_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_no;
+    PARJ_RETURN_NOT_OK(HandleLine(line, line_no, sink));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+Status NTriplesParser::ParseStream(std::istream& in,
+                                   const std::function<void(Triple)>& sink) {
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    PARJ_RETURN_NOT_OK(HandleLine(line, line_no, sink));
+  }
+  if (in.bad()) return Status::IoError("stream error while reading N-Triples");
+  return Status::OK();
+}
+
+Result<std::vector<Triple>> NTriplesParser::ParseToVector(
+    std::string_view text) {
+  std::vector<Triple> out;
+  Status st = ParseDocument(text, [&out](Triple t) { out.push_back(std::move(t)); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out) {
+  for (const Triple& t : triples) {
+    out << t.subject.ToNTriples() << " " << t.predicate.ToNTriples() << " "
+        << t.object.ToNTriples() << " .\n";
+  }
+}
+
+}  // namespace parj::rdf

@@ -1,0 +1,67 @@
+#ifndef PARJ_RDF_NTRIPLES_H_
+#define PARJ_RDF_NTRIPLES_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace parj::rdf {
+
+/// Parses one N-Triples term starting at `*pos` in `line`; advances `*pos`
+/// past the term. Accepts IRIs, literals (plain, language-tagged, typed)
+/// and blank nodes.
+Result<Term> ParseTerm(std::string_view line, size_t* pos);
+
+/// Parses a single N-Triples statement line ("<s> <p> <o> ." with optional
+/// surrounding whitespace). Empty lines and `#` comment lines yield
+/// Status::NotFound, which callers treat as "skip".
+Result<Triple> ParseStatementLine(std::string_view line);
+
+/// Streaming N-Triples document parser.
+class NTriplesParser {
+ public:
+  struct Options {
+    /// When true, a malformed line aborts the parse; when false it is
+    /// counted and skipped.
+    bool strict = true;
+  };
+
+  NTriplesParser() = default;
+  explicit NTriplesParser(Options options) : options_(options) {}
+
+  /// Parses a whole document from a string, invoking `sink` per triple.
+  Status ParseDocument(std::string_view text,
+                       const std::function<void(Triple)>& sink);
+
+  /// Parses a document from a stream (e.g. std::ifstream).
+  Status ParseStream(std::istream& in,
+                     const std::function<void(Triple)>& sink);
+
+  /// Convenience: parse a whole document into a vector.
+  Result<std::vector<Triple>> ParseToVector(std::string_view text);
+
+  /// Number of malformed lines skipped in non-strict mode so far.
+  uint64_t skipped_lines() const { return skipped_lines_; }
+  /// Number of triples produced so far.
+  uint64_t parsed_triples() const { return parsed_triples_; }
+
+ private:
+  Status HandleLine(std::string_view line, uint64_t line_no,
+                    const std::function<void(Triple)>& sink);
+
+  Options options_;
+  uint64_t skipped_lines_ = 0;
+  uint64_t parsed_triples_ = 0;
+};
+
+/// Serializes triples in N-Triples syntax, one statement per line.
+void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out);
+
+}  // namespace parj::rdf
+
+#endif  // PARJ_RDF_NTRIPLES_H_

@@ -1,0 +1,87 @@
+#include "reasoning/answering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+
+namespace parj::reasoning {
+
+namespace {
+
+void DeduplicateRows(std::vector<TermId>* rows, size_t width,
+                     uint64_t* row_count) {
+  if (width == 0 || rows->empty()) return;
+  const size_t n = rows->size() / width;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  auto row_less = [&](size_t a, size_t b) {
+    return std::lexicographical_compare(
+        rows->begin() + a * width, rows->begin() + (a + 1) * width,
+        rows->begin() + b * width, rows->begin() + (b + 1) * width);
+  };
+  auto row_eq = [&](size_t a, size_t b) {
+    return std::equal(rows->begin() + a * width,
+                      rows->begin() + (a + 1) * width,
+                      rows->begin() + b * width);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  order.erase(std::unique(order.begin(), order.end(), row_eq), order.end());
+  std::vector<TermId> deduped;
+  deduped.reserve(order.size() * width);
+  for (size_t idx : order) {
+    deduped.insert(deduped.end(), rows->begin() + idx * width,
+                   rows->begin() + (idx + 1) * width);
+  }
+  *rows = std::move(deduped);
+  *row_count = order.size();
+}
+
+}  // namespace
+
+Result<ReasoningResult> AnswerWithBackwardChaining(
+    const storage::Database& db, std::string_view sparql,
+    const Hierarchy& hierarchy, const ReasoningOptions& options) {
+  Stopwatch timer;
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  PARJ_ASSIGN_OR_RETURN(
+      std::vector<query::EncodedQuery> branches,
+      ExpandQuery(ast, hierarchy, db, options.rewrite));
+
+  ReasoningResult result;
+  result.branch_count = branches.size();
+
+  join::Executor executor(&db);
+  for (const query::EncodedQuery& branch : branches) {
+    PARJ_ASSIGN_OR_RETURN(query::Plan plan,
+                          query::Optimize(branch, db, options.optimizer));
+    if (result.var_names.empty()) {
+      result.var_names.reserve(plan.projection.size());
+      for (int var : plan.projection) {
+        result.var_names.push_back(plan.var_names[var]);
+      }
+      result.column_count = plan.projection.size();
+    }
+    if (plan.known_empty) continue;
+    join::ExecOptions exec;
+    exec.num_threads = options.num_threads;
+    exec.strategy = options.strategy;
+    exec.mode = join::ResultMode::kMaterialize;
+    PARJ_ASSIGN_OR_RETURN(join::ExecResult branch_result,
+                          executor.Execute(plan, exec));
+    result.row_count += branch_result.row_count;
+    result.counters.Add(branch_result.counters);
+    result.rows.insert(result.rows.end(), branch_result.rows.begin(),
+                       branch_result.rows.end());
+  }
+
+  if (options.deduplicate) {
+    DeduplicateRows(&result.rows, result.column_count, &result.row_count);
+  }
+  result.total_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace parj::reasoning

@@ -1,0 +1,47 @@
+#ifndef PARJ_REASONING_ANSWERING_H_
+#define PARJ_REASONING_ANSWERING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "join/executor.h"
+#include "query/optimizer.h"
+#include "reasoning/rewrite.h"
+
+namespace parj::reasoning {
+
+struct ReasoningOptions {
+  int num_threads = 1;
+  join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveBinary;
+  /// Deduplicate rows across branches (set semantics — matches evaluating
+  /// the plain query over the materialized closure). When false, rows are
+  /// the bag union of the branch results.
+  bool deduplicate = true;
+  RewriteOptions rewrite;
+  query::OptimizerOptions optimizer;
+};
+
+struct ReasoningResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  std::vector<TermId> rows;  ///< row-major, projected
+  std::vector<std::string> var_names;
+  size_t branch_count = 0;   ///< BGPs in the union
+  double total_millis = 0.0;
+  join::SearchCounters counters;
+};
+
+/// Answers `sparql` under the RDFS class/property hierarchies by backward
+/// chaining: expands the BGP into a union (ExpandQuery), pipelines each
+/// branch through the standard parallel adaptive join, and unions the
+/// results — the paper §6 plan of "'unioning' tables during the pipelined
+/// join execution ... without the need to materialize the implications".
+Result<ReasoningResult> AnswerWithBackwardChaining(
+    const storage::Database& db, std::string_view sparql,
+    const Hierarchy& hierarchy, const ReasoningOptions& options = {});
+
+}  // namespace parj::reasoning
+
+#endif  // PARJ_REASONING_ANSWERING_H_

@@ -1,0 +1,77 @@
+#ifndef PARJ_REASONING_HIERARCHY_H_
+#define PARJ_REASONING_HIERARCHY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/database.h"
+
+namespace parj::reasoning {
+
+/// Class and property hierarchies extracted from the rdfs:subClassOf and
+/// rdfs:subPropertyOf statements of a loaded graph, with transitive
+/// closures precomputed in both directions (paper §6: query answering
+/// "with respect to class and property hierarchies").
+///
+/// Classes are resource TermIds. Properties are PredicateIds: an
+/// rdfs:subPropertyOf statement mentions property IRIs in resource
+/// positions, so extraction maps those resources back to predicate IDs
+/// through the dictionary; a property IRI that never occurs as a
+/// predicate (e.g. an abstract parent like ub:degreeFrom with no direct
+/// assertions) receives no PredicateId and is tracked only as a parent of
+/// its concrete sub-properties.
+class Hierarchy {
+ public:
+  Hierarchy() = default;
+
+  /// Extracts and closes the hierarchies of `db`. Cycles are tolerated
+  /// (every member of a cycle subsumes the others).
+  static Hierarchy FromDatabase(const storage::Database& db);
+
+  bool empty() const {
+    return class_sub_.empty() && property_sub_.empty();
+  }
+
+  /// All classes whose instances entail membership in `cls`, i.e. `cls`
+  /// and its transitive subclasses. Always contains `cls` itself.
+  std::vector<TermId> SubClassesOf(TermId cls) const;
+
+  /// `cls` and its transitive superclasses (forward-chaining direction).
+  std::vector<TermId> SuperClassesOf(TermId cls) const;
+
+  /// The concrete predicates whose statements entail statements of
+  /// `property_resource` (a property's *resource* id): its transitive
+  /// sub-properties that exist as predicates, plus itself when it does.
+  std::vector<PredicateId> SubPropertiesOf(TermId property_resource) const;
+
+  /// Resource ids of `pred`'s transitive super-properties (not including
+  /// the property itself).
+  std::vector<TermId> SuperPropertyResourcesOf(PredicateId pred) const;
+
+  /// Predicate id for a property resource, or kInvalidPredicateId.
+  PredicateId PredicateForResource(TermId property_resource) const;
+
+  size_t class_link_count() const { return class_link_count_; }
+  size_t property_link_count() const { return property_link_count_; }
+
+ private:
+  static std::vector<TermId> Closure(
+      const std::unordered_map<TermId, std::vector<TermId>>& edges,
+      TermId start);
+
+  // Direct edges: child -> parents (super maps), parent -> children (sub).
+  std::unordered_map<TermId, std::vector<TermId>> class_sub_;
+  std::unordered_map<TermId, std::vector<TermId>> class_super_;
+  std::unordered_map<TermId, std::vector<TermId>> property_sub_;
+  std::unordered_map<TermId, std::vector<TermId>> property_super_;
+  // Property resource id <-> predicate id mapping.
+  std::unordered_map<TermId, PredicateId> resource_to_predicate_;
+  std::unordered_map<PredicateId, TermId> predicate_to_resource_;
+  size_t class_link_count_ = 0;
+  size_t property_link_count_ = 0;
+};
+
+}  // namespace parj::reasoning
+
+#endif  // PARJ_REASONING_HIERARCHY_H_

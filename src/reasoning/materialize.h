@@ -1,0 +1,49 @@
+#ifndef PARJ_REASONING_MATERIALIZE_H_
+#define PARJ_REASONING_MATERIALIZE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "reasoning/hierarchy.h"
+#include "storage/database.h"
+
+namespace parj::reasoning {
+
+/// Forward-chaining statistics.
+struct MaterializeStats {
+  uint64_t input_triples = 0;
+  uint64_t inferred_class_triples = 0;
+  uint64_t inferred_property_triples = 0;
+  uint64_t output_triples = 0;  ///< after deduplication against the input
+
+  double BlowupFactor() const {
+    return input_triples == 0
+               ? 1.0
+               : static_cast<double>(output_triples) /
+                     static_cast<double>(input_triples);
+  }
+};
+
+/// The closure dataset produced by forward chaining, ready for
+/// Database::Build / ParjEngine::FromEncoded.
+struct ClosureData {
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> triples;
+};
+
+/// RDFS forward chaining over the subclass/subproperty hierarchies (the
+/// materialization alternative of paper §6: "materializing all implied
+/// assertions ... may lead to data size many times larger than the
+/// original"):
+///   (s rdf:type C), C ⊑* D      =>  (s rdf:type D)
+///   (s P o), P ⊑* Q             =>  (s Q o)
+/// Abstract super-properties (no direct assertions in the base data) are
+/// assigned fresh predicate IDs in the cloned dictionary. Duplicates are
+/// collapsed by the subsequent Database::Build.
+Result<ClosureData> MaterializeHierarchies(const storage::Database& db,
+                                           const Hierarchy& hierarchy,
+                                           MaterializeStats* stats = nullptr);
+
+}  // namespace parj::reasoning
+
+#endif  // PARJ_REASONING_MATERIALIZE_H_

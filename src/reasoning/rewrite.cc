@@ -1,0 +1,164 @@
+#include "reasoning/rewrite.h"
+
+#include <unordered_map>
+
+#include "rdf/vocab.h"
+
+namespace parj::reasoning {
+
+namespace {
+
+using query::EncodedPattern;
+using query::EncodedQuery;
+using query::PatternTerm;
+using query::SelectQueryAst;
+using query::TermOrVar;
+
+/// Per-pattern alternative: a (predicate, object-override) pair. The
+/// object override is used by type-pattern expansion; kInvalidTermId means
+/// "keep the original object".
+struct Alternative {
+  PredicateId predicate = kInvalidPredicateId;
+  TermId object_override = kInvalidTermId;
+};
+
+}  // namespace
+
+Result<std::vector<EncodedQuery>> ExpandQuery(const SelectQueryAst& ast,
+                                              const Hierarchy& hierarchy,
+                                              const storage::Database& db,
+                                              const RewriteOptions& options) {
+  if (ast.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  const dict::Dictionary& dict = db.dictionary();
+  const PredicateId type_pid =
+      dict.LookupPredicate(rdf::Term::Iri(rdf::vocab::kRdfType));
+
+  // Shared variable interning (same scheme as EncodeQuery so every branch
+  // agrees on ids and projection).
+  EncodedQuery base;
+  base.distinct = ast.distinct;
+  base.limit = ast.limit;
+  std::unordered_map<std::string, int> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    int id = static_cast<int>(base.var_names.size());
+    var_ids.emplace(name, id);
+    base.var_names.push_back(name);
+    return id;
+  };
+  auto encode_slot = [&](const TermOrVar& t, bool* unknown) -> PatternTerm {
+    if (t.is_variable) return PatternTerm::Variable(intern_var(t.var));
+    TermId id = dict.LookupResource(t.term);
+    if (id == kInvalidTermId) *unknown = true;
+    return PatternTerm::Constant(id);
+  };
+
+  // Per-pattern skeletons and alternative lists.
+  std::vector<EncodedPattern> skeletons;
+  std::vector<std::vector<Alternative>> alternatives;
+  bool known_empty = false;
+  for (const auto& p : ast.patterns) {
+    if (p.predicate.is_variable) {
+      return Status::Unsupported("variable predicates are not supported");
+    }
+    EncodedPattern skeleton;
+    bool unknown_slot = false;
+    skeleton.subject = encode_slot(p.subject, &unknown_slot);
+    skeleton.object = encode_slot(p.object, &unknown_slot);
+
+    const bool is_type_pattern =
+        p.predicate.term.lexical() == rdf::vocab::kRdfType;
+    std::vector<Alternative> alts;
+    if (is_type_pattern && !p.object.is_variable) {
+      // Type pattern with constant class: branch per subclass.
+      if (type_pid != kInvalidPredicateId &&
+          skeleton.object.constant != kInvalidTermId) {
+        for (TermId cls : hierarchy.SubClassesOf(skeleton.object.constant)) {
+          alts.push_back(Alternative{type_pid, cls});
+        }
+      }
+      // The object constant is supplied per branch via object_override;
+      // an unknown class (no dictionary entry) stays flagged as empty.
+      skeleton.object = PatternTerm::Constant(kInvalidTermId);
+    } else {
+      // Branch per concrete sub-property.
+      const PredicateId pid = dict.LookupPredicate(p.predicate.term);
+      const TermId resource = dict.LookupResource(p.predicate.term);
+      if (resource != kInvalidTermId) {
+        for (PredicateId sub : hierarchy.SubPropertiesOf(resource)) {
+          alts.push_back(Alternative{sub, kInvalidTermId});
+        }
+      }
+      if (alts.empty() && pid != kInvalidPredicateId) {
+        alts.push_back(Alternative{pid, kInvalidTermId});
+      }
+    }
+    if (alts.empty() || unknown_slot) known_empty = true;
+    skeletons.push_back(skeleton);
+    alternatives.push_back(std::move(alts));
+  }
+
+  base.variable_count = static_cast<int>(base.var_names.size());
+  if (ast.select_all) {
+    for (int v = 0; v < base.variable_count; ++v) base.projection.push_back(v);
+  } else {
+    for (const std::string& name : ast.projection) {
+      auto it = var_ids.find(name);
+      if (it == var_ids.end()) {
+        return Status::InvalidArgument("projected variable ?" + name +
+                                       " does not occur in the BGP");
+      }
+      base.projection.push_back(it->second);
+    }
+  }
+  if (base.projection.empty()) {
+    return Status::InvalidArgument("empty projection");
+  }
+
+  if (known_empty) {
+    EncodedQuery empty = base;
+    empty.known_empty = true;
+    empty.patterns = skeletons;
+    return std::vector<EncodedQuery>{std::move(empty)};
+  }
+
+  // Branch count check before materializing the cross product.
+  size_t branches = 1;
+  for (const auto& alts : alternatives) {
+    branches *= alts.size();
+    if (branches > options.max_branches) {
+      return Status::OutOfRange(
+          "hierarchy expansion exceeds max_branches (" +
+          std::to_string(options.max_branches) + ")");
+    }
+  }
+
+  std::vector<EncodedQuery> out;
+  out.reserve(branches);
+  std::vector<size_t> choice(skeletons.size(), 0);
+  while (true) {
+    EncodedQuery branch = base;
+    branch.patterns = skeletons;
+    for (size_t i = 0; i < skeletons.size(); ++i) {
+      const Alternative& alt = alternatives[i][choice[i]];
+      branch.patterns[i].predicate = alt.predicate;
+      if (alt.object_override != kInvalidTermId) {
+        branch.patterns[i].object = PatternTerm::Constant(alt.object_override);
+      }
+    }
+    out.push_back(std::move(branch));
+    // Odometer increment.
+    size_t i = 0;
+    while (i < choice.size() && ++choice[i] == alternatives[i].size()) {
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == choice.size()) break;
+  }
+  return out;
+}
+
+}  // namespace parj::reasoning

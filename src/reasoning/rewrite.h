@@ -1,0 +1,40 @@
+#ifndef PARJ_REASONING_REWRITE_H_
+#define PARJ_REASONING_REWRITE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/algebra.h"
+#include "reasoning/hierarchy.h"
+
+namespace parj::reasoning {
+
+struct RewriteOptions {
+  /// Upper bound on the number of expanded BGPs (the cross product of
+  /// per-pattern alternatives can explode for deep hierarchies — the
+  /// "complicated queries" risk the paper's §6 attributes to backward
+  /// chaining).
+  size_t max_branches = 4096;
+};
+
+/// Backward chaining by query rewriting (paper §6: answering queries with
+/// respect to class and property hierarchies by "unioning" tables instead
+/// of materializing implications): expands a parsed query into the union
+/// of BGPs obtained by replacing
+///   - each `?x rdf:type C` pattern (constant C) with one branch per
+///     subclass of C, and
+///   - each pattern with predicate P with one branch per concrete
+///     sub-property of P.
+/// Abstract properties (mentioned only in the ontology, with no direct
+/// assertions) are supported: their branches enumerate their concrete
+/// descendants.
+///
+/// All branches share the same variable numbering and projection, so
+/// their results union directly.
+Result<std::vector<query::EncodedQuery>> ExpandQuery(
+    const query::SelectQueryAst& ast, const Hierarchy& hierarchy,
+    const storage::Database& db, const RewriteOptions& options = {});
+
+}  // namespace parj::reasoning
+
+#endif  // PARJ_REASONING_REWRITE_H_

@@ -1,0 +1,110 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace parj::sim {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config) {
+  ways_ = std::max<size_t>(1, config.associativity);
+  const size_t lines = std::max<size_t>(
+      ways_, config.size_bytes / std::max<size_t>(1, config.line_bytes));
+  set_count_ = std::max<size_t>(1, lines / ways_);
+  tags_.assign(set_count_ * ways_, kEmpty);
+  last_used_.assign(set_count_ * ways_, 0);
+}
+
+bool CacheLevel::Access(uint64_t line_index) {
+  const size_t set = static_cast<size_t>(line_index % set_count_);
+  const size_t base = set * ways_;
+  ++tick_;
+  size_t victim = base;
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t w = 0; w < ways_; ++w) {
+    const size_t slot = base + w;
+    if (tags_[slot] == line_index) {
+      last_used_[slot] = tick_;
+      ++hits_;
+      return true;
+    }
+    if (tags_[slot] == kEmpty) {
+      // Prefer an invalid way as the victim.
+      if (oldest != 0) {
+        victim = slot;
+        oldest = 0;
+      }
+    } else if (last_used_[slot] < oldest) {
+      victim = slot;
+      oldest = last_used_[slot];
+    }
+  }
+  ++misses_;
+  tags_[victim] = line_index;
+  last_used_[victim] = tick_;
+  return false;
+}
+
+void CacheLevel::Reset() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  std::fill(last_used_.begin(), last_used_.end(), 0);
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig& config)
+    : config_(config),
+      l1_(config.l1),
+      l2_(config.l2),
+      l3_(config.l3),
+      line_bytes_(std::max<size_t>(1, config.l1.line_bytes)) {}
+
+uint32_t CacheHierarchy::AccessLine(uint64_t line_index) {
+  ++accesses_;
+  uint32_t latency;
+  if (l1_.Access(line_index)) {
+    latency = config_.l1_latency;
+  } else if (l2_.Access(line_index)) {
+    latency = config_.l2_latency;
+  } else if (l3_.Access(line_index)) {
+    latency = config_.l3_latency;
+  } else {
+    latency = config_.memory_latency;
+  }
+  latency += config_.op_cycles_per_access;
+  cycles_ += latency;
+  return latency;
+}
+
+uint32_t CacheHierarchy::Access(const void* addr, size_t bytes) {
+  const uint64_t start = reinterpret_cast<uint64_t>(addr);
+  const uint64_t first_line = start / line_bytes_;
+  const uint64_t last_line =
+      (start + std::max<size_t>(1, bytes) - 1) / line_bytes_;
+  uint32_t total = 0;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    total += AccessLine(line);
+  }
+  return total;
+}
+
+void CacheHierarchy::Reset() {
+  l1_.Reset();
+  l2_.Reset();
+  l3_.Reset();
+  accesses_ = 0;
+  cycles_ = 0;
+}
+
+CacheStats CacheHierarchy::stats() const {
+  CacheStats s;
+  s.accesses = accesses_;
+  s.l1_misses = l1_.misses();
+  s.l2_misses = l2_.misses();
+  s.l3_misses = l3_.misses();
+  s.cycles = cycles_;
+  return s;
+}
+
+}  // namespace parj::sim

@@ -1,0 +1,102 @@
+#ifndef PARJ_SIM_CACHE_H_
+#define PARJ_SIM_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parj::sim {
+
+/// Geometry of one cache level.
+struct CacheLevelConfig {
+  size_t size_bytes = 0;
+  size_t associativity = 8;
+  size_t line_bytes = 64;
+};
+
+/// A three-level inclusive hierarchy with per-level hit latencies. The
+/// defaults approximate the paper's Intel E5-4603 (Sandy Bridge EP):
+/// 32 KiB/8-way L1D, 256 KiB/8-way L2, 10 MiB/20-way shared L3, with
+/// conventional latency figures. Used to reproduce Table 6's cycle and
+/// cache-miss comparison of binary search vs the ID-to-Position index
+/// (see DESIGN.md: hardware counters → simulated access streams).
+struct CacheHierarchyConfig {
+  CacheLevelConfig l1{32 * 1024, 8, 64};
+  CacheLevelConfig l2{256 * 1024, 8, 64};
+  CacheLevelConfig l3{10 * 1024 * 1024, 20, 64};
+  uint32_t l1_latency = 4;
+  uint32_t l2_latency = 12;
+  uint32_t l3_latency = 40;
+  uint32_t memory_latency = 200;
+  /// Fixed ALU/branch cost charged per load on top of the memory latency.
+  uint32_t op_cycles_per_access = 1;
+};
+
+/// One set-associative, LRU, write-allocate cache level.
+class CacheLevel {
+ public:
+  CacheLevel() = default;
+  explicit CacheLevel(const CacheLevelConfig& config);
+
+  /// Accesses the line containing `line_addr` (already divided by line
+  /// size). Returns true on hit. On miss the line is installed, evicting
+  /// the set's LRU way.
+  bool Access(uint64_t line_index);
+
+  void Reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t set_count() const { return set_count_; }
+
+ private:
+  size_t ways_ = 0;
+  size_t set_count_ = 0;
+  uint64_t tick_ = 0;
+  std::vector<uint64_t> tags_;       // set-major, kEmpty = invalid
+  std::vector<uint64_t> last_used_;  // LRU timestamps
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+};
+
+/// Aggregated statistics of a simulated run.
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_misses = 0;
+  uint64_t cycles = 0;
+};
+
+/// The three-level hierarchy. Every Access() walks L1 → L2 → L3 → memory,
+/// installs the line at each missing level (inclusive fill) and charges
+/// the latency of the level that finally hit.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const CacheHierarchyConfig& config = {});
+
+  /// Simulates a load of `bytes` at `addr`; returns the charged cycles.
+  /// Accesses spanning a line boundary touch both lines.
+  uint32_t Access(const void* addr, size_t bytes);
+
+  void Reset();
+
+  CacheStats stats() const;
+
+ private:
+  uint32_t AccessLine(uint64_t line_index);
+
+  CacheHierarchyConfig config_;
+  CacheLevel l1_;
+  CacheLevel l2_;
+  CacheLevel l3_;
+  uint64_t accesses_ = 0;
+  uint64_t cycles_ = 0;
+  size_t line_bytes_ = 64;
+};
+
+}  // namespace parj::sim
+
+#endif  // PARJ_SIM_CACHE_H_

@@ -1,0 +1,24 @@
+#ifndef PARJ_SIM_INSTRUMENTED_MEMORY_H_
+#define PARJ_SIM_INSTRUMENTED_MEMORY_H_
+
+#include "sim/cache.h"
+
+namespace parj::sim {
+
+/// Memory-access policy (see common/memory_policy.h) that routes every
+/// load through a CacheHierarchy before performing it, so a search kernel
+/// executed with this policy produces the exact cycle/miss profile of its
+/// access stream.
+struct InstrumentedMemory {
+  CacheHierarchy* cache = nullptr;
+
+  template <typename T>
+  T Load(const T* addr) {
+    cache->Access(addr, sizeof(T));
+    return *addr;
+  }
+};
+
+}  // namespace parj::sim
+
+#endif  // PARJ_SIM_INSTRUMENTED_MEMORY_H_

@@ -1,0 +1,119 @@
+#include "storage/char_sets.h"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/database.h"
+
+namespace parj::storage {
+
+CharacteristicSets CharacteristicSets::Build(const Database& db,
+                                             size_t max_sets) {
+  // Collect (subject, predicate, run-length) over all properties, grouped
+  // by subject via sort.
+  struct Entry {
+    TermId subject;
+    PredicateId predicate;
+    uint32_t count;
+  };
+  std::vector<Entry> entries;
+  for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+    const TableReplica& so = db.entry(pid).table.so();
+    for (size_t k = 0; k < so.key_count(); ++k) {
+      entries.push_back(Entry{so.KeyAt(k), pid,
+                              static_cast<uint32_t>(so.RunLength(k))});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.predicate < b.predicate;
+  });
+
+  // Group by subject, then accumulate per characteristic set. The map key
+  // is the sorted predicate list.
+  std::map<std::vector<PredicateId>, SetStat> accumulator;
+  size_t i = 0;
+  CharacteristicSets cs;
+  while (i < entries.size()) {
+    const TermId subject = entries[i].subject;
+    std::vector<PredicateId> predicates;
+    std::vector<uint64_t> counts;
+    while (i < entries.size() && entries[i].subject == subject) {
+      predicates.push_back(entries[i].predicate);
+      counts.push_back(entries[i].count);
+      ++i;
+    }
+    ++cs.subject_count_;
+    SetStat& stat = accumulator[predicates];
+    if (stat.predicates.empty()) {
+      stat.predicates = predicates;
+      stat.triple_counts.assign(predicates.size(), 0);
+    }
+    ++stat.subjects;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      stat.triple_counts[c] += counts[c];
+    }
+  }
+
+  cs.sets_.reserve(accumulator.size());
+  for (auto& [key, stat] : accumulator) {
+    cs.sets_.push_back(std::move(stat));
+  }
+  if (cs.sets_.size() > max_sets) {
+    // Keep the most populous sets; dropped sets make estimates
+    // under-count, which the flag documents.
+    std::nth_element(cs.sets_.begin(), cs.sets_.begin() + max_sets,
+                     cs.sets_.end(),
+                     [](const SetStat& a, const SetStat& b) {
+                       return a.subjects > b.subjects;
+                     });
+    cs.sets_.resize(max_sets);
+    cs.truncated_ = true;
+  }
+  return cs;
+}
+
+bool CharacteristicSets::ContainsAll(
+    const std::vector<PredicateId>& superset,
+    const std::vector<PredicateId>& subset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+double CharacteristicSets::EstimateDistinctSubjects(
+    std::vector<PredicateId> predicates) const {
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+  double subjects = 0.0;
+  for (const SetStat& set : sets_) {
+    if (ContainsAll(set.predicates, predicates)) {
+      subjects += static_cast<double>(set.subjects);
+    }
+  }
+  return subjects;
+}
+
+double CharacteristicSets::EstimateStarCardinality(
+    std::vector<PredicateId> predicates) const {
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+  double rows = 0.0;
+  for (const SetStat& set : sets_) {
+    if (!ContainsAll(set.predicates, predicates)) continue;
+    double per_subject = 1.0;
+    for (PredicateId pred : predicates) {
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(set.predicates.begin(), set.predicates.end(),
+                           pred) -
+          set.predicates.begin());
+      per_subject *= static_cast<double>(set.triple_counts[pos]) /
+                     static_cast<double>(set.subjects);
+    }
+    rows += per_subject * static_cast<double>(set.subjects);
+  }
+  return rows;
+}
+
+}  // namespace parj::storage

@@ -1,0 +1,63 @@
+#ifndef PARJ_STORAGE_CHAR_SETS_H_
+#define PARJ_STORAGE_CHAR_SETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace parj::storage {
+
+class Database;
+
+/// Characteristic-set statistics (Neumann & Moerkotte, ICDE 2011 — the
+/// estimation technique the paper's §4.3 names as planned future work for
+/// PARJ's optimizer). A subject's characteristic set is the set of
+/// properties it has; star-query cardinalities are estimated by summing
+/// over all stored sets that contain the queried property combination.
+///
+/// Estimates of *distinct subject* counts are exact (when no truncation
+/// occurred); estimates of star result sizes assume independence of the
+/// per-property multiplicities within a set, which is exact whenever all
+/// but one property is single-valued.
+class CharacteristicSets {
+ public:
+  CharacteristicSets() = default;
+
+  /// Groups all subjects of `db` by their property set. If the data has
+  /// more than `max_sets` distinct sets, the rarest are merged into their
+  /// closest kept superset... (sets beyond the cap are simply dropped and
+  /// `truncated()` reports it; estimates then under-count).
+  static CharacteristicSets Build(const Database& db, size_t max_sets = 65536);
+
+  /// Number of distinct subjects whose property set contains all of
+  /// `predicates` (sorted or not; duplicates ignored).
+  double EstimateDistinctSubjects(std::vector<PredicateId> predicates) const;
+
+  /// Estimated number of rows of the subject-star query that binds every
+  /// predicate in `predicates` with a distinct object variable.
+  double EstimateStarCardinality(std::vector<PredicateId> predicates) const;
+
+  size_t set_count() const { return sets_.size(); }
+  bool truncated() const { return truncated_; }
+  uint64_t subject_count() const { return subject_count_; }
+
+ private:
+  struct SetStat {
+    std::vector<PredicateId> predicates;   // sorted
+    uint64_t subjects = 0;                 // distinct subjects with this set
+    std::vector<uint64_t> triple_counts;   // per predicate, same order
+  };
+
+  static bool ContainsAll(const std::vector<PredicateId>& superset,
+                          const std::vector<PredicateId>& subset);
+
+  std::vector<SetStat> sets_;
+  uint64_t subject_count_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace parj::storage
+
+#endif  // PARJ_STORAGE_CHAR_SETS_H_

@@ -1,0 +1,201 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace parj::storage {
+
+namespace {
+
+/// Computes intersection size and one-sided pair sums for two sorted
+/// distinct-key columns via a linear merge.
+PairJoinStat IntersectColumns(const TableReplica& left,
+                              const TableReplica& right) {
+  PairJoinStat stat;
+  std::span<const TermId> a = left.keys();
+  std::span<const TermId> b = right.keys();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++stat.intersection;
+      stat.pairs_left += left.RunLength(i);
+      stat.pairs_right += right.RunLength(j);
+      ++i;
+      ++j;
+    }
+  }
+  return stat;
+}
+
+void InitReplicaMeta(const TableReplica& replica, TermId max_resource_id,
+                     const DatabaseOptions& options, ReplicaMeta* meta) {
+  meta->histogram = EquiDepthHistogram::Build(replica.keys(),
+                                              replica.offsets(),
+                                              options.histogram_buckets);
+  if (options.build_id_position_indexes && !replica.empty()) {
+    meta->id_index =
+        index::IdPositionIndex::Build(replica.keys(), max_resource_id);
+    meta->has_index = true;
+  }
+  meta->window_binary = options.default_binary_window;
+  meta->window_index = options.default_index_window;
+  const double gap = replica.AverageKeyGap();
+  meta->threshold_binary =
+      join::WindowToValueThreshold(meta->window_binary, gap);
+  meta->threshold_index = join::WindowToValueThreshold(meta->window_index, gap);
+}
+
+}  // namespace
+
+Result<Database> Database::Build(dict::Dictionary dict,
+                                 std::vector<EncodedTriple> triples,
+                                 const DatabaseOptions& options) {
+  Database db;
+  db.options_ = options;
+  db.dict_ = std::move(dict);
+
+  const size_t predicate_count = db.dict_.predicate_count();
+  std::vector<std::vector<std::pair<TermId, TermId>>> grouped(predicate_count);
+  for (const EncodedTriple& t : triples) {
+    if (t.predicate == kInvalidPredicateId || t.predicate > predicate_count) {
+      return Status::InvalidArgument(
+          "triple has predicate id " + std::to_string(t.predicate) +
+          " outside [1, " + std::to_string(predicate_count) + "]");
+    }
+    if (t.subject == kInvalidTermId || t.object == kInvalidTermId ||
+        t.subject > db.dict_.resource_count() ||
+        t.object > db.dict_.resource_count()) {
+      return Status::InvalidArgument("triple has resource id outside dictionary");
+    }
+    grouped[t.predicate - 1].emplace_back(t.subject, t.object);
+  }
+  triples.clear();
+  triples.shrink_to_fit();
+
+  const TermId max_id = db.dict_.resource_count();
+  db.entries_.resize(predicate_count);
+  for (size_t p = 0; p < predicate_count; ++p) {
+    PropertyEntry& entry = db.entries_[p];
+    entry.table = PropertyTable::Build(std::move(grouped[p]));
+    db.total_triples_ += entry.table.triple_count();
+    InitReplicaMeta(entry.table.so(), max_id, options, &entry.so_meta);
+    InitReplicaMeta(entry.table.os(), max_id, options, &entry.os_meta);
+  }
+
+  if (options.precompute_pairwise_stats) {
+    db.ComputePairStats(options.pairwise_max_columns);
+  }
+  if (options.build_characteristic_sets) {
+    db.char_sets_ =
+        CharacteristicSets::Build(db, options.characteristic_max_sets);
+  }
+  return db;
+}
+
+uint64_t Database::PairKey(PredicateId p1, Role role1, PredicateId p2,
+                           Role role2) {
+  uint64_t a = (static_cast<uint64_t>(p1) << 1) | static_cast<uint64_t>(role1);
+  uint64_t b = (static_cast<uint64_t>(p2) << 1) | static_cast<uint64_t>(role2);
+  if (a > b) std::swap(a, b);
+  return (a << 32) | b;
+}
+
+void Database::ComputePairStats(size_t max_columns) {
+  const size_t columns = entries_.size() * 2;
+  if (columns > max_columns) {
+    PARJ_LOG(Info) << "skipping pairwise stats: " << columns
+                   << " property columns exceed limit " << max_columns;
+    return;
+  }
+  for (size_t p1 = 0; p1 < entries_.size(); ++p1) {
+    for (int r1 = 0; r1 < 2; ++r1) {
+      const TableReplica& left =
+          entries_[p1].table.replica(ReplicaForKeyRole(static_cast<Role>(r1)));
+      for (size_t p2 = p1; p2 < entries_.size(); ++p2) {
+        for (int r2 = 0; r2 < 2; ++r2) {
+          // Enumerate each unordered column pair once.
+          const uint64_t col1 = (p1 << 1) | static_cast<size_t>(r1);
+          const uint64_t col2 = (p2 << 1) | static_cast<size_t>(r2);
+          if (col2 < col1) continue;
+          const TableReplica& right = entries_[p2].table.replica(
+              ReplicaForKeyRole(static_cast<Role>(r2)));
+          PairJoinStat stat = IntersectColumns(left, right);
+          pair_stats_.emplace(
+              PairKey(static_cast<PredicateId>(p1 + 1), static_cast<Role>(r1),
+                      static_cast<PredicateId>(p2 + 1), static_cast<Role>(r2)),
+              stat);
+        }
+      }
+    }
+  }
+  has_pair_stats_ = true;
+}
+
+std::optional<PairJoinStat> Database::GetPairStat(PredicateId p1, Role role1,
+                                                  PredicateId p2,
+                                                  Role role2) const {
+  if (!has_pair_stats_) return std::nullopt;
+  auto it = pair_stats_.find(PairKey(p1, role1, p2, role2));
+  if (it == pair_stats_.end()) return std::nullopt;
+  PairJoinStat stat = it->second;
+  // PairKey normalizes column order; flip the sums when the caller's
+  // (p1, role1) is the bigger column.
+  const uint64_t a =
+      (static_cast<uint64_t>(p1) << 1) | static_cast<uint64_t>(role1);
+  const uint64_t b =
+      (static_cast<uint64_t>(p2) << 1) | static_cast<uint64_t>(role2);
+  if (a > b) std::swap(stat.pairs_left, stat.pairs_right);
+  return stat;
+}
+
+const PropertyEntry& Database::entry(PredicateId pid) const {
+  PARJ_CHECK(pid != kInvalidPredicateId && pid <= entries_.size())
+      << "predicate id out of range: " << pid;
+  return entries_[pid - 1];
+}
+
+const PropertyEntry* Database::FindEntry(PredicateId pid) const {
+  if (pid == kInvalidPredicateId || pid > entries_.size()) return nullptr;
+  return &entries_[pid - 1];
+}
+
+void Database::Calibrate(const join::CalibrationOptions& options) {
+  for (PropertyEntry& entry : entries_) {
+    for (ReplicaKind kind : {ReplicaKind::kSO, ReplicaKind::kOS}) {
+      const TableReplica& replica = entry.table.replica(kind);
+      ReplicaMeta& meta = entry.meta(kind);
+      if (replica.key_count() < 64) continue;  // too small to measure
+      join::CalibrationResult binary = join::CalibrateWindow(
+          replica.keys(), join::CalibrationMode::kVersusBinarySearch, nullptr,
+          options);
+      meta.window_binary = binary.window_positions;
+      meta.threshold_binary = binary.threshold_value;
+      if (meta.has_index) {
+        join::CalibrationResult indexed = join::CalibrateWindow(
+            replica.keys(), join::CalibrationMode::kVersusIndexLookup,
+            &meta.id_index, options);
+        meta.window_index = indexed.window_positions;
+        meta.threshold_index = indexed.threshold_value;
+      }
+    }
+  }
+}
+
+size_t Database::TableMemoryUsage() const {
+  size_t bytes = 0;
+  for (const PropertyEntry& entry : entries_) {
+    bytes += entry.table.MemoryUsage();
+    bytes += entry.so_meta.id_index.MemoryUsage();
+    bytes += entry.os_meta.id_index.MemoryUsage();
+  }
+  bytes += pair_stats_.size() * (sizeof(uint64_t) + sizeof(PairJoinStat) + 16);
+  return bytes;
+}
+
+}  // namespace parj::storage

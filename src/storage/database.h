@@ -1,0 +1,183 @@
+#ifndef PARJ_STORAGE_DATABASE_H_
+#define PARJ_STORAGE_DATABASE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dict/dictionary.h"
+#include "index/id_position_index.h"
+#include "join/calibration.h"
+#include "join/search.h"
+#include "storage/char_sets.h"
+#include "storage/histogram.h"
+#include "storage/property_table.h"
+
+namespace parj::storage {
+
+/// Which column of a property a value comes from.
+enum class Role : uint8_t { kSubject = 0, kObject = 1 };
+
+inline const char* RoleName(Role role) {
+  return role == Role::kSubject ? "subject" : "object";
+}
+
+/// The replica whose key column is `role`.
+inline ReplicaKind ReplicaForKeyRole(Role role) {
+  return role == Role::kSubject ? ReplicaKind::kSO : ReplicaKind::kOS;
+}
+
+/// Precomputed statistics for the join of two property columns
+/// (paper §4.3's "precomputed cardinalities between pairs of properties
+/// used as a corrective step"). For columns A = (p1, role1) and
+/// B = (p2, role2):
+///   intersection  |distinct(A) ∩ distinct(B)|
+///   pairs_left    Σ_{k ∈ ∩} run-length of k in p1's role1-keyed replica
+///   pairs_right   Σ_{k ∈ ∩} run-length of k in p2's role2-keyed replica
+/// The exact cardinality of the two-pattern join A ⋈ B is then
+/// Σ run_A(k)·run_B(k); intersection and the one-sided sums are enough for
+/// the optimizer's per-step estimates and are much cheaper to store.
+struct PairJoinStat {
+  uint64_t intersection = 0;
+  uint64_t pairs_left = 0;
+  uint64_t pairs_right = 0;
+};
+
+/// Derived per-replica metadata: histogram, optional ID-to-Position index,
+/// and the adaptive-search thresholds (window sizes in positions and their
+/// value-distance conversions).
+struct ReplicaMeta {
+  EquiDepthHistogram histogram;
+  index::IdPositionIndex id_index;
+  bool has_index = false;
+
+  /// Calibrated (or default) window sizes, in key-array positions.
+  double window_binary = 200.0;
+  double window_index = 20.0;
+  /// The windows converted to value distances (Algorithm 1 operands).
+  int64_t threshold_binary = 200;
+  int64_t threshold_index = 20;
+
+  /// The threshold for a strategy's fallback method.
+  int64_t ThresholdFor(join::SearchStrategy strategy) const {
+    return (strategy == join::SearchStrategy::kIndex ||
+            strategy == join::SearchStrategy::kAdaptiveIndex)
+               ? threshold_index
+               : threshold_binary;
+  }
+};
+
+/// One property's storage plus metadata for both replicas.
+struct PropertyEntry {
+  PropertyTable table;
+  ReplicaMeta so_meta;
+  ReplicaMeta os_meta;
+
+  const ReplicaMeta& meta(ReplicaKind kind) const {
+    return kind == ReplicaKind::kSO ? so_meta : os_meta;
+  }
+  ReplicaMeta& meta(ReplicaKind kind) {
+    return kind == ReplicaKind::kSO ? so_meta : os_meta;
+  }
+};
+
+/// Build-time options.
+struct DatabaseOptions {
+  /// Equi-depth histogram buckets per replica.
+  size_t histogram_buckets = 64;
+  /// Build ID-to-Position indexes for every replica (paper §4.2; they are
+  /// auxiliary — the kBinary / kAdaptiveBinary strategies ignore them).
+  bool build_id_position_indexes = true;
+  /// Precompute PairJoinStats for all property-column pairs. Skipped when
+  /// the dataset has more than `pairwise_max_columns` property columns
+  /// (2 per property).
+  bool precompute_pairwise_stats = true;
+  size_t pairwise_max_columns = 256;
+  /// Default windows (positions) used before/without calibration. The
+  /// paper's calibrated values on its test machine were ~200 (binary) and
+  /// ~20 (index).
+  double default_binary_window = 200.0;
+  double default_index_window = 20.0;
+  /// Build characteristic-set statistics for star-query cardinality
+  /// estimation (paper §4.3's planned extension; off by default).
+  bool build_characteristic_sets = false;
+  size_t characteristic_max_sets = 65536;
+};
+
+/// An immutable-after-build, in-memory RDF store: dictionary + vertically
+/// partitioned, doubly-replicated property tables + derived metadata
+/// (paper §3). All query-time state lives in the executor, so a Database
+/// can be shared read-only by any number of threads.
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Builds from encoded triples. Duplicate triples are collapsed.
+  /// Predicate IDs in `triples` must be dense in [1, dict.predicate_count()].
+  static Result<Database> Build(dict::Dictionary dict,
+                                std::vector<EncodedTriple> triples,
+                                const DatabaseOptions& options = {});
+
+  /// Runs Algorithm 2 on every replica large enough to measure, replacing
+  /// the default windows/thresholds. Call once after load, before queries
+  /// (paper: "this process takes place after data loading, prior to query
+  /// execution").
+  void Calibrate(const join::CalibrationOptions& options = {});
+
+  const dict::Dictionary& dictionary() const { return dict_; }
+
+  size_t predicate_count() const { return entries_.size(); }
+
+  /// Entry for predicate `pid` (1-based). Asserts on range.
+  const PropertyEntry& entry(PredicateId pid) const;
+
+  /// Entry or nullptr when `pid` is invalid/out of range.
+  const PropertyEntry* FindEntry(PredicateId pid) const;
+
+  uint64_t total_triples() const { return total_triples_; }
+
+  /// Universe for ID-to-Position indexes: the largest resource ID.
+  TermId max_resource_id() const { return dict_.resource_count(); }
+
+  /// Pairwise stat for columns (p1, role1) and (p2, role2), oriented so
+  /// that `pairs_left` refers to (p1, role1). Empty when not precomputed.
+  std::optional<PairJoinStat> GetPairStat(PredicateId p1, Role role1,
+                                          PredicateId p2, Role role2) const;
+
+  bool has_pair_stats() const { return has_pair_stats_; }
+
+  /// Characteristic-set statistics, or nullptr when not built.
+  const CharacteristicSets* characteristic_sets() const {
+    return char_sets_.has_value() ? &*char_sets_ : nullptr;
+  }
+
+  /// Heap bytes of tables + metadata, excluding the dictionary (the paper
+  /// quotes storage "excluding dictionary" separately).
+  size_t TableMemoryUsage() const;
+
+  /// Heap bytes of the dictionary.
+  size_t DictionaryMemoryUsage() const { return dict_.MemoryUsage(); }
+
+ private:
+  static uint64_t PairKey(PredicateId p1, Role role1, PredicateId p2,
+                          Role role2);
+  void ComputePairStats(size_t max_columns);
+
+  dict::Dictionary dict_;
+  std::vector<PropertyEntry> entries_;  // index = predicate id - 1
+  uint64_t total_triples_ = 0;
+  bool has_pair_stats_ = false;
+  std::unordered_map<uint64_t, PairJoinStat> pair_stats_;
+  std::optional<CharacteristicSets> char_sets_;
+  DatabaseOptions options_;
+};
+
+}  // namespace parj::storage
+
+#endif  // PARJ_STORAGE_DATABASE_H_

@@ -1,0 +1,31 @@
+#include "storage/export.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace parj::storage {
+
+Status ExportNTriples(const Database& db, std::ostream& out) {
+  const dict::Dictionary& dict = db.dictionary();
+  for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+    const std::string predicate = dict.DecodePredicate(pid).ToNTriples();
+    const TableReplica& so = db.entry(pid).table.so();
+    for (size_t k = 0; k < so.key_count(); ++k) {
+      const std::string subject = dict.DecodeResource(so.KeyAt(k)).ToNTriples();
+      for (TermId object : so.Run(k)) {
+        out << subject << " " << predicate << " "
+            << dict.DecodeResource(object).ToNTriples() << " .\n";
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failure during N-Triples export");
+  return Status::OK();
+}
+
+Status ExportNTriplesFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return ExportNTriples(db, out);
+}
+
+}  // namespace parj::storage

@@ -1,0 +1,23 @@
+#ifndef PARJ_STORAGE_EXPORT_H_
+#define PARJ_STORAGE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace parj::storage {
+
+/// Serializes the whole store as N-Triples (one statement per line,
+/// grouped by predicate in S-O order). The inverse of
+/// ParjEngine::FromNTriplesFile — export/import round-trips exactly
+/// (modulo statement order, which carries no meaning in an RDF graph).
+Status ExportNTriples(const Database& db, std::ostream& out);
+
+/// Convenience file wrapper.
+Status ExportNTriplesFile(const Database& db, const std::string& path);
+
+}  // namespace parj::storage
+
+#endif  // PARJ_STORAGE_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+
+namespace parj::storage {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::span<const TermId> keys,
+                                             std::span<const uint64_t> offsets,
+                                             size_t bucket_count) {
+  EquiDepthHistogram h;
+  h.total_keys_ = keys.size();
+  h.total_pairs_ = keys.empty() ? 0 : offsets[keys.size()];
+  if (keys.empty()) return h;
+
+  bucket_count = std::max<size_t>(1, std::min(bucket_count, keys.size()));
+  const size_t depth = (keys.size() + bucket_count - 1) / bucket_count;
+
+  h.boundaries_.push_back(keys.front());
+  h.cum_keys_.push_back(0);
+  h.cum_pairs_.push_back(0);
+  for (size_t start = 0; start < keys.size(); start += depth) {
+    size_t end = std::min(start + depth, keys.size());  // exclusive
+    h.boundaries_.push_back(keys[end - 1]);
+    h.cum_keys_.push_back(end);
+    h.cum_pairs_.push_back(offsets[end]);
+  }
+  return h;
+}
+
+double EquiDepthHistogram::EstimateKeysLessEqual(TermId x) const {
+  if (boundaries_.empty()) return 0.0;
+  if (x < boundaries_.front()) return 0.0;
+  if (x >= boundaries_.back()) return static_cast<double>(total_keys_);
+  // Find the bucket whose upper boundary is >= x.
+  auto it = std::lower_bound(boundaries_.begin() + 1, boundaries_.end(), x);
+  size_t bucket = static_cast<size_t>(it - boundaries_.begin()) - 1;
+  TermId lo = boundaries_[bucket];
+  TermId hi = boundaries_[bucket + 1];
+  double frac = hi > lo ? static_cast<double>(x - lo) /
+                              static_cast<double>(hi - lo)
+                        : 1.0;
+  double keys_in_bucket =
+      static_cast<double>(cum_keys_[bucket + 1] - cum_keys_[bucket]);
+  return static_cast<double>(cum_keys_[bucket]) + frac * keys_in_bucket;
+}
+
+double EquiDepthHistogram::EstimatePairsLessEqual(TermId x) const {
+  if (boundaries_.empty()) return 0.0;
+  if (x < boundaries_.front()) return 0.0;
+  if (x >= boundaries_.back()) return static_cast<double>(total_pairs_);
+  auto it = std::lower_bound(boundaries_.begin() + 1, boundaries_.end(), x);
+  size_t bucket = static_cast<size_t>(it - boundaries_.begin()) - 1;
+  TermId lo = boundaries_[bucket];
+  TermId hi = boundaries_[bucket + 1];
+  double frac = hi > lo ? static_cast<double>(x - lo) /
+                              static_cast<double>(hi - lo)
+                        : 1.0;
+  double pairs_in_bucket =
+      static_cast<double>(cum_pairs_[bucket + 1] - cum_pairs_[bucket]);
+  return static_cast<double>(cum_pairs_[bucket]) + frac * pairs_in_bucket;
+}
+
+double EquiDepthHistogram::EstimateKeysInRange(TermId lo, TermId hi) const {
+  if (hi < lo) return 0.0;
+  double upper = EstimateKeysLessEqual(hi);
+  double lower = lo == 0 ? 0.0 : EstimateKeysLessEqual(lo - 1);
+  return std::max(0.0, upper - lower);
+}
+
+double EquiDepthHistogram::EstimatePairsInRange(TermId lo, TermId hi) const {
+  if (hi < lo) return 0.0;
+  double upper = EstimatePairsLessEqual(hi);
+  double lower = lo == 0 ? 0.0 : EstimatePairsLessEqual(lo - 1);
+  return std::max(0.0, upper - lower);
+}
+
+double EquiDepthHistogram::EstimateRunLength(TermId x) const {
+  if (total_keys_ == 0) return 0.0;
+  double global =
+      static_cast<double>(total_pairs_) / static_cast<double>(total_keys_);
+  if (boundaries_.empty() || x < boundaries_.front() ||
+      x > boundaries_.back()) {
+    return global;
+  }
+  auto it = std::lower_bound(boundaries_.begin() + 1, boundaries_.end(), x);
+  size_t bucket = static_cast<size_t>(it - boundaries_.begin()) - 1;
+  uint64_t keys = cum_keys_[bucket + 1] - cum_keys_[bucket];
+  uint64_t pairs = cum_pairs_[bucket + 1] - cum_pairs_[bucket];
+  return keys == 0 ? global
+                   : static_cast<double>(pairs) / static_cast<double>(keys);
+}
+
+double EquiDepthHistogram::OverlapKeyFraction(TermId lo, TermId hi) const {
+  if (total_keys_ == 0) return 0.0;
+  return EstimateKeysInRange(lo, hi) / static_cast<double>(total_keys_);
+}
+
+}  // namespace parj::storage

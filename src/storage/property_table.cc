@@ -1,0 +1,60 @@
+#include "storage/property_table.h"
+
+#include <algorithm>
+
+namespace parj::storage {
+
+TableReplica TableReplica::Build(
+    std::vector<std::pair<TermId, TermId>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  TableReplica replica;
+  replica.values_.reserve(pairs.size());
+  size_t i = 0;
+  while (i < pairs.size()) {
+    TermId key = pairs[i].first;
+    replica.keys_.push_back(key);
+    replica.offsets_.push_back(replica.values_.size());
+    while (i < pairs.size() && pairs[i].first == key) {
+      replica.values_.push_back(pairs[i].second);
+      ++i;
+    }
+  }
+  replica.offsets_.push_back(replica.values_.size());
+  if (replica.keys_.empty()) {
+    // Keep the sentinel invariant offsets_.size() == keys_.size() + 1.
+    replica.offsets_.assign(1, 0);
+  }
+  replica.keys_.shrink_to_fit();
+  replica.offsets_.shrink_to_fit();
+  replica.values_.shrink_to_fit();
+  return replica;
+}
+
+double TableReplica::AverageKeyGap() const {
+  if (keys_.size() < 2 || keys_.back() <= keys_.front()) return 1.0;
+  return static_cast<double>(keys_.back() - keys_.front()) /
+         static_cast<double>(keys_.size());
+}
+
+size_t TableReplica::FindKey(TermId key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return SIZE_MAX;
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+PropertyTable PropertyTable::Build(
+    std::vector<std::pair<TermId, TermId>> subject_object_pairs) {
+  PropertyTable table;
+  std::vector<std::pair<TermId, TermId>> reversed;
+  reversed.reserve(subject_object_pairs.size());
+  for (const auto& [s, o] : subject_object_pairs) {
+    reversed.emplace_back(o, s);
+  }
+  table.so_ = TableReplica::Build(std::move(subject_object_pairs));
+  table.os_ = TableReplica::Build(std::move(reversed));
+  return table;
+}
+
+}  // namespace parj::storage

@@ -1,0 +1,189 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace parj::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'R', 'J', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kMaxStringLength = 1u << 24;  // 16 MB per term, sanity cap
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint32_t> ReadU32(std::istream& in) {
+  char buf[4];
+  if (!in.read(buf, 4)) return Status::IoError("truncated snapshot (u32)");
+  uint32_t v;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+Result<uint64_t> ReadU64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) return Status::IoError("truncated snapshot (u64)");
+  uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+Result<std::string> ReadString(std::istream& in) {
+  PARJ_ASSIGN_OR_RETURN(uint32_t length, ReadU32(in));
+  if (length > kMaxStringLength) {
+    return Status::ParseError("snapshot string length exceeds sanity cap");
+  }
+  std::string s(length, '\0');
+  if (length > 0 && !in.read(s.data(), length)) {
+    return Status::IoError("truncated snapshot (string)");
+  }
+  return s;
+}
+
+void WriteTerm(std::ostream& out, const rdf::Term& term) {
+  out.put(static_cast<char>(term.kind()));
+  WriteString(out, term.lexical());
+  WriteString(out, term.datatype());
+  WriteString(out, term.lang());
+}
+
+Result<rdf::Term> ReadTerm(std::istream& in) {
+  int kind_byte = in.get();
+  if (kind_byte == EOF) return Status::IoError("truncated snapshot (term)");
+  PARJ_ASSIGN_OR_RETURN(std::string lexical, ReadString(in));
+  PARJ_ASSIGN_OR_RETURN(std::string datatype, ReadString(in));
+  PARJ_ASSIGN_OR_RETURN(std::string lang, ReadString(in));
+  switch (static_cast<rdf::TermKind>(kind_byte)) {
+    case rdf::TermKind::kIri:
+      return rdf::Term::Iri(std::move(lexical));
+    case rdf::TermKind::kBlank:
+      return rdf::Term::Blank(std::move(lexical));
+    case rdf::TermKind::kLiteral:
+      if (!lang.empty()) {
+        return rdf::Term::LangLiteral(std::move(lexical), std::move(lang));
+      }
+      if (!datatype.empty()) {
+        return rdf::Term::TypedLiteral(std::move(lexical),
+                                       std::move(datatype));
+      }
+      return rdf::Term::Literal(std::move(lexical));
+  }
+  return Status::ParseError("snapshot term has unknown kind " +
+                            std::to_string(kind_byte));
+}
+
+}  // namespace
+
+Status WriteSnapshot(const Database& db, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU32(out, 0);  // flags, reserved
+
+  const dict::Dictionary& dict = db.dictionary();
+  WriteU32(out, dict.resource_count());
+  for (TermId id = 1; id <= dict.resource_count(); ++id) {
+    WriteTerm(out, dict.DecodeResource(id));
+  }
+  WriteU32(out, dict.predicate_count());
+  for (PredicateId id = 1; id <= dict.predicate_count(); ++id) {
+    WriteTerm(out, dict.DecodePredicate(id));
+  }
+
+  WriteU64(out, db.total_triples());
+  for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+    const TableReplica& so = db.entry(pid).table.so();
+    for (size_t k = 0; k < so.key_count(); ++k) {
+      for (TermId o : so.Run(k)) {
+        WriteU32(out, so.KeyAt(k));
+        WriteU32(out, pid);
+        WriteU32(out, o);
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failure while saving snapshot");
+  return Status::OK();
+}
+
+Status SaveSnapshot(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteSnapshot(db, out);
+}
+
+Result<Database> ReadSnapshot(std::istream& in,
+                              const DatabaseOptions& options) {
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a PARJ snapshot (bad magic)");
+  }
+  PARJ_ASSIGN_OR_RETURN(uint32_t version, ReadU32(in));
+  if (version != kVersion) {
+    return Status::Unsupported("snapshot version " + std::to_string(version) +
+                               " (supported: " + std::to_string(kVersion) +
+                               ")");
+  }
+  PARJ_ASSIGN_OR_RETURN(uint32_t flags, ReadU32(in));
+  if (flags != 0) {
+    return Status::Unsupported("snapshot uses unknown flags");
+  }
+
+  dict::Dictionary dict;
+  PARJ_ASSIGN_OR_RETURN(uint32_t resource_count, ReadU32(in));
+  for (uint32_t i = 0; i < resource_count; ++i) {
+    PARJ_ASSIGN_OR_RETURN(rdf::Term term, ReadTerm(in));
+    TermId id = dict.EncodeResource(term);
+    if (id != i + 1) {
+      return Status::ParseError("snapshot contains duplicate resource terms");
+    }
+  }
+  PARJ_ASSIGN_OR_RETURN(uint32_t predicate_count, ReadU32(in));
+  for (uint32_t i = 0; i < predicate_count; ++i) {
+    PARJ_ASSIGN_OR_RETURN(rdf::Term term, ReadTerm(in));
+    PredicateId id = dict.EncodePredicate(term);
+    if (id != i + 1) {
+      return Status::ParseError("snapshot contains duplicate predicate terms");
+    }
+  }
+
+  PARJ_ASSIGN_OR_RETURN(uint64_t triple_count, ReadU64(in));
+  std::vector<EncodedTriple> triples;
+  // Do not trust the header for a giant up-front allocation; a corrupted
+  // count will fail on the truncated read instead.
+  triples.reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    EncodedTriple t;
+    PARJ_ASSIGN_OR_RETURN(t.subject, ReadU32(in));
+    PARJ_ASSIGN_OR_RETURN(t.predicate, ReadU32(in));
+    PARJ_ASSIGN_OR_RETURN(t.object, ReadU32(in));
+    triples.push_back(t);
+  }
+  return Database::Build(std::move(dict), std::move(triples), options);
+}
+
+Result<Database> LoadSnapshot(const std::string& path,
+                              const DatabaseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadSnapshot(in, options);
+}
+
+}  // namespace parj::storage

@@ -1,0 +1,43 @@
+#ifndef PARJ_STORAGE_SNAPSHOT_H_
+#define PARJ_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace parj::storage {
+
+/// Binary snapshot persistence. The paper's prototype keeps its data in
+/// SQLite tables and rebuilds the in-memory structures at start-up; this
+/// module provides the equivalent native path: a snapshot stores the
+/// dictionary and the encoded triples in a compact binary format, and
+/// loading rebuilds the property tables, indexes and statistics (which is
+/// fast and keeps the format independent of layout details).
+///
+/// Format (little-endian):
+///   magic "PARJSNAP"  u32 version  u32 flags
+///   u32 resource_count  { u8 kind, varlen lexical, varlen datatype,
+///                         varlen lang } per resource (in ID order)
+///   u32 predicate_count { ... } per predicate
+///   u64 triple_count    { u32 s, u32 p, u32 o } per triple
+/// Strings are u32 length + bytes.
+
+/// Writes `db`'s dictionary and triples to `out`.
+Status WriteSnapshot(const Database& db, std::ostream& out);
+
+/// Convenience file wrapper.
+Status SaveSnapshot(const Database& db, const std::string& path);
+
+/// Reads a snapshot and rebuilds a Database with `options`.
+Result<Database> ReadSnapshot(std::istream& in,
+                              const DatabaseOptions& options = {});
+
+/// Convenience file wrapper.
+Result<Database> LoadSnapshot(const std::string& path,
+                              const DatabaseOptions& options = {});
+
+}  // namespace parj::storage
+
+#endif  // PARJ_STORAGE_SNAPSHOT_H_

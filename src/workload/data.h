@@ -1,0 +1,27 @@
+#ifndef PARJ_WORKLOAD_DATA_H_
+#define PARJ_WORKLOAD_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dict/dictionary.h"
+
+namespace parj::workload {
+
+/// A generated dataset: dictionary plus encoded triples, ready for
+/// Database::Build / ParjEngine::FromEncoded without string round-trips.
+struct GeneratedData {
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> triples;
+};
+
+/// A benchmark query with its workload name (e.g. "LUBM3", "IL-2-7").
+struct NamedQuery {
+  std::string name;
+  std::string sparql;
+};
+
+}  // namespace parj::workload
+
+#endif  // PARJ_WORKLOAD_DATA_H_

@@ -1,0 +1,44 @@
+#ifndef PARJ_WORKLOAD_WATDIV_H_
+#define PARJ_WORKLOAD_WATDIV_H_
+
+#include "workload/data.h"
+
+namespace parj::workload {
+
+/// Options for the WatDiv-shaped generator. One scale unit produces
+/// roughly 40k triples (1000 users, 250 products plus their reviews,
+/// purchases, offers and social edges). The paper's experiments use
+/// WatDiv scale 1000 (~110M triples); container-friendly scales keep the
+/// same workload taxonomy and stress points.
+struct WatdivOptions {
+  int scale = 1;
+  uint64_t seed = 7;
+};
+
+/// From-scratch generator reproducing the WatDiv schema shape: a social
+/// commerce graph of users (follows / friendOf social edges with Zipf
+/// popularity, likes, subscriptions, purchases, demographics), products
+/// (genres, captions, labels, reviews), offers sold by retailers and
+/// websites. Entity IRIs are deterministic (wsdbm:User0, wsdbm:Product7,
+/// ...), so the query templates below reference constants valid at every
+/// scale.
+GeneratedData GenerateWatdiv(const WatdivOptions& options);
+
+/// WatDiv basic testing workload: linear (L1-L5), star (S1-S7), snowflake
+/// (F1-F5) and complex (C1-C3) templates, matching Table 3's query grid.
+std::vector<NamedQuery> WatdivBasicQueries();
+
+/// Incremental linear extension: IL-1-k and IL-2-k walk paths of length
+/// k = 5..10 from a constant start (a user / a retailer); IL-3-k walks the
+/// same paths unbounded — the huge-result stress series of Table 4.
+std::vector<NamedQuery> WatdivIncrementalLinearQueries();
+
+/// Mixed linear extension: ML-1-k (from a constant user) and ML-2-k
+/// (unbounded) alternate forward and backward traversals, producing the
+/// subject-object and object-object join chains that force exchange-based
+/// systems to rehash large intermediates (paper §5.2, query ML1-7).
+std::vector<NamedQuery> WatdivMixedLinearQueries();
+
+}  // namespace parj::workload
+
+#endif  // PARJ_WORKLOAD_WATDIV_H_

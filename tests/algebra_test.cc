@@ -1,0 +1,124 @@
+#include "query/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace parj::query {
+namespace {
+
+using test::MakeDatabase;
+using test::Spec;
+
+const Spec kData = {
+    {"a", "p", "b"},
+    {"b", "q", "c"},
+};
+
+EncodedQuery MustEncode(const std::string& sparql,
+                        const storage::Database& db) {
+  auto ast = ParseQuery(sparql);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto enc = EncodeQuery(*ast, db);
+  EXPECT_TRUE(enc.ok()) << enc.status().ToString();
+  return std::move(enc).value();
+}
+
+TEST(EncodeQueryTest, InternsVariablesInFirstSeenOrder) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q = MustEncode("SELECT ?y WHERE { ?x <p> ?y . ?y <q> ?z }", db);
+  EXPECT_EQ(q.variable_count, 3);
+  ASSERT_EQ(q.var_names.size(), 3u);
+  EXPECT_EQ(q.var_names[0], "x");
+  EXPECT_EQ(q.var_names[1], "y");
+  EXPECT_EQ(q.var_names[2], "z");
+  // Shared variable uses the same id.
+  EXPECT_EQ(q.patterns[0].object.var, q.patterns[1].subject.var);
+  ASSERT_EQ(q.projection.size(), 1u);
+  EXPECT_EQ(q.projection[0], 1);  // ?y
+}
+
+TEST(EncodeQueryTest, SelectStarProjectsAllInOrder) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q = MustEncode("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }", db);
+  ASSERT_EQ(q.projection.size(), 3u);
+  EXPECT_EQ(q.projection[0], 0);
+  EXPECT_EQ(q.projection[1], 1);
+  EXPECT_EQ(q.projection[2], 2);
+}
+
+TEST(EncodeQueryTest, ConstantsLookUpDictionary) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q = MustEncode("SELECT ?x WHERE { ?x <p> <b> }", db);
+  EXPECT_FALSE(q.known_empty);
+  EXPECT_TRUE(q.patterns[0].object.is_constant());
+  EXPECT_EQ(q.patterns[0].object.constant,
+            db.dictionary().LookupResource(rdf::Term::Iri("b")));
+}
+
+TEST(EncodeQueryTest, UnknownResourceMarksKnownEmpty) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q = MustEncode("SELECT ?x WHERE { ?x <p> <nosuch> }", db);
+  EXPECT_TRUE(q.known_empty);
+}
+
+TEST(EncodeQueryTest, UnknownPredicateMarksKnownEmpty) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q = MustEncode("SELECT ?x WHERE { ?x <nosuch> ?y }", db);
+  EXPECT_TRUE(q.known_empty);
+}
+
+TEST(EncodeQueryTest, VariablePredicateUnsupported) {
+  storage::Database db = MakeDatabase(kData);
+  auto ast = ParseQuery("SELECT ?x WHERE { ?x ?p ?y }");
+  ASSERT_TRUE(ast.ok());
+  auto enc = EncodeQuery(*ast, db);
+  ASSERT_FALSE(enc.ok());
+  EXPECT_EQ(enc.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(EncodeQueryTest, ProjectingUnknownVariableFails) {
+  storage::Database db = MakeDatabase(kData);
+  auto ast = ParseQuery("SELECT ?nope WHERE { ?x <p> ?y }");
+  ASSERT_TRUE(ast.ok());
+  auto enc = EncodeQuery(*ast, db);
+  ASSERT_FALSE(enc.ok());
+  EXPECT_EQ(enc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EncodeQueryTest, DistinctAndLimitCarriedThrough) {
+  storage::Database db = MakeDatabase(kData);
+  EncodedQuery q =
+      MustEncode("SELECT DISTINCT ?x WHERE { ?x <p> ?y } LIMIT 9", db);
+  EXPECT_TRUE(q.distinct);
+  EXPECT_EQ(q.limit, 9u);
+}
+
+TEST(EncodeQueryTest, EmptyPatternsRejected) {
+  storage::Database db = MakeDatabase(kData);
+  SelectQueryAst ast;
+  ast.select_all = true;
+  EXPECT_FALSE(EncodeQuery(ast, db).ok());
+}
+
+TEST(PatternTermTest, Constructors) {
+  PatternTerm v = PatternTerm::Variable(3);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_EQ(v.var, 3);
+  PatternTerm c = PatternTerm::Constant(17);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant, 17u);
+}
+
+TEST(EncodedPatternTest, SlotSelection) {
+  EncodedPattern p;
+  p.subject = PatternTerm::Variable(0);
+  p.object = PatternTerm::Constant(5);
+  EXPECT_TRUE(p.slot(storage::Role::kSubject).is_variable());
+  EXPECT_TRUE(p.slot(storage::Role::kObject).is_constant());
+}
+
+}  // namespace
+}  // namespace parj::query

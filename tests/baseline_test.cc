@@ -1,0 +1,192 @@
+#include "baseline/baseline_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/exchange_engine.h"
+#include "baseline/hash_join_engine.h"
+#include "baseline/naive_engine.h"
+#include "baseline/sort_merge_engine.h"
+#include "common/rng.h"
+#include "join/executor.h"
+#include "query/optimizer.h"
+#include "test_util.h"
+
+namespace parj::baseline {
+namespace {
+
+using test::Encode;
+using test::MakeDatabase;
+using test::Spec;
+using test::ToSortedRows;
+
+const Spec kPaperExample = {
+    {"ProfessorA", "teaches", "Mathematics"},
+    {"ProfessorB", "teaches", "Chemistry"},
+    {"ProfessorC", "teaches", "Literature"},
+    {"ProfessorA", "teaches", "Physics"},
+    {"ProfessorA", "worksFor", "University1"},
+    {"ProfessorB", "worksFor", "University2"},
+    {"ProfessorC", "worksFor", "University2"},
+};
+
+std::vector<std::vector<TermId>> RunEngine(const BaselineEngine& engine,
+                                     const query::EncodedQuery& q) {
+  auto r = engine.Execute(q);
+  EXPECT_TRUE(r.ok()) << engine.name() << ": " << r.status().ToString();
+  return ToSortedRows(r->rows, r->column_count);
+}
+
+TEST(NaiveEngineTest, PaperExample) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  NaiveEngine naive(&db);
+  auto r = naive.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 4u);
+}
+
+TEST(NaiveEngineTest, DistinctAndLimit) {
+  auto db = MakeDatabase({{"a", "p", "x"}, {"a", "p", "y"}, {"b", "p", "x"}});
+  NaiveEngine naive(&db);
+  auto distinct = naive.Execute(Encode("SELECT DISTINCT ?s WHERE { ?s <p> ?o }", db));
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->row_count, 2u);
+  auto limited =
+      naive.Execute(Encode("SELECT ?s WHERE { ?s <p> ?o } LIMIT 2", db));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->row_count, 2u);
+}
+
+TEST(NaiveEngineTest, KnownEmpty) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode("SELECT ?x WHERE { ?x <teaches> <nosuch> }", db);
+  NaiveEngine naive(&db);
+  auto r = naive.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 0u);
+}
+
+TEST(HashJoinEngineTest, MatchesNaive) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  NaiveEngine naive(&db);
+  HashJoinEngine hash(&db);
+  EXPECT_EQ(RunEngine(naive, q), RunEngine(hash, q));
+}
+
+TEST(HashJoinEngineTest, ReportsPeakIntermediate) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  HashJoinEngine hash(&db);
+  auto r = hash.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->peak_intermediate, r->row_count);
+}
+
+TEST(SortMergeEngineTest, MatchesNaive) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  NaiveEngine naive(&db);
+  SortMergeEngine merge(&db);
+  EXPECT_EQ(RunEngine(naive, q), RunEngine(merge, q));
+}
+
+TEST(ExchangeEngineTest, MatchesNaive) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  NaiveEngine naive(&db);
+  ExchangeEngine exchange(&db, {.num_workers = 3});
+  EXPECT_EQ(RunEngine(naive, q), RunEngine(exchange, q));
+}
+
+TEST(ExchangeEngineTest, CountsCommunication) {
+  Spec spec;
+  for (int i = 0; i < 200; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "m" + std::to_string(i)});
+    spec.push_back({"m" + std::to_string(i), "q", "t" + std::to_string(i % 3)});
+  }
+  auto db = MakeDatabase(spec);
+  auto q = Encode("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }", db);
+  ExchangeEngine exchange(&db, {.num_workers = 4});
+  auto r = exchange.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 200u);
+  // One repartition plus the final gather must move tuples around.
+  EXPECT_GT(r->exchanged_tuples, 0u);
+  EXPECT_GT(r->barriers, 1u);
+}
+
+TEST(ExchangeEngineTest, SingleWorkerDegenerates) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?y ?z WHERE { ?x <teaches> ?z . ?x <worksFor> ?y }", db);
+  NaiveEngine naive(&db);
+  ExchangeEngine exchange(&db, {.num_workers = 1});
+  EXPECT_EQ(RunEngine(naive, q), RunEngine(exchange, q));
+}
+
+TEST(BaselineEnginesTest, CartesianProducts) {
+  auto db = MakeDatabase({{"a", "p", "b"}, {"c", "p", "d"},
+                          {"x", "q", "y"}, {"z", "q", "w"}});
+  auto q = Encode("SELECT * WHERE { ?a <p> ?b . ?c <q> ?d }", db);
+  NaiveEngine naive(&db);
+  HashJoinEngine hash(&db);
+  SortMergeEngine merge(&db);
+  ExchangeEngine exchange(&db, {.num_workers = 2});
+  auto expected = RunEngine(naive, q);
+  EXPECT_EQ(expected.size(), 4u);
+  EXPECT_EQ(RunEngine(hash, q), expected);
+  EXPECT_EQ(RunEngine(merge, q), expected);
+  EXPECT_EQ(RunEngine(exchange, q), expected);
+}
+
+TEST(BaselineEnginesTest, SelfJoinVariable) {
+  auto db = MakeDatabase({{"a", "p", "a"}, {"a", "p", "b"}, {"c", "p", "c"}});
+  auto q = Encode("SELECT ?x WHERE { ?x <p> ?x }", db);
+  NaiveEngine naive(&db);
+  auto expected = RunEngine(naive, q);
+  EXPECT_EQ(expected.size(), 2u);
+  HashJoinEngine hash(&db);
+  SortMergeEngine merge(&db);
+  ExchangeEngine exchange(&db, {.num_workers = 2});
+  EXPECT_EQ(RunEngine(hash, q), expected);
+  EXPECT_EQ(RunEngine(merge, q), expected);
+  EXPECT_EQ(RunEngine(exchange, q), expected);
+}
+
+TEST(GreedyPatternOrderTest, ConstantsFirstThenConnected) {
+  auto db = MakeDatabase(kPaperExample);
+  auto q = Encode(
+      "SELECT ?x ?z WHERE { ?x <teaches> ?z . ?x <worksFor> <University2> }",
+      db);
+  auto order = internal::GreedyPatternOrder(db, q);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // the constant-filtered pattern leads
+}
+
+TEST(PatternPairsTest, FiltersConstants) {
+  auto db = MakeDatabase(kPaperExample);
+  {
+    auto q = Encode("SELECT ?z WHERE { <ProfessorA> <teaches> ?z }", db);
+    auto pairs = internal::PatternPairs(db, q.patterns[0]);
+    EXPECT_EQ(pairs.size(), 2u);
+  }
+  {
+    auto q = Encode("SELECT ?x WHERE { ?x <worksFor> <University2> }", db);
+    auto pairs = internal::PatternPairs(db, q.patterns[0]);
+    EXPECT_EQ(pairs.size(), 2u);
+  }
+  {
+    auto q = Encode("SELECT ?x ?y WHERE { ?x <teaches> ?y }", db);
+    auto pairs = internal::PatternPairs(db, q.patterns[0]);
+    EXPECT_EQ(pairs.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace parj::baseline

@@ -1,0 +1,47 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace parj {
+namespace {
+
+TEST(PopCountTest, Basics) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(1), 1);
+  EXPECT_EQ(PopCount64(~uint64_t{0}), 64);
+  EXPECT_EQ(PopCount64(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+TEST(PopCountBelowTest, CountsStrictlyBelowBit) {
+  const uint64_t word = 0b10110101;
+  EXPECT_EQ(PopCountBelow(word, 0), 0);
+  EXPECT_EQ(PopCountBelow(word, 1), 1);   // bit 0 set
+  EXPECT_EQ(PopCountBelow(word, 2), 1);   // bit 1 clear
+  EXPECT_EQ(PopCountBelow(word, 3), 2);   // bit 2 set
+  EXPECT_EQ(PopCountBelow(word, 8), 5);
+  EXPECT_EQ(PopCountBelow(word, 64), 5);
+}
+
+TEST(PopCountBelowTest, FullWord) {
+  EXPECT_EQ(PopCountBelow(~uint64_t{0}, 64), 64);
+  EXPECT_EQ(PopCountBelow(~uint64_t{0}, 63), 63);
+}
+
+TEST(NextPowerOfTwoTest, Basics) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1023), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FloorLog2Test, Basics) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1025), 10);
+}
+
+}  // namespace
+}  // namespace parj

@@ -1,0 +1,148 @@
+#include "sim/cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/instrumented_memory.h"
+
+namespace parj::sim {
+namespace {
+
+CacheLevelConfig TinyLevel(size_t lines, size_t ways) {
+  CacheLevelConfig cfg;
+  cfg.line_bytes = 64;
+  cfg.associativity = ways;
+  cfg.size_bytes = lines * 64;
+  return cfg;
+}
+
+TEST(CacheLevelTest, HitAfterMiss) {
+  CacheLevel level(TinyLevel(8, 2));
+  EXPECT_FALSE(level.Access(5));
+  EXPECT_TRUE(level.Access(5));
+  EXPECT_EQ(level.misses(), 1u);
+  EXPECT_EQ(level.hits(), 1u);
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet) {
+  // Direct-mapped-ish: 2 sets x 2 ways; lines 0, 2, 4 all map to set 0.
+  CacheLevel level(TinyLevel(4, 2));
+  ASSERT_EQ(level.set_count(), 2u);
+  level.Access(0);
+  level.Access(2);
+  level.Access(0);      // 0 is now MRU
+  level.Access(4);      // evicts 2 (LRU)
+  EXPECT_TRUE(level.Access(0));
+  EXPECT_TRUE(level.Access(4));
+  EXPECT_FALSE(level.Access(2));  // was evicted
+}
+
+TEST(CacheLevelTest, ResetClearsEverything) {
+  CacheLevel level(TinyLevel(8, 2));
+  level.Access(1);
+  level.Access(1);
+  level.Reset();
+  EXPECT_EQ(level.hits(), 0u);
+  EXPECT_EQ(level.misses(), 0u);
+  EXPECT_FALSE(level.Access(1));
+}
+
+TEST(CacheHierarchyTest, ColdMissCostsMemoryLatency) {
+  CacheHierarchyConfig cfg;
+  CacheHierarchy cache(cfg);
+  int x = 0;
+  uint32_t cycles = cache.Access(&x, sizeof(x));
+  EXPECT_EQ(cycles, cfg.memory_latency + cfg.op_cycles_per_access);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.accesses, 1u);
+  EXPECT_EQ(stats.l1_misses, 1u);
+  EXPECT_EQ(stats.l2_misses, 1u);
+  EXPECT_EQ(stats.l3_misses, 1u);
+}
+
+TEST(CacheHierarchyTest, WarmHitCostsL1Latency) {
+  CacheHierarchyConfig cfg;
+  CacheHierarchy cache(cfg);
+  int x = 0;
+  cache.Access(&x, sizeof(x));
+  uint32_t cycles = cache.Access(&x, sizeof(x));
+  EXPECT_EQ(cycles, cfg.l1_latency + cfg.op_cycles_per_access);
+  EXPECT_EQ(cache.stats().l1_misses, 1u);
+}
+
+TEST(CacheHierarchyTest, SameLineSharesFill) {
+  CacheHierarchyConfig cfg;
+  CacheHierarchy cache(cfg);
+  alignas(64) int arr[16] = {};
+  cache.Access(&arr[0], 4);
+  uint32_t cycles = cache.Access(&arr[1], 4);  // same 64B line
+  EXPECT_EQ(cycles, cfg.l1_latency + cfg.op_cycles_per_access);
+}
+
+TEST(CacheHierarchyTest, StraddlingAccessTouchesTwoLines) {
+  CacheHierarchyConfig cfg;
+  CacheHierarchy cache(cfg);
+  alignas(64) char buf[128] = {};
+  cache.Access(buf + 60, 8);  // spans two lines
+  EXPECT_EQ(cache.stats().accesses, 2u);
+}
+
+TEST(CacheHierarchyTest, L1EvictionStillHitsL2) {
+  CacheHierarchyConfig cfg;
+  cfg.l1 = TinyLevel(4, 1);       // 4 sets, direct mapped: tiny L1
+  cfg.l2 = TinyLevel(1024, 8);
+  cfg.l3 = TinyLevel(8192, 8);
+  CacheHierarchy cache(cfg);
+  std::vector<char> data(64 * 64);
+  // Touch 8 lines mapping over the 4 L1 sets twice, then revisit.
+  for (int i = 0; i < 8; ++i) cache.Access(&data[i * 64], 1);
+  uint32_t cycles = cache.Access(&data[0], 1);  // evicted from L1, in L2
+  EXPECT_EQ(cycles, cfg.l2_latency + cfg.op_cycles_per_access);
+}
+
+TEST(CacheHierarchyTest, ScanBeatsRandomOnMisses) {
+  CacheHierarchyConfig cfg;
+  cfg.l1 = TinyLevel(64, 8);
+  cfg.l2 = TinyLevel(256, 8);
+  cfg.l3 = TinyLevel(1024, 8);
+  std::vector<uint32_t> data(1 << 18);
+
+  CacheHierarchy scan_cache(cfg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    scan_cache.Access(&data[i], 4);
+  }
+  CacheHierarchy random_cache(cfg);
+  size_t idx = 12345;
+  for (size_t i = 0; i < data.size(); ++i) {
+    idx = (idx * 1103515245 + 12345) % data.size();
+    random_cache.Access(&data[idx], 4);
+  }
+  // A sequential scan misses once per 16 elements (64B line / 4B);
+  // random access misses nearly always in a tiny cache.
+  EXPECT_LT(scan_cache.stats().l1_misses * 4,
+            random_cache.stats().l1_misses);
+  EXPECT_LT(scan_cache.stats().cycles, random_cache.stats().cycles);
+}
+
+TEST(CacheHierarchyTest, ResetClearsStats) {
+  CacheHierarchy cache;
+  int x;
+  cache.Access(&x, 4);
+  cache.Reset();
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.accesses, 0u);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_EQ(stats.l1_misses, 0u);
+}
+
+TEST(InstrumentedMemoryTest, LoadsValueAndRecords) {
+  CacheHierarchy cache;
+  InstrumentedMemory mem{&cache};
+  uint64_t value = 0xdeadbeef;
+  EXPECT_EQ(mem.Load(&value), 0xdeadbeefu);
+  EXPECT_EQ(cache.stats().accesses, 1u);
+}
+
+}  // namespace
+}  // namespace parj::sim

@@ -1,0 +1,115 @@
+#include "join/calibration.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace parj::join {
+namespace {
+
+std::vector<TermId> MakeKeys(size_t count, TermId stride) {
+  std::vector<TermId> keys;
+  keys.reserve(count);
+  TermId v = 1;
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(v);
+    v += stride;
+  }
+  return keys;
+}
+
+TEST(WindowToValueThresholdTest, ScalesByGap) {
+  EXPECT_EQ(WindowToValueThreshold(200.0, 1.0), 200);
+  EXPECT_EQ(WindowToValueThreshold(200.0, 2.5), 500);
+  EXPECT_EQ(WindowToValueThreshold(20.0, 10.0), 200);
+}
+
+TEST(WindowToValueThresholdTest, NeverBelowOne) {
+  EXPECT_EQ(WindowToValueThreshold(0.0, 1.0), 1);
+  EXPECT_EQ(WindowToValueThreshold(0.1, 0.001), 1);
+}
+
+TEST(CalibrateWindowTest, DegenerateArrays) {
+  std::vector<TermId> tiny = {1, 2};
+  auto result = CalibrateWindow(tiny, CalibrationMode::kVersusBinarySearch,
+                                nullptr);
+  EXPECT_EQ(result.window_positions, 1.0);
+  EXPECT_EQ(result.threshold_value, 1);
+  auto empty =
+      CalibrateWindow({}, CalibrationMode::kVersusBinarySearch, nullptr);
+  EXPECT_EQ(empty.threshold_value, 1);
+}
+
+TEST(CalibrateWindowTest, WindowWithinArrayBounds) {
+  std::vector<TermId> keys = MakeKeys(100000, 7);
+  CalibrationOptions opts;
+  opts.searches_per_step = 512;
+  opts.max_iterations = 10;
+  auto result = CalibrateWindow(keys, CalibrationMode::kVersusBinarySearch,
+                                nullptr, opts);
+  EXPECT_GE(result.window_positions, 1.0);
+  EXPECT_LE(result.window_positions, keys.size() / 2.0);
+  EXPECT_GE(result.threshold_value, 1);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_LE(result.iterations, opts.max_iterations);
+}
+
+TEST(CalibrateWindowTest, IndexModeRuns) {
+  std::vector<TermId> keys = MakeKeys(50000, 3);
+  index::IdPositionIndex idx =
+      index::IdPositionIndex::Build(keys, keys.back() + 1);
+  CalibrationOptions opts;
+  opts.searches_per_step = 512;
+  opts.max_iterations = 10;
+  auto result =
+      CalibrateWindow(keys, CalibrationMode::kVersusIndexLookup, &idx, opts);
+  EXPECT_GE(result.window_positions, 1.0);
+  EXPECT_LE(result.window_positions, keys.size() / 2.0);
+}
+
+TEST(CalibrateWindowTest, ThresholdMatchesGapConversion) {
+  std::vector<TermId> keys = MakeKeys(20000, 10);
+  CalibrationOptions opts;
+  opts.searches_per_step = 256;
+  opts.max_iterations = 6;
+  auto result = CalibrateWindow(keys, CalibrationMode::kVersusBinarySearch,
+                                nullptr, opts);
+  const double gap = (static_cast<double>(keys.back()) - keys.front()) /
+                     static_cast<double>(keys.size());
+  EXPECT_EQ(result.threshold_value,
+            WindowToValueThreshold(result.window_positions, gap));
+}
+
+// The central qualitative claim of the paper's calibration (§5.2.1): the
+// switch-to-sequential window when the fallback is the ID-to-Position
+// index is (much) smaller than when the fallback is binary search, because
+// an index lookup is cheaper than a binary search. Timing-based, so we
+// only assert the direction with generous slack and retries.
+TEST(CalibrateWindowTest, IndexWindowNotLargerThanBinaryWindow) {
+  std::vector<TermId> keys = MakeKeys(200000, 5);
+  index::IdPositionIndex idx =
+      index::IdPositionIndex::Build(keys, keys.back() + 1);
+  CalibrationOptions opts;
+  opts.searches_per_step = 2048;
+  opts.max_iterations = 12;
+
+  int index_smaller = 0;
+  constexpr int kTrials = 3;
+  for (int t = 0; t < kTrials; ++t) {
+    auto binary = CalibrateWindow(keys, CalibrationMode::kVersusBinarySearch,
+                                  nullptr, opts);
+    auto indexed =
+        CalibrateWindow(keys, CalibrationMode::kVersusIndexLookup, &idx, opts);
+    if (indexed.window_positions <= binary.window_positions * 1.5) {
+      ++index_smaller;
+    }
+  }
+  EXPECT_GE(index_smaller, 2) << "index window should not exceed the binary "
+                                 "window (modulo timing noise)";
+}
+
+}  // namespace
+}  // namespace parj::join

@@ -1,0 +1,172 @@
+#include "storage/char_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "test_util.h"
+#include "workload/lubm.h"
+
+namespace parj::storage {
+namespace {
+
+using test::Encode;
+using test::MakeDatabase;
+using test::Spec;
+
+/// Three kinds of subjects: {p, q}, {p}, {q, r}.
+Spec StarSpec() {
+  Spec spec;
+  for (int i = 0; i < 10; ++i) {
+    spec.push_back({"both" + std::to_string(i), "p", "x"});
+    spec.push_back({"both" + std::to_string(i), "q", "y"});
+  }
+  for (int i = 0; i < 20; ++i) {
+    spec.push_back({"only_p" + std::to_string(i), "p", "x"});
+  }
+  for (int i = 0; i < 5; ++i) {
+    spec.push_back({"qr" + std::to_string(i), "q", "y"});
+    spec.push_back({"qr" + std::to_string(i), "r", "z"});
+  }
+  return spec;
+}
+
+DatabaseOptions WithCharSets() {
+  DatabaseOptions opts;
+  opts.build_characteristic_sets = true;
+  return opts;
+}
+
+PredicateId Pred(const Database& db, const std::string& name) {
+  return db.dictionary().LookupPredicate(rdf::Term::Iri(name));
+}
+
+TEST(CharacteristicSetsTest, CountsDistinctSets) {
+  Database db = MakeDatabase(StarSpec(), WithCharSets());
+  const CharacteristicSets* cs = db.characteristic_sets();
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->set_count(), 3u);  // {p,q}, {p}, {q,r}
+  EXPECT_EQ(cs->subject_count(), 35u);
+  EXPECT_FALSE(cs->truncated());
+}
+
+TEST(CharacteristicSetsTest, DistinctSubjectEstimatesAreExact) {
+  Database db = MakeDatabase(StarSpec(), WithCharSets());
+  const CharacteristicSets& cs = *db.characteristic_sets();
+  PredicateId p = Pred(db, "p");
+  PredicateId q = Pred(db, "q");
+  PredicateId r = Pred(db, "r");
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({p}), 30.0);     // both + only_p
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({q}), 15.0);     // both + qr
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({p, q}), 10.0);  // both
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({q, r}), 5.0);   // qr
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({p, r}), 0.0);
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({p, q, r}), 0.0);
+}
+
+TEST(CharacteristicSetsTest, StarCardinalityExactForSingleValued) {
+  // All properties single-valued in StarSpec, so star rows == subjects.
+  Database db = MakeDatabase(StarSpec(), WithCharSets());
+  const CharacteristicSets& cs = *db.characteristic_sets();
+  PredicateId p = Pred(db, "p");
+  PredicateId q = Pred(db, "q");
+  EXPECT_DOUBLE_EQ(cs.EstimateStarCardinality({p, q}), 10.0);
+  EXPECT_DOUBLE_EQ(cs.EstimateStarCardinality({p}), 30.0);
+}
+
+TEST(CharacteristicSetsTest, StarCardinalityCountsMultiplicities) {
+  // One subject with 3 p-values and 2 q-values: the star has 6 rows.
+  Database db = MakeDatabase(
+      {
+          {"s", "p", "a"},
+          {"s", "p", "b"},
+          {"s", "p", "c"},
+          {"s", "q", "x"},
+          {"s", "q", "y"},
+      },
+      WithCharSets());
+  const CharacteristicSets& cs = *db.characteristic_sets();
+  EXPECT_DOUBLE_EQ(
+      cs.EstimateStarCardinality({Pred(db, "p"), Pred(db, "q")}), 6.0);
+}
+
+TEST(CharacteristicSetsTest, DuplicatePredicatesInQueryIgnored) {
+  Database db = MakeDatabase(StarSpec(), WithCharSets());
+  const CharacteristicSets& cs = *db.characteristic_sets();
+  PredicateId p = Pred(db, "p");
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({p, p, p}),
+                   cs.EstimateDistinctSubjects({p}));
+}
+
+TEST(CharacteristicSetsTest, TruncationKeepsPopulousSets) {
+  Spec spec;
+  // 40 singleton sets (one subject each) plus one huge set.
+  for (int i = 0; i < 40; ++i) {
+    spec.push_back({"solo" + std::to_string(i),
+                    "rare" + std::to_string(i), "x"});
+  }
+  for (int i = 0; i < 100; ++i) {
+    spec.push_back({"big" + std::to_string(i), "common", "x"});
+  }
+  DatabaseOptions opts;
+  opts.build_characteristic_sets = true;
+  opts.characteristic_max_sets = 5;
+  Database db = MakeDatabase(spec, opts);
+  const CharacteristicSets& cs = *db.characteristic_sets();
+  EXPECT_TRUE(cs.truncated());
+  EXPECT_EQ(cs.set_count(), 5u);
+  // The populous set survives truncation.
+  EXPECT_DOUBLE_EQ(cs.EstimateDistinctSubjects({Pred(db, "common")}), 100.0);
+}
+
+TEST(CharacteristicSetsTest, NotBuiltByDefault) {
+  Database db = MakeDatabase(StarSpec());
+  EXPECT_EQ(db.characteristic_sets(), nullptr);
+}
+
+TEST(CharacteristicSetsTest, OptimizerStarEstimateUsesThem) {
+  // Star query over {p, q}: without characteristic sets the optimizer
+  // cannot know p and q co-occur on exactly the 10 "both" subjects.
+  Database db = MakeDatabase(StarSpec(), WithCharSets());
+  auto query = Encode("SELECT * WHERE { ?s <p> ?o1 . ?s <q> ?o2 }", db);
+  auto plan = query::Optimize(query, db);
+  ASSERT_TRUE(plan.ok());
+  // True cardinality is 10; the characteristic-set estimate is exact.
+  EXPECT_NEAR(plan->steps.back().estimated_rows, 10.0, 1.0);
+}
+
+TEST(CharacteristicSetsTest, OptimizerStillCorrectWithCharSets) {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = 1, .seed = 42});
+  DatabaseOptions opts;
+  opts.build_characteristic_sets = true;
+  auto db = Database::Build(std::move(data.dict), std::move(data.triples),
+                            opts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_NE(db->characteristic_sets(), nullptr);
+
+  // Execution results with char-set-assisted plans match plain plans.
+  for (const auto& q : workload::LubmQueries()) {
+    auto ast = query::ParseQuery(q.sparql);
+    ASSERT_TRUE(ast.ok());
+    auto enc = query::EncodeQuery(*ast, *db);
+    ASSERT_TRUE(enc.ok());
+    query::OptimizerOptions with;
+    query::OptimizerOptions without;
+    without.use_characteristic_sets = false;
+    auto plan_with = query::Optimize(*enc, *db, with);
+    auto plan_without = query::Optimize(*enc, *db, without);
+    ASSERT_TRUE(plan_with.ok());
+    ASSERT_TRUE(plan_without.ok());
+    join::Executor executor(&*db);
+    join::ExecOptions exec;
+    exec.mode = join::ResultMode::kCount;
+    auto r1 = executor.Execute(*plan_with, exec);
+    auto r2 = executor.Execute(*plan_without, exec);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->row_count, r2->row_count) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace parj::storage

@@ -1,0 +1,166 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace parj::storage {
+namespace {
+
+using test::MakeDatabase;
+using test::Spec;
+
+const Spec kTeachesWorksFor = {
+    // The paper's §3 running example.
+    {"ProfessorA", "teaches", "Mathematics"},
+    {"ProfessorB", "teaches", "Chemistry"},
+    {"ProfessorC", "teaches", "Literature"},
+    {"ProfessorA", "teaches", "Physics"},
+    {"ProfessorA", "worksFor", "University1"},
+    {"ProfessorB", "worksFor", "University2"},
+    {"ProfessorC", "worksFor", "University2"},
+};
+
+TEST(DatabaseTest, BuildsOneTablePerProperty) {
+  Database db = MakeDatabase(kTeachesWorksFor);
+  EXPECT_EQ(db.predicate_count(), 2u);
+  EXPECT_EQ(db.total_triples(), 7u);
+  const PropertyEntry& teaches = db.entry(1);
+  EXPECT_EQ(teaches.table.triple_count(), 4u);
+  EXPECT_EQ(teaches.table.distinct_subjects(), 3u);
+  EXPECT_EQ(teaches.table.distinct_objects(), 4u);
+  const PropertyEntry& works_for = db.entry(2);
+  EXPECT_EQ(works_for.table.triple_count(), 3u);
+  EXPECT_EQ(works_for.table.distinct_objects(), 2u);
+}
+
+TEST(DatabaseTest, DuplicateTriplesCollapse) {
+  Database db = MakeDatabase({{"a", "p", "b"}, {"a", "p", "b"}});
+  EXPECT_EQ(db.total_triples(), 1u);
+}
+
+TEST(DatabaseTest, FindEntryRangeChecks) {
+  Database db = MakeDatabase({{"a", "p", "b"}});
+  EXPECT_NE(db.FindEntry(1), nullptr);
+  EXPECT_EQ(db.FindEntry(0), nullptr);
+  EXPECT_EQ(db.FindEntry(2), nullptr);
+}
+
+TEST(DatabaseTest, RejectsOutOfRangeIds) {
+  dict::Dictionary dict;
+  dict.EncodeResource(rdf::Term::Iri("a"));
+  dict.EncodePredicate(rdf::Term::Iri("p"));
+  {
+    std::vector<EncodedTriple> bad = {{1, 2, 1}};  // predicate 2 unknown
+    EXPECT_FALSE(Database::Build(std::move(dict), std::move(bad)).ok());
+  }
+  dict::Dictionary dict2;
+  dict2.EncodeResource(rdf::Term::Iri("a"));
+  dict2.EncodePredicate(rdf::Term::Iri("p"));
+  std::vector<EncodedTriple> bad2 = {{1, 1, 99}};  // resource 99 unknown
+  EXPECT_FALSE(Database::Build(std::move(dict2), std::move(bad2)).ok());
+}
+
+TEST(DatabaseTest, IndexesBuiltWhenRequested) {
+  DatabaseOptions with;
+  with.build_id_position_indexes = true;
+  Database db = MakeDatabase(kTeachesWorksFor, with);
+  EXPECT_TRUE(db.entry(1).so_meta.has_index);
+  EXPECT_TRUE(db.entry(1).os_meta.has_index);
+  // Index agrees with FindKey on every key.
+  const TableReplica& so = db.entry(1).table.so();
+  for (size_t k = 0; k < so.key_count(); ++k) {
+    EXPECT_EQ(db.entry(1).so_meta.id_index.Find(so.KeyAt(k)), k);
+  }
+
+  DatabaseOptions without;
+  without.build_id_position_indexes = false;
+  Database db2 = MakeDatabase(kTeachesWorksFor, without);
+  EXPECT_FALSE(db2.entry(1).so_meta.has_index);
+}
+
+TEST(DatabaseTest, DefaultThresholdsFollowWindows) {
+  DatabaseOptions opts;
+  opts.default_binary_window = 100.0;
+  opts.default_index_window = 10.0;
+  Database db = MakeDatabase(kTeachesWorksFor, opts);
+  const ReplicaMeta& meta = db.entry(1).so_meta;
+  const double gap = db.entry(1).table.so().AverageKeyGap();
+  EXPECT_EQ(meta.threshold_binary,
+            join::WindowToValueThreshold(100.0, gap));
+  EXPECT_EQ(meta.threshold_index, join::WindowToValueThreshold(10.0, gap));
+  EXPECT_EQ(meta.ThresholdFor(join::SearchStrategy::kAdaptiveBinary),
+            meta.threshold_binary);
+  EXPECT_EQ(meta.ThresholdFor(join::SearchStrategy::kAdaptiveIndex),
+            meta.threshold_index);
+}
+
+TEST(DatabaseTest, PairStatsExactOnKnownGraph) {
+  // teaches subjects: {A, B, C}; worksFor subjects: {A, B, C}.
+  Database db = MakeDatabase(kTeachesWorksFor);
+  ASSERT_TRUE(db.has_pair_stats());
+  auto stat = db.GetPairStat(1, Role::kSubject, 2, Role::kSubject);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->intersection, 3u);
+  EXPECT_EQ(stat->pairs_left, 4u);   // teaches pairs over {A,B,C}
+  EXPECT_EQ(stat->pairs_right, 3u);  // worksFor pairs over {A,B,C}
+
+  // Orientation flips when queried the other way round.
+  auto flipped = db.GetPairStat(2, Role::kSubject, 1, Role::kSubject);
+  ASSERT_TRUE(flipped.has_value());
+  EXPECT_EQ(flipped->pairs_left, 3u);
+  EXPECT_EQ(flipped->pairs_right, 4u);
+}
+
+TEST(DatabaseTest, PairStatsSubjectObjectDisjoint) {
+  // teaches objects {Mathematics, Chemistry, Literature, Physics} never
+  // appear as worksFor subjects.
+  Database db = MakeDatabase(kTeachesWorksFor);
+  auto stat = db.GetPairStat(1, Role::kObject, 2, Role::kSubject);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->intersection, 0u);
+}
+
+TEST(DatabaseTest, PairStatsSameProperty) {
+  Database db = MakeDatabase({{"a", "p", "b"}, {"b", "p", "c"}});
+  // p's subjects {a, b} vs p's objects {b, c}: intersection {b}.
+  auto stat = db.GetPairStat(1, Role::kSubject, 1, Role::kObject);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->intersection, 1u);
+  EXPECT_EQ(stat->pairs_left, 1u);   // b's subject run: (b, c)
+  EXPECT_EQ(stat->pairs_right, 1u);  // b's object run: (a, b)
+}
+
+TEST(DatabaseTest, PairStatsSkippedBeyondColumnLimit) {
+  DatabaseOptions opts;
+  opts.pairwise_max_columns = 1;  // 2 columns per property > 1
+  Database db = MakeDatabase(kTeachesWorksFor, opts);
+  EXPECT_FALSE(db.has_pair_stats());
+  EXPECT_FALSE(db.GetPairStat(1, Role::kSubject, 2, Role::kSubject)
+                   .has_value());
+}
+
+TEST(DatabaseTest, CalibrateUpdatesLargeReplicasOnly) {
+  // Small tables are skipped by calibration (too small to measure).
+  Database db = MakeDatabase(kTeachesWorksFor);
+  const int64_t before = db.entry(1).so_meta.threshold_binary;
+  join::CalibrationOptions opts;
+  opts.searches_per_step = 64;
+  opts.max_iterations = 2;
+  db.Calibrate(opts);
+  EXPECT_EQ(db.entry(1).so_meta.threshold_binary, before);
+}
+
+TEST(DatabaseTest, MemoryUsageAccounting) {
+  Database db = MakeDatabase(kTeachesWorksFor);
+  EXPECT_GT(db.TableMemoryUsage(), 0u);
+  EXPECT_GT(db.DictionaryMemoryUsage(), 0u);
+}
+
+TEST(DatabaseTest, MaxResourceId) {
+  Database db = MakeDatabase(kTeachesWorksFor);
+  EXPECT_EQ(db.max_resource_id(), db.dictionary().resource_count());
+}
+
+}  // namespace
+}  // namespace parj::storage

@@ -1,0 +1,200 @@
+#include "engine/parj_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace parj::engine {
+namespace {
+
+using test::MakeEngine;
+using test::Spec;
+using test::ToSortedRows;
+
+const char kDoc[] = R"(
+<http://ex/ProfessorA> <http://ex/teaches> <http://ex/Mathematics> .
+<http://ex/ProfessorB> <http://ex/teaches> <http://ex/Chemistry> .
+<http://ex/ProfessorA> <http://ex/teaches> <http://ex/Physics> .
+<http://ex/ProfessorA> <http://ex/worksFor> <http://ex/University1> .
+<http://ex/ProfessorB> <http://ex/worksFor> <http://ex/University2> .
+)";
+
+TEST(ParjEngineTest, LoadsNTriplesText) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->database().total_triples(), 5u);
+  EXPECT_EQ(engine->database().predicate_count(), 2u);
+}
+
+TEST(ParjEngineTest, RejectsMalformedText) {
+  EXPECT_FALSE(ParjEngine::FromNTriplesText("not ntriples").ok());
+}
+
+TEST(ParjEngineTest, MissingFileError) {
+  auto engine = ParjEngine::FromNTriplesFile("/nonexistent/file.nt");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kIoError);
+}
+
+TEST(ParjEngineTest, ExecutesEndToEnd) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok());
+  auto r = engine->Execute(
+      "PREFIX ex: <http://ex/>\n"
+      "SELECT ?x ?y WHERE { ?x ex:teaches ?z . ?x ex:worksFor ?y }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->row_count, 3u);
+  EXPECT_EQ(r->column_count, 2u);
+  ASSERT_EQ(r->var_names.size(), 2u);
+  EXPECT_EQ(r->var_names[0], "x");
+  EXPECT_EQ(r->var_names[1], "y");
+  EXPECT_GE(r->execute_millis, 0.0);
+}
+
+TEST(ParjEngineTest, DecodeRow) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok());
+  auto r = engine->Execute(
+      "SELECT ?y WHERE { <http://ex/ProfessorA> <http://ex/worksFor> ?y }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->row_count, 1u);
+  auto decoded = engine->DecodeRow(*r, 0);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], "<http://ex/University1>");
+}
+
+TEST(ParjEngineTest, DistinctDeduplicates) {
+  auto engine = MakeEngine({
+      {"a", "p", "x"},
+      {"a", "p", "y"},
+      {"b", "p", "x"},
+  });
+  auto all = engine.Execute("SELECT ?s ?o WHERE { ?s <p> ?o }");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->row_count, 3u);
+  auto distinct = engine.Execute("SELECT DISTINCT ?s WHERE { ?s <p> ?o }");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->row_count, 2u);
+}
+
+TEST(ParjEngineTest, DistinctWorksInCountMode) {
+  auto engine = MakeEngine({{"a", "p", "x"}, {"a", "p", "y"}});
+  QueryOptions opts;
+  opts.mode = join::ResultMode::kCount;
+  auto r = engine.Execute("SELECT DISTINCT ?s WHERE { ?s <p> ?o }", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 1u);
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST(ParjEngineTest, LimitTrimsResults) {
+  Spec spec;
+  for (int i = 0; i < 50; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "o"});
+  }
+  auto engine = MakeEngine(spec);
+  auto r = engine.Execute("SELECT ?s WHERE { ?s <p> ?o } LIMIT 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 7u);
+  EXPECT_EQ(r->rows.size(), 7u);
+}
+
+TEST(ParjEngineTest, LimitWithThreadsNeverUnderOrOverReturns) {
+  Spec spec;
+  for (int i = 0; i < 100; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "o"});
+  }
+  auto engine = MakeEngine(spec);
+  QueryOptions opts;
+  opts.num_threads = 4;
+  auto r = engine.Execute("SELECT ?s WHERE { ?s <p> ?o } LIMIT 10", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 10u);
+}
+
+TEST(ParjEngineTest, UnknownConstantGivesEmptyNotError) {
+  auto engine = MakeEngine({{"a", "p", "b"}});
+  auto r = engine.Execute("SELECT ?x WHERE { ?x <p> <unknown> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 0u);
+}
+
+TEST(ParjEngineTest, ParseErrorsPropagate) {
+  auto engine = MakeEngine({{"a", "p", "b"}});
+  EXPECT_FALSE(engine.Execute("SELECT bogus").ok());
+  EXPECT_FALSE(engine.Execute("SELECT ?x WHERE { ?x ?p ?y }").ok());
+}
+
+TEST(ParjEngineTest, ExplainProducesPlan) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok());
+  auto plan = engine->Explain(
+      "PREFIX ex: <http://ex/>\n"
+      "SELECT ?x WHERE { ?x ex:teaches ?z . ?x ex:worksFor ?y }");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), 2u);
+  EXPECT_NE(plan->ToString().find("scan"), std::string::npos);
+}
+
+TEST(ParjEngineTest, TimingBreakdownPopulated) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok());
+  auto r = engine->Execute(
+      "SELECT ?x WHERE { ?x <http://ex/teaches> ?y }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->parse_millis, 0.0);
+  EXPECT_GE(r->optimize_millis, 0.0);
+  EXPECT_GE(r->total_millis(),
+            r->parse_millis + r->optimize_millis);
+}
+
+TEST(ParjEngineTest, StrategiesAgreeEndToEnd) {
+  auto engine = ParjEngine::FromNTriplesText(kDoc);
+  ASSERT_TRUE(engine.ok());
+  const std::string q =
+      "PREFIX ex: <http://ex/>\n"
+      "SELECT * WHERE { ?x ex:teaches ?z . ?x ex:worksFor ?y }";
+  std::vector<uint64_t> counts;
+  for (join::SearchStrategy s :
+       {join::SearchStrategy::kBinary, join::SearchStrategy::kAdaptiveBinary,
+        join::SearchStrategy::kIndex, join::SearchStrategy::kAdaptiveIndex}) {
+    QueryOptions opts;
+    opts.strategy = s;
+    auto r = engine->Execute(q, opts);
+    ASSERT_TRUE(r.ok());
+    counts.push_back(r->row_count);
+  }
+  for (uint64_t c : counts) EXPECT_EQ(c, counts[0]);
+}
+
+TEST(ParjEngineTest, CalibratedEngineStillCorrect) {
+  Spec spec;
+  for (int i = 0; i < 500; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "m" + std::to_string(i)});
+    spec.push_back({"m" + std::to_string(i), "q", "t" + std::to_string(i % 5)});
+  }
+  EngineOptions opts;
+  opts.calibrate = true;
+  opts.calibration.searches_per_step = 128;
+  opts.calibration.max_iterations = 3;
+  auto engine = MakeEngine(spec, opts);
+  auto r = engine.Execute("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 500u);
+}
+
+TEST(ParjEngineTest, FromEncodedPath) {
+  dict::Dictionary dict;
+  EncodedTriple t;
+  t.subject = dict.EncodeResource(rdf::Term::Iri("s"));
+  t.predicate = dict.EncodePredicate(rdf::Term::Iri("p"));
+  t.object = dict.EncodeResource(rdf::Term::Iri("o"));
+  auto engine = ParjEngine::FromEncoded(std::move(dict), {t});
+  ASSERT_TRUE(engine.ok());
+  auto r = engine->Execute("SELECT ?x WHERE { ?x <p> <o> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 1u);
+}
+
+}  // namespace
+}  // namespace parj::engine

@@ -1,0 +1,88 @@
+#include "storage/export.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "engine/parj_engine.h"
+#include "test_util.h"
+#include "workload/lubm.h"
+
+namespace parj::storage {
+namespace {
+
+using test::MakeDatabase;
+
+TEST(ExportTest, EmitsOneLinePerTriple) {
+  Database db = MakeDatabase({
+      {"a", "p", "b"},
+      {"a", "p", "c"},
+      {"b", "q", "a"},
+  });
+  std::ostringstream out;
+  ASSERT_TRUE(ExportNTriples(db, out).ok());
+  const std::string text = out.str();
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(text.find("<a> <p> <b> .\n"), std::string::npos);
+  EXPECT_NE(text.find("<b> <q> <a> .\n"), std::string::npos);
+}
+
+TEST(ExportTest, RoundTripsThroughTheParser) {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = 1, .seed = 11});
+  auto original = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                  std::move(data.triples));
+  ASSERT_TRUE(original.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(ExportNTriples(original->database(), out).ok());
+  auto reloaded = engine::ParjEngine::FromNTriplesText(out.str());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->database().total_triples(),
+            original->database().total_triples());
+  EXPECT_EQ(reloaded->database().predicate_count(),
+            original->database().predicate_count());
+
+  // Queries agree on the reloaded store.
+  for (const auto& q : workload::LubmQueries()) {
+    engine::QueryOptions opts;
+    opts.mode = join::ResultMode::kCount;
+    auto a = original->Execute(q.sparql, opts);
+    auto b = reloaded->Execute(q.sparql, opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->row_count, b->row_count) << q.name;
+  }
+}
+
+TEST(ExportTest, EscapesLiteralsAndPreservesKinds) {
+  std::vector<rdf::Triple> triples = {
+      {rdf::Term::Iri("s"), rdf::Term::Iri("p"),
+       rdf::Term::Literal("line\nbreak \"quote\"")},
+      {rdf::Term::Iri("s"), rdf::Term::Iri("p"),
+       rdf::Term::LangLiteral("hola", "es")},
+      {rdf::Term::Blank("node"), rdf::Term::Iri("p"), rdf::Term::Iri("o")},
+  };
+  auto engine = engine::ParjEngine::FromTriples(triples);
+  ASSERT_TRUE(engine.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(ExportNTriples(engine->database(), out).ok());
+  auto reloaded = engine::ParjEngine::FromNTriplesText(out.str());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->database().total_triples(), 3u);
+  EXPECT_NE(reloaded->database().dictionary().LookupResource(
+                rdf::Term::LangLiteral("hola", "es")),
+            kInvalidTermId);
+}
+
+TEST(ExportTest, FileWrapperFailsOnBadPath) {
+  Database db = MakeDatabase({{"a", "p", "b"}});
+  Status st = ExportNTriplesFile(db, "/nonexistent/dir/out.nt");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace parj::storage

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+#include "baseline/naive_engine.h"
+
+#include "engine/parj_engine.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace parj::query {
+namespace {
+
+using test::MakeEngine;
+using test::Spec;
+
+/// Products with integer prices (typed literals, as the parser produces
+/// for bare integers).
+engine::ParjEngine PriceEngine() {
+  std::vector<rdf::Triple> triples;
+  const char* kXsdInt = "http://www.w3.org/2001/XMLSchema#integer";
+  for (int i = 0; i < 20; ++i) {
+    triples.push_back({rdf::Term::Iri("product" + std::to_string(i)),
+                       rdf::Term::Iri("price"),
+                       rdf::Term::TypedLiteral(std::to_string(i * 10),
+                                               kXsdInt)});
+    triples.push_back({rdf::Term::Iri("product" + std::to_string(i)),
+                       rdf::Term::Iri("label"),
+                       rdf::Term::Literal("L" + std::to_string(i))});
+  }
+  auto engine = engine::ParjEngine::FromTriples(triples);
+  PARJ_CHECK(engine.ok());
+  return std::move(engine).value();
+}
+
+// ---------- parsing ----------
+
+TEST(FilterParseTest, AllOperators) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    std::string q = std::string("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y ") +
+                    op + " 5) }";
+    auto ast = ParseQuery(q);
+    ASSERT_TRUE(ast.ok()) << op << ": " << ast.status().ToString();
+    ASSERT_EQ(ast->filters.size(), 1u) << op;
+  }
+}
+
+TEST(FilterParseTest, ConjunctionSplitsIntoFilters) {
+  auto ast = ParseQuery(
+      "SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 1 && ?y < 9 && ?y != 5) }");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->filters.size(), 3u);
+}
+
+TEST(FilterParseTest, IriOperandsAndVarVar) {
+  auto ast = ParseQuery(
+      "SELECT * WHERE { ?x <p> ?y . ?x <q> ?z . FILTER(?y != ?z) . "
+      "FILTER(?x = <someIri>) }");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->filters.size(), 2u);
+}
+
+TEST(FilterParseTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y . FILTER ?y > 5 }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y >) }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y 5) }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 5 }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y ! 5) }").ok());
+}
+
+TEST(UnionParseTest, TwoArms) {
+  auto ast = ParseQuery(
+      "SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->patterns.size(), 1u);
+  ASSERT_EQ(ast->union_arms.size(), 1u);
+  EXPECT_EQ(ast->union_arms[0].patterns.size(), 1u);
+}
+
+TEST(UnionParseTest, ThreeArmsWithFilters) {
+  auto ast = ParseQuery(
+      "SELECT ?x WHERE { { ?x <p> ?y . FILTER(?y > 3) } UNION "
+      "{ ?x <q> ?y } UNION { ?x <r> ?y } }");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->union_arms.size(), 2u);
+  EXPECT_EQ(ast->filters.size(), 1u);
+}
+
+TEST(UnionParseTest, Errors) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { { ?x <p> ?y } UNION ?x <q> ?y }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y }").ok());
+}
+
+// ---------- execution: FILTER ----------
+
+TEST(FilterExecTest, NumericRange) {
+  auto engine = PriceEngine();
+  auto r = engine.Execute(
+      "SELECT ?x ?p WHERE { ?x <price> ?p . FILTER(?p >= 50 && ?p < 120) }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Prices 50, 60, ..., 110 -> 7 products.
+  EXPECT_EQ(r->row_count, 7u);
+}
+
+TEST(FilterExecTest, EachOperatorCorrect) {
+  auto engine = PriceEngine();
+  struct Case {
+    const char* op;
+    uint64_t expected;  // prices are 0,10,...,190
+  };
+  for (const Case c : {Case{"<", 10}, Case{"<=", 11}, Case{">", 9},
+                       Case{">=", 10}, Case{"=", 1}, Case{"!=", 19}}) {
+    std::string q = std::string(
+        "SELECT ?x WHERE { ?x <price> ?p . FILTER(?p ") + c.op + " 100) }";
+    auto r = engine.Execute(q);
+    ASSERT_TRUE(r.ok()) << c.op;
+    EXPECT_EQ(r->row_count, c.expected) << c.op;
+  }
+}
+
+TEST(FilterExecTest, FilterInteractsWithJoin) {
+  auto engine = PriceEngine();
+  auto r = engine.Execute(
+      "SELECT ?x ?l WHERE { ?x <price> ?p . ?x <label> ?l . "
+      "FILTER(?p > 150) }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 4u);  // 160, 170, 180, 190
+}
+
+TEST(FilterExecTest, IriEqualityAndInequality) {
+  auto engine = MakeEngine({{"a", "p", "x"}, {"b", "p", "y"}, {"c", "p", "x"}});
+  auto eq = engine.Execute(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?o = <x>) }");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->row_count, 2u);
+  auto ne = engine.Execute(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?o != <x>) }");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->row_count, 1u);
+}
+
+TEST(FilterExecTest, VarVarInequality) {
+  auto engine = MakeEngine({{"a", "p", "a"}, {"a", "p", "b"}});
+  auto r = engine.Execute(
+      "SELECT ?s ?o WHERE { ?s <p> ?o . FILTER(?s != ?o) }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 1u);
+}
+
+TEST(FilterExecTest, UnknownConstantSemantics) {
+  auto engine = MakeEngine({{"a", "p", "x"}});
+  auto eq = engine.Execute(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?o = <nosuch>) }");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->row_count, 0u);  // '=' with an absent term never holds
+  auto ne = engine.Execute(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?o != <nosuch>) }");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->row_count, 1u);  // '!=' with an absent term always holds
+}
+
+TEST(FilterExecTest, UnboundFilterVariableRejected) {
+  auto engine = MakeEngine({{"a", "p", "x"}});
+  auto r = engine.Execute(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?nope > 5) }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FilterExecTest, VarVarOrderingUnsupported) {
+  auto engine = PriceEngine();
+  auto r = engine.Execute(
+      "SELECT * WHERE { ?x <price> ?p . ?y <price> ?q . FILTER(?p < ?q) }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(FilterExecTest, MultiThreadMatchesSingleThread) {
+  auto engine = PriceEngine();
+  const std::string q =
+      "SELECT ?x WHERE { ?x <price> ?p . FILTER(?p > 40 && ?p <= 170) }";
+  auto r1 = engine.Execute(q);
+  ASSERT_TRUE(r1.ok());
+  engine::QueryOptions opts;
+  opts.num_threads = 4;
+  auto r4 = engine.Execute(q, opts);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r1->row_count, r4->row_count);
+}
+
+// ---------- execution: UNION ----------
+
+TEST(UnionExecTest, BagUnionOfArms) {
+  auto engine = MakeEngine({
+      {"a", "p", "x"},
+      {"b", "q", "x"},
+      {"c", "p", "x"},
+      {"c", "q", "x"},  // c matches both arms -> appears twice (bag union)
+  });
+  auto r = engine.Execute(
+      "SELECT ?s WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->row_count, 4u);
+}
+
+TEST(UnionExecTest, DistinctAppliesAcrossArms) {
+  auto engine = MakeEngine({
+      {"a", "p", "x"},
+      {"a", "q", "y"},
+  });
+  auto r = engine.Execute(
+      "SELECT DISTINCT ?s WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 1u);
+}
+
+TEST(UnionExecTest, LimitAppliesToWholeUnion) {
+  test::Spec spec;
+  for (int i = 0; i < 10; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "x"});
+    spec.push_back({"t" + std::to_string(i), "q", "x"});
+  }
+  auto engine = MakeEngine(spec);
+  auto r = engine.Execute(
+      "SELECT ?s WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } } LIMIT 15");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 15u);
+}
+
+TEST(UnionExecTest, ArmsWithFiltersAndEmptyArms) {
+  auto engine = PriceEngine();
+  auto r = engine.Execute(
+      "SELECT ?x WHERE { { ?x <price> ?p . FILTER(?p < 20) } UNION "
+      "{ ?x <nosuchprop> ?p } }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 2u);  // prices 0 and 10; second arm empty
+}
+
+TEST(UnionExecTest, SelectStarRejected) {
+  auto engine = MakeEngine({{"a", "p", "x"}});
+  auto r = engine.Execute(
+      "SELECT * WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(UnionExecTest, ArmMissingProjectedVariableRejected) {
+  auto engine = MakeEngine({{"a", "p", "x"}, {"a", "q", "x"}});
+  auto r = engine.Execute(
+      "SELECT ?s ?o WHERE { { ?s <p> ?o } UNION { ?s <q> ?z } }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(UnionExecTest, DecodeRowsWork) {
+  auto engine = MakeEngine({{"a", "p", "x"}, {"b", "q", "y"}});
+  auto r = engine.Execute(
+      "SELECT ?s ?o WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->row_count, 2u);
+  for (size_t row = 0; row < r->row_count; ++row) {
+    auto decoded = engine.DecodeRow(*r, row);
+    EXPECT_EQ(decoded.size(), 2u);
+  }
+}
+
+// ---------- baseline parity ----------
+
+TEST(FilterBaselineTest, NaiveEngineRespectsFilters) {
+  auto engine = PriceEngine();
+  const storage::Database& db = engine.database();
+  auto q = test::Encode(
+      "SELECT ?x WHERE { ?x <price> ?p . FILTER(?p >= 100) }", db);
+  baseline::NaiveEngine naive(&db);
+  auto r = naive.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 10u);
+
+  auto parj = engine.Execute(
+      "SELECT ?x WHERE { ?x <price> ?p . FILTER(?p >= 100) }");
+  ASSERT_TRUE(parj.ok());
+  EXPECT_EQ(parj->row_count, r->row_count);
+}
+
+}  // namespace
+}  // namespace parj::query

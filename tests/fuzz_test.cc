@@ -1,0 +1,154 @@
+// Robustness suite: random and adversarial inputs must produce clean
+// Status errors (or valid parses), never crashes, hangs or UB. Runs the
+// SPARQL parser, the N-Triples parser and the snapshot reader over
+// generated garbage, mutated valid inputs and structured near-misses.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/parj_engine.h"
+#include "query/parser.h"
+#include "rdf/ntriples.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace parj {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+std::string RandomTokenSoup(Rng* rng, size_t max_tokens) {
+  static const char* kTokens[] = {
+      "SELECT", "WHERE",  "DISTINCT", "FILTER", "UNION", "LIMIT", "PREFIX",
+      "?x",     "?y",     "<iri>",    "\"lit\"", "a",    "{",     "}",
+      "(",      ")",      ".",        ";",       ",",    "*",     "=",
+      "!=",     "<",      ">",        "<=",      ">=",   "&&",    "42",
+      "ns:p",   "@en",    "^^",       "$v",
+  };
+  std::string out;
+  const size_t n = 1 + rng->Uniform(max_tokens);
+  for (size_t i = 0; i < n; ++i) {
+    out += kTokens[rng->Uniform(std::size(kTokens))];
+    out += ' ';
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, SparqlParserNeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::string input = RandomBytes(&rng, 200);
+    auto result = query::ParseQuery(input);
+    // ok() or a clean error — either is fine; reaching here is the test.
+    if (result.ok()) {
+      EXPECT_FALSE(result->patterns.empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, SparqlParserNeverCrashesOnTokenSoup) {
+  Rng rng(GetParam() * 17 + 1);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomTokenSoup(&rng, 30);
+    (void)query::ParseQuery(input);
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidQueriesParseOrFailCleanly) {
+  Rng rng(GetParam() * 31 + 5);
+  const std::string base =
+      "PREFIX ub: <http://ex/> SELECT DISTINCT ?x ?y WHERE { ?x ub:p ?y . "
+      "?y a ub:C . FILTER(?x != ?y) } LIMIT 10";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.Uniform(128)));
+      }
+    }
+    (void)query::ParseQuery(mutated);
+  }
+}
+
+TEST_P(FuzzTest, NTriplesParserNeverCrashes) {
+  Rng rng(GetParam() * 7 + 3);
+  rdf::NTriplesParser::Options lenient;
+  lenient.strict = false;
+  for (int i = 0; i < 500; ++i) {
+    std::string input = RandomBytes(&rng, 300);
+    rdf::NTriplesParser strict_parser;
+    (void)strict_parser.ParseToVector(input);
+    rdf::NTriplesParser lenient_parser(lenient);
+    auto result = lenient_parser.ParseToVector(input);
+    EXPECT_TRUE(result.ok());  // lenient mode only skips, never fails
+  }
+}
+
+TEST_P(FuzzTest, MutatedSnapshotsFailCleanly) {
+  storage::Database db = test::MakeDatabase({
+      {"a", "p", "b"},
+      {"b", "q", "éü"},  // non-ASCII survives the format
+  });
+  std::stringstream buffer;
+  ASSERT_TRUE(storage::WriteSnapshot(db, buffer).ok());
+  const std::string bytes = buffer.str();
+
+  Rng rng(GetParam() * 13 + 11);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+    }
+    std::stringstream in(mutated);
+    auto result = storage::ReadSnapshot(in);
+    if (result.ok()) {
+      // A mutation that keeps the snapshot valid must still produce a
+      // structurally sound database.
+      EXPECT_LE(result->total_triples(), 4u);
+    }
+  }
+}
+
+TEST_P(FuzzTest, EngineSurvivesRandomQueriesOverRealData) {
+  Rng rng(GetParam() * 41 + 7);
+  auto engine = test::MakeEngine({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"c", "r", "a"},
+  });
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomTokenSoup(&rng, 25);
+    auto result = engine.Execute(input);
+    if (result.ok()) {
+      EXPECT_GE(result->column_count, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace parj

@@ -1,0 +1,138 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/property_table.h"
+
+namespace parj::storage {
+namespace {
+
+/// Builds a replica from (key, run-length) specs with synthetic values.
+TableReplica MakeReplica(const std::vector<std::pair<TermId, int>>& spec) {
+  std::vector<std::pair<TermId, TermId>> pairs;
+  for (const auto& [key, run] : spec) {
+    for (int i = 0; i < run; ++i) {
+      pairs.emplace_back(key, static_cast<TermId>(1000 + i));
+    }
+  }
+  return TableReplica::Build(pairs);
+}
+
+TEST(HistogramTest, EmptyInput) {
+  TableReplica r = TableReplica::Build({});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 8);
+  EXPECT_EQ(h.total_keys(), 0u);
+  EXPECT_EQ(h.total_pairs(), 0u);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysLessEqual(10), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRunLength(10), 0.0);
+}
+
+TEST(HistogramTest, TotalsMatch) {
+  TableReplica r = MakeReplica({{10, 2}, {20, 3}, {30, 1}});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 2);
+  EXPECT_EQ(h.total_keys(), 3u);
+  EXPECT_EQ(h.total_pairs(), 6u);
+}
+
+TEST(HistogramTest, ExtremesAreExact) {
+  TableReplica r = MakeReplica({{10, 1}, {20, 1}, {30, 1}, {40, 1}});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 2);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysLessEqual(9), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysLessEqual(40), 4.0);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysLessEqual(1000), 4.0);
+  EXPECT_DOUBLE_EQ(h.EstimatePairsLessEqual(40), 4.0);
+}
+
+TEST(HistogramTest, MonotoneInX) {
+  Rng rng(3);
+  std::vector<std::pair<TermId, int>> spec;
+  TermId key = 1;
+  for (int i = 0; i < 200; ++i) {
+    key += 1 + static_cast<TermId>(rng.Uniform(20));
+    spec.emplace_back(key, 1 + static_cast<int>(rng.Uniform(5)));
+  }
+  TableReplica r = MakeReplica(spec);
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 16);
+  double prev = -1.0;
+  for (TermId x = 0; x <= key + 10; x += 3) {
+    double est = h.EstimateKeysLessEqual(x);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+TEST(HistogramTest, RangeEstimatesSumToTotal) {
+  TableReplica r = MakeReplica({{5, 2}, {10, 1}, {15, 4}, {20, 1}, {25, 2}});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 3);
+  double all = h.EstimateKeysInRange(0, 1000);
+  EXPECT_DOUBLE_EQ(all, 5.0);
+  EXPECT_DOUBLE_EQ(h.EstimatePairsInRange(0, 1000), 10.0);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysInRange(30, 20), 0.0);  // inverted range
+}
+
+TEST(HistogramTest, RunLengthReflectsBucketDensity) {
+  // First half of the keys have run length 1, second half run length 9.
+  std::vector<std::pair<TermId, int>> spec;
+  for (TermId k = 1; k <= 64; ++k) spec.emplace_back(k, 1);
+  for (TermId k = 1001; k <= 1064; ++k) spec.emplace_back(k, 9);
+  TableReplica r = MakeReplica(spec);
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 16);
+  EXPECT_LT(h.EstimateRunLength(32), 2.0);
+  EXPECT_GT(h.EstimateRunLength(1032), 8.0);
+}
+
+TEST(HistogramTest, OverlapKeyFraction) {
+  TableReplica r = MakeReplica({{10, 1}, {20, 1}, {30, 1}, {40, 1}});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 4);
+  EXPECT_DOUBLE_EQ(h.OverlapKeyFraction(0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(h.OverlapKeyFraction(500, 1000), 0.0);
+}
+
+TEST(HistogramTest, SingleBucketDegenerate) {
+  TableReplica r = MakeReplica({{42, 3}});
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), 8);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.EstimateKeysLessEqual(42), 1.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRunLength(42), 3.0);
+}
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, EstimateWithinBucketResolution) {
+  Rng rng(GetParam());
+  std::vector<std::pair<TermId, TermId>> pairs;
+  const size_t keys = 500 + rng.Uniform(1500);
+  TermId key = 1;
+  for (size_t i = 0; i < keys; ++i) {
+    key += 1 + static_cast<TermId>(rng.Uniform(50));
+    const int run = 1 + static_cast<int>(rng.Uniform(4));
+    for (int j = 0; j < run; ++j) {
+      pairs.emplace_back(key, static_cast<TermId>(j + 1));
+    }
+  }
+  TableReplica r = TableReplica::Build(pairs);
+  const size_t buckets = 32;
+  auto h = EquiDepthHistogram::Build(r.keys(), r.offsets(), buckets);
+
+  // An equi-depth histogram's rank estimate is off by at most one bucket
+  // depth (plus interpolation slack within the bucket).
+  const double depth =
+      static_cast<double>(r.key_count()) / static_cast<double>(buckets);
+  for (int probe = 0; probe < 100; ++probe) {
+    TermId x = static_cast<TermId>(rng.Uniform(key + 100));
+    auto it = std::upper_bound(r.keys().begin(), r.keys().end(), x);
+    double exact = static_cast<double>(it - r.keys().begin());
+    EXPECT_NEAR(h.EstimateKeysLessEqual(x), exact, depth + 1.0)
+        << "probe " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace parj::storage

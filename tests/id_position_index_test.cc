@@ -1,0 +1,115 @@
+#include "index/id_position_index.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace parj::index {
+namespace {
+
+TEST(IdPositionIndexTest, PaperExample) {
+  // Paper §4.2: keys {5, 7, 13, 18, 24, 29, 33, 45} with max ID 45.
+  std::vector<TermId> keys = {5, 7, 13, 18, 24, 29, 33, 45};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 45);
+  EXPECT_EQ(idx.Find(5), 0u);
+  EXPECT_EQ(idx.Find(7), 1u);
+  EXPECT_EQ(idx.Find(13), 2u);
+  EXPECT_EQ(idx.Find(18), 3u);
+  EXPECT_EQ(idx.Find(24), 4u);
+  EXPECT_EQ(idx.Find(29), 5u);
+  EXPECT_EQ(idx.Find(33), 6u);
+  EXPECT_EQ(idx.Find(45), 7u);
+}
+
+TEST(IdPositionIndexTest, AbsentIdsNotFound) {
+  std::vector<TermId> keys = {5, 7, 13};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 45);
+  for (TermId id : {0u, 1u, 4u, 6u, 8u, 12u, 14u, 44u, 45u}) {
+    EXPECT_EQ(idx.Find(id), IdPositionIndex::kNotFound) << id;
+    EXPECT_FALSE(idx.Contains(id));
+  }
+  EXPECT_TRUE(idx.Contains(5));
+}
+
+TEST(IdPositionIndexTest, BeyondUniverseNotFound) {
+  std::vector<TermId> keys = {5};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 45);
+  EXPECT_EQ(idx.Find(46), IdPositionIndex::kNotFound);
+  EXPECT_EQ(idx.Find(100000), IdPositionIndex::kNotFound);
+}
+
+TEST(IdPositionIndexTest, EmptyKeys) {
+  IdPositionIndex idx = IdPositionIndex::Build({}, 100);
+  EXPECT_EQ(idx.Find(5), IdPositionIndex::kNotFound);
+  EXPECT_EQ(idx.key_count(), 0u);
+}
+
+TEST(IdPositionIndexTest, BlockBoundaries) {
+  // Keys straddling the 512-bit block boundary.
+  std::vector<TermId> keys = {511, 512, 513, 1023, 1024};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 2000);
+  EXPECT_EQ(idx.Find(511), 0u);
+  EXPECT_EQ(idx.Find(512), 1u);
+  EXPECT_EQ(idx.Find(513), 2u);
+  EXPECT_EQ(idx.Find(1023), 3u);
+  EXPECT_EQ(idx.Find(1024), 4u);
+  EXPECT_EQ(idx.Find(510), IdPositionIndex::kNotFound);
+}
+
+TEST(IdPositionIndexTest, DenseUniverse) {
+  // Every ID present: Find(i) == i.
+  std::vector<TermId> keys;
+  for (TermId i = 0; i <= 1500; ++i) keys.push_back(i);
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 1500);
+  for (TermId i = 0; i <= 1500; ++i) EXPECT_EQ(idx.Find(i), i);
+}
+
+TEST(IdPositionIndexTest, MemoryMatchesPaperFormula) {
+  // Paper: N/8 bytes of bits plus (N/A)*M bytes of samples.
+  const TermId n = 1 << 20;
+  std::vector<TermId> keys = {0, n};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, n);
+  const size_t expected_bits_bytes = (n + 1 + 511) / 512 * 64;
+  const size_t expected_samples_bytes = (n + 1 + 511) / 512 * 4;
+  EXPECT_EQ(idx.MemoryUsage(), expected_bits_bytes + expected_samples_bytes);
+  // The index must be far smaller than the 4*N bytes of the simple layout.
+  EXPECT_LT(idx.MemoryUsage(), static_cast<size_t>(n) * 4 / 7);
+}
+
+class RandomIndexTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(RandomIndexTest, MatchesReferenceForEveryId) {
+  auto [seed, density] = GetParam();
+  Rng rng(seed);
+  const TermId universe = 4000 + static_cast<TermId>(rng.Uniform(4000));
+  std::set<TermId> key_set;
+  const size_t target = static_cast<size_t>(universe * density);
+  while (key_set.size() < target) {
+    key_set.insert(static_cast<TermId>(rng.Uniform(universe + 1)));
+  }
+  std::vector<TermId> keys(key_set.begin(), key_set.end());
+  IdPositionIndex idx = IdPositionIndex::Build(keys, universe);
+  ASSERT_EQ(idx.key_count(), keys.size());
+
+  size_t next = 0;
+  for (TermId id = 0; id <= universe; ++id) {
+    if (next < keys.size() && keys[next] == id) {
+      EXPECT_EQ(idx.Find(id), next) << "id " << id;
+      ++next;
+    } else {
+      EXPECT_EQ(idx.Find(id), IdPositionIndex::kNotFound) << "id " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, RandomIndexTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.01, 0.1, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace parj::index

@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace parj {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultThresholdIsWarning) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(internal_logging::ShouldLog(LogLevel::kDebug));
+  EXPECT_FALSE(internal_logging::ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kWarning));
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kError));
+}
+
+TEST(LoggingTest, ThresholdIsAdjustable) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(internal_logging::ShouldLog(LogLevel::kWarning));
+  EXPECT_TRUE(internal_logging::ShouldLog(LogLevel::kError));
+}
+
+TEST(LoggingTest, GetLogLevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, LogMessagesEmitToStderr) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  PARJ_LOG(Info) << "hello " << 42;
+  std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("hello 42"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressedMessagesEmitNothing) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  PARJ_LOG(Debug) << "invisible";
+  PARJ_LOG(Warning) << "also invisible";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingTest, CheckPassesSilentlyOnTrueCondition) {
+  PARJ_CHECK(1 + 1 == 2) << "never printed";
+  PARJ_DCHECK(true) << "never printed";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(PARJ_CHECK(false) << "boom message",
+               "check failed: false boom message");
+}
+
+}  // namespace
+}  // namespace parj

@@ -1,0 +1,211 @@
+#include "query/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace parj::query {
+namespace {
+
+using storage::ReplicaKind;
+using test::Encode;
+using test::MakeDatabase;
+using test::Spec;
+
+/// A department-ish graph: one very selective property (headOf), one broad
+/// one (memberOf).
+Spec MakeSkewedSpec() {
+  Spec spec;
+  for (int i = 0; i < 200; ++i) {
+    spec.push_back({"student" + std::to_string(i), "memberOf",
+                    "dept" + std::to_string(i % 4)});
+  }
+  spec.push_back({"prof0", "headOf", "dept0"});
+  spec.push_back({"prof1", "headOf", "dept1"});
+  for (int i = 0; i < 200; ++i) {
+    spec.push_back({"student" + std::to_string(i), "advisor",
+                    "prof" + std::to_string(i % 2)});
+  }
+  return spec;
+}
+
+TEST(OptimizerTest, PlansAllPatterns) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode(
+      "SELECT * WHERE { ?s <memberOf> ?d . ?p <headOf> ?d . ?s <advisor> ?p }",
+      db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->steps.size(), 3u);
+  // Every pattern appears exactly once.
+  uint32_t mask = 0;
+  for (const auto& step : plan->steps) {
+    mask |= 1u << step.pattern_index;
+  }
+  EXPECT_EQ(mask, 0b111u);
+}
+
+TEST(OptimizerTest, FirstStepHasUnboundOrConstantKey) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?s <advisor> ?p }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(!plan->steps[0].key_bound ||
+              plan->steps[0].key.is_constant());
+  // Probe steps after the first must have bound keys (connected order).
+  for (size_t i = 1; i < plan->steps.size(); ++i) {
+    EXPECT_TRUE(plan->steps[i].key_bound) << "step " << i;
+  }
+}
+
+TEST(OptimizerTest, ConstantObjectPrefersOsReplica) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT ?s WHERE { ?s <memberOf> <dept0> }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_EQ(plan->steps[0].replica, ReplicaKind::kOS);
+  EXPECT_TRUE(plan->steps[0].key.is_constant());
+}
+
+TEST(OptimizerTest, ConstantSubjectPrefersSoReplica) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT ?d WHERE { <student5> <memberOf> ?d }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps[0].replica, ReplicaKind::kSO);
+}
+
+TEST(OptimizerTest, SelectivePatternPlannedFirst) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  // headOf has 2 triples; memberOf has 200.
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?p <headOf> ?d }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps[0].predicate,
+            db.dictionary().LookupPredicate(rdf::Term::Iri("headOf")));
+}
+
+TEST(OptimizerTest, KnownEmptyShortCircuits) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT ?s WHERE { ?s <memberOf> <nonexistent> }", db);
+  ASSERT_TRUE(q.known_empty);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->known_empty);
+  EXPECT_TRUE(plan->steps.empty());
+}
+
+TEST(OptimizerTest, ForcedOrderRespected) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?p <headOf> ?d }", db);
+  OptimizerOptions opts;
+  opts.forced_order = {0, 1};
+  auto plan = Optimize(q, db, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps[0].pattern_index, 0);
+  EXPECT_EQ(plan->steps[1].pattern_index, 1);
+}
+
+TEST(OptimizerTest, ForcedOrderValidation) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?p <headOf> ?d }", db);
+  OptimizerOptions opts;
+  opts.forced_order = {0};
+  EXPECT_FALSE(Optimize(q, db, opts).ok());
+  opts.forced_order = {0, 0};
+  EXPECT_FALSE(Optimize(q, db, opts).ok());
+  opts.forced_order = {0, 5};
+  EXPECT_FALSE(Optimize(q, db, opts).ok());
+}
+
+TEST(OptimizerTest, GreedyFallbackForManyPatterns) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?s <advisor> ?p }", db);
+  OptimizerOptions opts;
+  opts.dp_max_patterns = 1;  // force the greedy path
+  auto plan = Optimize(q, db, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), 2u);
+}
+
+TEST(OptimizerTest, CartesianProductsArePlannedLast) {
+  Spec spec = MakeSkewedSpec();
+  spec.push_back({"island", "isolatedProp", "islandValue"});
+  auto db = MakeDatabase(spec);
+  auto q = Encode(
+      "SELECT * WHERE { ?a <isolatedProp> ?b . ?s <memberOf> ?d . "
+      "?p <headOf> ?d }",
+      db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 3u);
+  // Exactly one disconnected (cartesian) step: once the connected
+  // component starts it is not interrupted — the island pattern pays the
+  // cartesian penalty exactly once.
+  int cartesian_steps = 0;
+  for (size_t i = 1; i < plan->steps.size(); ++i) {
+    if (!plan->steps[i].key_bound && !plan->steps[i].value_bound) {
+      ++cartesian_steps;
+    }
+  }
+  EXPECT_LE(cartesian_steps, 1);
+  // All three patterns are covered.
+  uint32_t mask = 0;
+  for (const auto& step : plan->steps) mask |= 1u << step.pattern_index;
+  EXPECT_EQ(mask, 0b111u);
+}
+
+TEST(OptimizerTest, EstimatesPopulated) {
+  auto db = MakeDatabase(MakeSkewedSpec());
+  auto q = Encode("SELECT * WHERE { ?s <memberOf> ?d . ?s <advisor> ?p }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->total_cost, 0.0);
+  for (const auto& step : plan->steps) {
+    EXPECT_GE(step.estimated_rows, 0.0);
+    EXPECT_GE(step.estimated_cost, 0.0);
+  }
+  EXPECT_FALSE(plan->ToString().empty());
+}
+
+TEST(OptimizerTest, WithAndWithoutPairStatsBothPlan) {
+  storage::DatabaseOptions no_stats;
+  no_stats.precompute_pairwise_stats = false;
+  auto db = MakeDatabase(MakeSkewedSpec(), no_stats);
+  auto q = Encode(
+      "SELECT * WHERE { ?s <memberOf> ?d . ?p <headOf> ?d . ?s <advisor> ?p }",
+      db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), 3u);
+}
+
+TEST(OptimizerTest, SelfJoinVariable) {
+  // ?x <p> ?x — key and value variables coincide.
+  auto db = MakeDatabase({{"a", "p", "a"}, {"a", "p", "b"}, {"c", "p", "c"}});
+  auto q = Encode("SELECT ?x WHERE { ?x <p> ?x }", db);
+  auto plan = Optimize(q, db);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_TRUE(plan->steps[0].value_bound);
+}
+
+TEST(OptimizerTest, TooManyPatternsRejected) {
+  auto db = MakeDatabase({{"a", "p", "b"}});
+  EncodedQuery q;
+  q.variable_count = 1;
+  q.var_names = {"x"};
+  q.projection = {0};
+  for (int i = 0; i < 33; ++i) {
+    EncodedPattern p;
+    p.subject = PatternTerm::Variable(0);
+    p.predicate = 1;
+    p.object = PatternTerm::Variable(0);
+    q.patterns.push_back(p);
+  }
+  EXPECT_FALSE(Optimize(q, db).ok());
+}
+
+}  // namespace
+}  // namespace parj::query

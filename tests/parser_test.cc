@@ -1,0 +1,186 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace parj::query {
+namespace {
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = ParseQuery("SELECT ?x WHERE { ?x <p> ?y }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->distinct);
+  EXPECT_FALSE(q->select_all);
+  ASSERT_EQ(q->projection.size(), 1u);
+  EXPECT_EQ(q->projection[0], "x");
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].subject.is_variable);
+  EXPECT_EQ(q->patterns[0].subject.var, "x");
+  EXPECT_FALSE(q->patterns[0].predicate.is_variable);
+  EXPECT_EQ(q->patterns[0].predicate.term.lexical(), "p");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = ParseQuery("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_all);
+  EXPECT_EQ(q->patterns.size(), 2u);
+}
+
+TEST(ParserTest, Distinct) {
+  auto q = ParseQuery("SELECT DISTINCT ?x WHERE { ?x <p> ?y }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+}
+
+TEST(ParserTest, Limit) {
+  auto q = ParseQuery("SELECT ?x WHERE { ?x <p> ?y } LIMIT 42");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->limit, 42u);
+}
+
+TEST(ParserTest, PrefixExpansion) {
+  auto q = ParseQuery(
+      "PREFIX ub: <http://ex.org/ub#>\n"
+      "SELECT ?x WHERE { ?x ub:teaches ub:Math }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].predicate.term.lexical(), "http://ex.org/ub#teaches");
+  EXPECT_EQ(q->patterns[0].object.term.lexical(), "http://ex.org/ub#Math");
+}
+
+TEST(ParserTest, MultiplePrefixes) {
+  auto q = ParseQuery(
+      "PREFIX a: <http://a/> PREFIX b: <http://b/>\n"
+      "SELECT ?x WHERE { ?x a:p b:o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].predicate.term.lexical(), "http://a/p");
+  EXPECT_EQ(q->patterns[0].object.term.lexical(), "http://b/o");
+}
+
+TEST(ParserTest, RdfTypeKeywordA) {
+  auto q = ParseQuery("SELECT ?x WHERE { ?x a <http://ex/Class> }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].predicate.term.lexical(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, LiteralObjects) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x <p> \"plain\" . ?x <q> \"tagged\"@en . "
+      "?x <r> \"5\"^^<http://dt> . ?x <s> 7 }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->patterns.size(), 4u);
+  EXPECT_TRUE(q->patterns[0].object.term.is_literal());
+  EXPECT_EQ(q->patterns[1].object.term.lang(), "en");
+  EXPECT_EQ(q->patterns[2].object.term.datatype(), "http://dt");
+  EXPECT_EQ(q->patterns[3].object.term.lexical(), "7");
+  EXPECT_EQ(q->patterns[3].object.term.datatype(),
+            "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(ParserTest, SemicolonSharesSubject) {
+  auto q = ParseQuery("SELECT * WHERE { ?x <p> ?y ; <q> ?z }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->patterns[0].subject.var, "x");
+  EXPECT_EQ(q->patterns[1].subject.var, "x");
+  EXPECT_EQ(q->patterns[1].predicate.term.lexical(), "q");
+}
+
+TEST(ParserTest, CommaSharesSubjectAndPredicate) {
+  auto q = ParseQuery("SELECT * WHERE { ?x <p> ?y , ?z }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->patterns[1].predicate.term.lexical(), "p");
+  EXPECT_EQ(q->patterns[1].object.var, "z");
+}
+
+TEST(ParserTest, DanglingSemicolonAllowed) {
+  auto q = ParseQuery("SELECT * WHERE { ?x <p> ?y ; . ?y <q> ?z }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns.size(), 2u);
+}
+
+TEST(ParserTest, TrailingDotOptional) {
+  EXPECT_TRUE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y . }").ok());
+  EXPECT_TRUE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y }").ok());
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  auto q = ParseQuery(
+      "# leading comment\n"
+      "SELECT ?x # trailing\n"
+      "WHERE { ?x <p> ?y # another\n }");
+  ASSERT_TRUE(q.ok());
+}
+
+TEST(ParserTest, DollarVariableSigil) {
+  auto q = ParseQuery("SELECT ?x WHERE { $x <p> ?y }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].subject.var, "x");
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseQuery("select ?x where { ?x <p> ?y } limit 3").ok());
+  EXPECT_TRUE(ParseQuery("Select Distinct ?x Where { ?x <p> ?y }").ok());
+}
+
+TEST(ParserTest, VariablePredicateParses) {
+  // Parsing succeeds; rejection happens at encode time.
+  auto q = ParseQuery("SELECT * WHERE { ?x ?p ?y }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->patterns[0].predicate.is_variable);
+}
+
+TEST(ParserErrorTest, MissingSelect) {
+  EXPECT_FALSE(ParseQuery("WHERE { ?x <p> ?y }").ok());
+}
+
+TEST(ParserErrorTest, MissingWhere) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x { ?x <p> ?y }").ok());
+}
+
+TEST(ParserErrorTest, MissingBraces) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE ?x <p> ?y").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y").ok());
+}
+
+TEST(ParserErrorTest, EmptyBgp) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { }").ok());
+}
+
+TEST(ParserErrorTest, EmptyProjection) {
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x <p> ?y }").ok());
+}
+
+TEST(ParserErrorTest, LiteralPredicate) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x \"p\" ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x 5 ?y }").ok());
+}
+
+TEST(ParserErrorTest, UndefinedPrefix) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x nope:p ?y }").ok());
+}
+
+TEST(ParserErrorTest, BadLimit) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y } LIMIT abc").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y } LIMIT").ok());
+}
+
+TEST(ParserErrorTest, TrailingGarbage) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> ?y } garbage").ok());
+}
+
+TEST(ParserErrorTest, UnterminatedIri) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p ?y }").ok());
+}
+
+TEST(ParserErrorTest, UnterminatedLiteral) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x <p> \"abc }").ok());
+}
+
+TEST(ParserErrorTest, EmptyVariableName) {
+  EXPECT_FALSE(ParseQuery("SELECT ? WHERE { ?x <p> ?y }").ok());
+}
+
+}  // namespace
+}  // namespace parj::query

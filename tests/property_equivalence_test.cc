@@ -1,0 +1,144 @@
+// Property-based equivalence suite: random graphs x random BGP queries,
+// evaluated by the PARJ executor (all strategies, single- and
+// multi-threaded) and by every baseline engine, must all produce the exact
+// row multiset of the naive reference evaluator.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exchange_engine.h"
+#include "baseline/hash_join_engine.h"
+#include "baseline/naive_engine.h"
+#include "baseline/sort_merge_engine.h"
+#include "common/rng.h"
+#include "join/executor.h"
+#include "query/optimizer.h"
+#include "test_util.h"
+
+namespace parj {
+namespace {
+
+using test::Encode;
+using test::MakeDatabase;
+using test::Spec;
+using test::ToSortedRows;
+
+/// A random graph with a few predicates over a small node universe, so
+/// joins actually connect.
+Spec RandomSpec(Rng* rng) {
+  const int nodes = 20 + static_cast<int>(rng->Uniform(40));
+  const int predicates = 2 + static_cast<int>(rng->Uniform(3));
+  const int triples = 50 + static_cast<int>(rng->Uniform(250));
+  Spec spec;
+  for (int i = 0; i < triples; ++i) {
+    spec.push_back({"n" + std::to_string(rng->Uniform(nodes)),
+                    "p" + std::to_string(rng->Uniform(predicates)),
+                    "n" + std::to_string(rng->Uniform(nodes))});
+  }
+  return spec;
+}
+
+/// A random connected BGP of 1-5 patterns over variables ?v0..?vK and
+/// occasional constants.
+std::string RandomQuery(Rng* rng, const Spec& spec) {
+  const int patterns = 1 + static_cast<int>(rng->Uniform(5));
+  int vars = 1;
+  std::string q = "SELECT * WHERE {\n";
+  for (int i = 0; i < patterns; ++i) {
+    // Subject: reuse an existing variable to stay connected (or a
+    // constant for the occasional filter).
+    std::string subject;
+    if (i > 0 && rng->Chance(0.15)) {
+      subject = "<" + std::get<0>(spec[rng->Uniform(spec.size())]) + ">";
+    } else {
+      subject = "?v" + std::to_string(rng->Uniform(vars));
+    }
+    std::string predicate =
+        "<" + std::get<1>(spec[rng->Uniform(spec.size())]) + ">";
+    std::string object;
+    if (rng->Chance(0.2)) {
+      object = "<" + std::get<2>(spec[rng->Uniform(spec.size())]) + ">";
+    } else if (rng->Chance(0.3)) {
+      object = "?v" + std::to_string(rng->Uniform(vars));
+    } else {
+      object = "?v" + std::to_string(vars);
+      ++vars;
+    }
+    q += "  " + subject + " " + predicate + " " + object + " .\n";
+  }
+  // Occasionally constrain two variables with a FILTER (both the PARJ
+  // executor's pushdown path and the baselines' row filter must agree).
+  if (vars >= 2 && rng->Chance(0.3)) {
+    const int a = static_cast<int>(rng->Uniform(vars));
+    int b = static_cast<int>(rng->Uniform(vars));
+    if (b == a) b = (b + 1) % vars;
+    q += "  FILTER(?v" + std::to_string(a) +
+         (rng->Chance(0.5) ? " != ?v" : " = ?v") + std::to_string(b) + ")\n";
+  }
+  q += "}";
+  return q;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceTest, AllEnginesMatchNaiveOnRandomWorkloads) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    Spec spec = RandomSpec(&rng);
+    auto db = MakeDatabase(spec);
+    baseline::NaiveEngine naive(&db);
+
+    for (int qi = 0; qi < 6; ++qi) {
+      const std::string sparql = RandomQuery(&rng, spec);
+      SCOPED_TRACE("query:\n" + sparql);
+      auto q = Encode(sparql, db);
+
+      auto expected_result = naive.Execute(q);
+      ASSERT_TRUE(expected_result.ok());
+      auto expected =
+          ToSortedRows(expected_result->rows, expected_result->column_count);
+
+      // PARJ executor: every strategy, 1 and 3 threads.
+      auto plan = query::Optimize(q, db);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      join::Executor executor(&db);
+      for (join::SearchStrategy strategy :
+           {join::SearchStrategy::kBinary,
+            join::SearchStrategy::kAdaptiveBinary,
+            join::SearchStrategy::kIndex,
+            join::SearchStrategy::kAdaptiveIndex}) {
+        for (int threads : {1, 3}) {
+          join::ExecOptions opts;
+          opts.strategy = strategy;
+          opts.num_threads = threads;
+          auto r = executor.Execute(*plan, opts);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          EXPECT_EQ(ToSortedRows(r->rows, r->column_count), expected)
+              << join::SearchStrategyName(strategy) << " x" << threads;
+        }
+      }
+
+      // Baselines.
+      baseline::HashJoinEngine hash(&db);
+      baseline::SortMergeEngine merge(&db);
+      baseline::ExchangeEngine exchange(&db, {.num_workers = 2});
+      for (const baseline::BaselineEngine* engine :
+           std::initializer_list<const baseline::BaselineEngine*>{
+               &hash, &merge, &exchange}) {
+        auto r = engine->Execute(q);
+        ASSERT_TRUE(r.ok()) << engine->name();
+        EXPECT_EQ(ToSortedRows(r->rows, r->column_count), expected)
+            << engine->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006));
+
+}  // namespace
+}  // namespace parj

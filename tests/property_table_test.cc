@@ -1,0 +1,177 @@
+#include "storage/property_table.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace parj::storage {
+namespace {
+
+using Pairs = std::vector<std::pair<TermId, TermId>>;
+
+TEST(TableReplicaTest, BuildsSortedDistinctKeys) {
+  TableReplica r = TableReplica::Build({{5, 8}, {7, 8}, {7, 34}, {5, 3}});
+  ASSERT_EQ(r.key_count(), 2u);
+  EXPECT_EQ(r.KeyAt(0), 5u);
+  EXPECT_EQ(r.KeyAt(1), 7u);
+  EXPECT_EQ(r.pair_count(), 4u);
+}
+
+TEST(TableReplicaTest, RunsAreSortedAscending) {
+  TableReplica r = TableReplica::Build({{1, 9}, {1, 2}, {1, 5}});
+  auto run = r.Run(0);
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(run.begin(), run.end()));
+  EXPECT_EQ(run[0], 2u);
+  EXPECT_EQ(run[2], 9u);
+}
+
+TEST(TableReplicaTest, DuplicatePairsCollapse) {
+  TableReplica r = TableReplica::Build({{1, 2}, {1, 2}, {1, 2}, {3, 4}});
+  EXPECT_EQ(r.pair_count(), 2u);
+  EXPECT_EQ(r.key_count(), 2u);
+}
+
+TEST(TableReplicaTest, OffsetsDelimitRuns) {
+  TableReplica r = TableReplica::Build({{1, 10}, {1, 11}, {2, 20}, {4, 40}});
+  auto offsets = r.offsets();
+  ASSERT_EQ(offsets.size(), r.key_count() + 1);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 2u);
+  EXPECT_EQ(offsets[2], 3u);
+  EXPECT_EQ(offsets[3], 4u);
+  EXPECT_EQ(r.RunLength(0), 2u);
+  EXPECT_EQ(r.RunLength(1), 1u);
+  EXPECT_EQ(r.RunLength(2), 1u);
+}
+
+TEST(TableReplicaTest, EmptyTable) {
+  TableReplica r = TableReplica::Build({});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.key_count(), 0u);
+  EXPECT_EQ(r.pair_count(), 0u);
+  EXPECT_EQ(r.offsets().size(), 1u);
+  EXPECT_EQ(r.FindKey(5), SIZE_MAX);
+  EXPECT_EQ(r.AverageKeyGap(), 1.0);
+}
+
+TEST(TableReplicaTest, FindKey) {
+  TableReplica r = TableReplica::Build({{5, 1}, {13, 1}, {29, 1}});
+  EXPECT_EQ(r.FindKey(5), 0u);
+  EXPECT_EQ(r.FindKey(13), 1u);
+  EXPECT_EQ(r.FindKey(29), 2u);
+  EXPECT_EQ(r.FindKey(4), SIZE_MAX);
+  EXPECT_EQ(r.FindKey(14), SIZE_MAX);
+  EXPECT_EQ(r.FindKey(100), SIZE_MAX);
+}
+
+TEST(TableReplicaTest, AverageKeyGap) {
+  // keys 10 and 110: gap (110-10)/2 = 50.
+  TableReplica r = TableReplica::Build({{10, 1}, {110, 1}});
+  EXPECT_DOUBLE_EQ(r.AverageKeyGap(), 50.0);
+  // Single key degenerates to 1.
+  TableReplica single = TableReplica::Build({{10, 1}});
+  EXPECT_DOUBLE_EQ(single.AverageKeyGap(), 1.0);
+}
+
+TEST(TableReplicaTest, AverageRunLength) {
+  TableReplica r = TableReplica::Build({{1, 1}, {1, 2}, {1, 3}, {2, 1}});
+  EXPECT_DOUBLE_EQ(r.AverageRunLength(), 2.0);
+}
+
+TEST(TableReplicaTest, PaperFigure1Example) {
+  // The paper's Figure 1 property: triples (5,8) (7,8) (7,34) (13,40)
+  // (18,3) (24,9) (24,16) (24,41) (29,40) (33,22) (45,4).
+  Pairs pairs = {{5, 8},  {7, 8},   {7, 34},  {13, 40}, {18, 3}, {24, 9},
+                 {24, 16}, {24, 41}, {29, 40}, {33, 22}, {45, 4}};
+  TableReplica r = TableReplica::Build(pairs);
+  ASSERT_EQ(r.key_count(), 8u);
+  const TermId expected_keys[] = {5, 7, 13, 18, 24, 29, 33, 45};
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(r.KeyAt(i), expected_keys[i]);
+  EXPECT_EQ(r.RunLength(1), 2u);   // key 7 -> {8, 34}
+  EXPECT_EQ(r.RunLength(4), 3u);   // key 24 -> {9, 16, 41}
+  EXPECT_EQ(r.pair_count(), 11u);
+}
+
+TEST(PropertyTableTest, ReplicasAreConsistent) {
+  Pairs pairs = {{1, 10}, {2, 10}, {2, 20}, {3, 30}};
+  PropertyTable t = PropertyTable::Build(pairs);
+  EXPECT_EQ(t.triple_count(), 4u);
+  EXPECT_EQ(t.so().pair_count(), t.os().pair_count());
+  EXPECT_EQ(t.distinct_subjects(), 3u);
+  EXPECT_EQ(t.distinct_objects(), 3u);
+  // OS replica keyed by object 10 should list subjects {1, 2}.
+  size_t pos = t.os().FindKey(10);
+  ASSERT_NE(pos, SIZE_MAX);
+  auto run = t.os().Run(pos);
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], 1u);
+  EXPECT_EQ(run[1], 2u);
+}
+
+TEST(PropertyTableTest, ReplicaSelection) {
+  PropertyTable t = PropertyTable::Build({{1, 2}});
+  EXPECT_EQ(&t.replica(ReplicaKind::kSO), &t.so());
+  EXPECT_EQ(&t.replica(ReplicaKind::kOS), &t.os());
+}
+
+TEST(PropertyTableTest, MemoryUsagePositive) {
+  PropertyTable t = PropertyTable::Build({{1, 2}, {3, 4}});
+  EXPECT_GT(t.MemoryUsage(), 0u);
+}
+
+class RandomTableTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTableTest, ReplicasEncodeTheSameTripleSet) {
+  Rng rng(GetParam());
+  Pairs pairs;
+  const size_t n = 200 + rng.Uniform(800);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<TermId>(1 + rng.Uniform(150)),
+                       static_cast<TermId>(1 + rng.Uniform(150)));
+  }
+  PropertyTable t = PropertyTable::Build(pairs);
+
+  // Reconstruct the pair set from both replicas; they must agree.
+  std::vector<std::pair<TermId, TermId>> from_so;
+  for (size_t k = 0; k < t.so().key_count(); ++k) {
+    for (TermId v : t.so().Run(k)) from_so.emplace_back(t.so().KeyAt(k), v);
+  }
+  std::vector<std::pair<TermId, TermId>> from_os;
+  for (size_t k = 0; k < t.os().key_count(); ++k) {
+    for (TermId v : t.os().Run(k)) from_os.emplace_back(v, t.os().KeyAt(k));
+  }
+  std::sort(from_os.begin(), from_os.end());
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  EXPECT_EQ(from_so, pairs);  // SO iterates in sorted order already
+  EXPECT_EQ(from_os, pairs);
+}
+
+TEST_P(RandomTableTest, FindKeyMatchesLinearScan) {
+  Rng rng(GetParam() * 31 + 7);
+  Pairs pairs;
+  for (size_t i = 0; i < 500; ++i) {
+    pairs.emplace_back(static_cast<TermId>(1 + rng.Uniform(1000)),
+                       static_cast<TermId>(1 + rng.Uniform(50)));
+  }
+  TableReplica r = TableReplica::Build(pairs);
+  for (TermId probe = 1; probe <= 1000; ++probe) {
+    size_t expected = SIZE_MAX;
+    for (size_t k = 0; k < r.key_count(); ++k) {
+      if (r.KeyAt(k) == probe) {
+        expected = k;
+        break;
+      }
+    }
+    EXPECT_EQ(r.FindKey(probe), expected) << "probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace parj::storage

@@ -1,0 +1,260 @@
+#include "reasoning/answering.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "reasoning/materialize.h"
+#include "test_util.h"
+#include "workload/lubm.h"
+
+namespace parj::reasoning {
+namespace {
+
+using test::MakeDatabase;
+using test::Spec;
+using test::ToSortedRows;
+
+constexpr char kSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+constexpr char kSubPropertyOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+constexpr char kType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// A small university-style ontology + instances.
+Spec OntologySpec() {
+  return {
+      // Class hierarchy: FullProf < Prof < Faculty; Lecturer < Faculty.
+      {"FullProf", kSubClassOf, "Prof"},
+      {"Prof", kSubClassOf, "Faculty"},
+      {"Lecturer", kSubClassOf, "Faculty"},
+      // Property hierarchy: headOf < worksFor < memberOf.
+      {"headOf", kSubPropertyOf, "worksFor"},
+      {"worksFor", kSubPropertyOf, "memberOf"},
+      // Instances.
+      {"alice", kType, "FullProf"},
+      {"bob", kType, "Prof"},
+      {"carol", kType, "Lecturer"},
+      {"dave", kType, "Student"},
+      {"alice", "headOf", "cs"},
+      {"bob", "worksFor", "cs"},
+      {"carol", "worksFor", "math"},
+      {"dave", "enrolledIn", "cs"},
+  };
+}
+
+TEST(HierarchyTest, ExtractsClassClosure) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.class_link_count(), 3u);
+  EXPECT_EQ(h.property_link_count(), 2u);
+
+  const auto& dict = db.dictionary();
+  TermId faculty = dict.LookupResource(rdf::Term::Iri("Faculty"));
+  auto subs = h.SubClassesOf(faculty);
+  // Faculty, Prof, FullProf, Lecturer.
+  EXPECT_EQ(subs.size(), 4u);
+
+  TermId full = dict.LookupResource(rdf::Term::Iri("FullProf"));
+  auto supers = h.SuperClassesOf(full);
+  EXPECT_EQ(supers.size(), 3u);  // FullProf, Prof, Faculty
+}
+
+TEST(HierarchyTest, ExtractsPropertyClosure) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  const auto& dict = db.dictionary();
+
+  TermId member_of_resource = dict.LookupResource(rdf::Term::Iri("memberOf"));
+  auto sub_preds = h.SubPropertiesOf(member_of_resource);
+  // Concrete descendants: headOf, worksFor. memberOf itself has no direct
+  // assertions, hence no predicate id.
+  EXPECT_EQ(sub_preds.size(), 2u);
+
+  PredicateId head_of = dict.LookupPredicate(rdf::Term::Iri("headOf"));
+  auto supers = h.SuperPropertyResourcesOf(head_of);
+  EXPECT_EQ(supers.size(), 2u);  // worksFor, memberOf resources
+}
+
+TEST(HierarchyTest, EmptyOnPlainData) {
+  auto db = MakeDatabase({{"a", "p", "b"}});
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HierarchyTest, ToleratesCycles) {
+  auto db = MakeDatabase({
+      {"A", kSubClassOf, "B"},
+      {"B", kSubClassOf, "A"},
+      {"x", kType, "A"},
+  });
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  TermId a = db.dictionary().LookupResource(rdf::Term::Iri("A"));
+  auto subs = h.SubClassesOf(a);
+  EXPECT_EQ(subs.size(), 2u);  // both cycle members, no infinite loop
+}
+
+TEST(BackwardChainingTest, AbstractClassQuery) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto r = AnswerWithBackwardChaining(
+      db, std::string("SELECT ?x WHERE { ?x <") + kType + "> <Faculty> }", h);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->row_count, 3u);  // alice, bob, carol
+  EXPECT_EQ(r->branch_count, 4u);
+}
+
+TEST(BackwardChainingTest, AbstractPropertyQuery) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto r = AnswerWithBackwardChaining(
+      db, "SELECT ?x ?y WHERE { ?x <memberOf> ?y }", h);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // headOf(alice,cs), worksFor(bob,cs), worksFor(carol,math).
+  EXPECT_EQ(r->row_count, 3u);
+  EXPECT_EQ(r->branch_count, 2u);  // headOf, worksFor
+}
+
+TEST(BackwardChainingTest, JoinAcrossHierarchies) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto r = AnswerWithBackwardChaining(
+      db,
+      std::string("SELECT ?x WHERE { ?x <") + kType +
+          "> <Faculty> . ?x <memberOf> <cs> }",
+      h);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 2u);  // alice (headOf), bob (worksFor)
+  EXPECT_EQ(r->branch_count, 8u);  // 4 classes x 2 properties
+}
+
+TEST(BackwardChainingTest, PlainQueryUnaffected) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto r = AnswerWithBackwardChaining(
+      db, "SELECT ?x WHERE { ?x <enrolledIn> <cs> }", h);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 1u);
+  EXPECT_EQ(r->branch_count, 1u);
+}
+
+TEST(BackwardChainingTest, UnknownClassYieldsEmpty) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto r = AnswerWithBackwardChaining(
+      db, std::string("SELECT ?x WHERE { ?x <") + kType + "> <NoSuch> }", h);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count, 0u);
+}
+
+TEST(BackwardChainingTest, BranchCapEnforced) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  ReasoningOptions opts;
+  opts.rewrite.max_branches = 3;
+  auto r = AnswerWithBackwardChaining(
+      db,
+      std::string("SELECT ?x WHERE { ?x <") + kType +
+          "> <Faculty> . ?x <memberOf> <cs> }",
+      h, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MaterializeTest, InfersClassAndPropertyTriples) {
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  MaterializeStats stats;
+  auto closure = MaterializeHierarchies(db, h, &stats);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(stats.input_triples, db.total_triples());
+  EXPECT_GT(stats.inferred_class_triples, 0u);
+  EXPECT_GT(stats.inferred_property_triples, 0u);
+  EXPECT_GT(stats.output_triples, stats.input_triples);
+  EXPECT_GT(stats.BlowupFactor(), 1.0);
+}
+
+TEST(MaterializeTest, ForwardEqualsBackward) {
+  // The central consistency check: evaluating the plain query over the
+  // materialized closure equals backward chaining over the base data.
+  auto db = MakeDatabase(OntologySpec());
+  Hierarchy h = Hierarchy::FromDatabase(db);
+  auto closure = MaterializeHierarchies(db, h, nullptr);
+  ASSERT_TRUE(closure.ok());
+  auto mat_db = storage::Database::Build(std::move(closure->dict),
+                                         std::move(closure->triples));
+  ASSERT_TRUE(mat_db.ok());
+
+  const std::vector<std::string> queries = {
+      std::string("SELECT ?x WHERE { ?x <") + kType + "> <Faculty> }",
+      std::string("SELECT ?x WHERE { ?x <") + kType + "> <Prof> }",
+      "SELECT ?x ?y WHERE { ?x <memberOf> ?y }",
+      "SELECT ?x ?y WHERE { ?x <worksFor> ?y }",
+      std::string("SELECT ?x WHERE { ?x <") + kType +
+          "> <Faculty> . ?x <memberOf> <cs> }",
+  };
+  Hierarchy empty_hierarchy;
+  for (const std::string& q : queries) {
+    SCOPED_TRACE(q);
+    auto backward = AnswerWithBackwardChaining(db, q, h);
+    ASSERT_TRUE(backward.ok()) << backward.status().ToString();
+    // Plain evaluation over the closure, deduplicated to set semantics.
+    ReasoningOptions plain;
+    auto forward = AnswerWithBackwardChaining(*mat_db, q, empty_hierarchy,
+                                              plain);
+    ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+    EXPECT_EQ(backward->row_count, forward->row_count);
+    EXPECT_EQ(ToSortedRows(backward->rows, backward->column_count),
+              ToSortedRows(forward->rows, forward->column_count));
+  }
+}
+
+TEST(LubmOntologyTest, ReasoningQueriesWork) {
+  workload::GeneratedData data = workload::GenerateLubm(
+      {.universities = 1, .seed = 42, .emit_ontology = true});
+  // Ontology adds subClassOf/subPropertyOf: 19 predicates total.
+  EXPECT_EQ(data.dict.predicate_count(), 19u);
+  auto db = storage::Database::Build(std::move(data.dict),
+                                     std::move(data.triples));
+  ASSERT_TRUE(db.ok());
+  Hierarchy h = Hierarchy::FromDatabase(*db);
+  EXPECT_FALSE(h.empty());
+
+  for (const auto& q : workload::LubmReasoningQueries()) {
+    SCOPED_TRACE(q.name);
+    auto r = AnswerWithBackwardChaining(*db, q.sparql, h);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r->row_count, 0u) << q.name;
+  }
+}
+
+TEST(LubmOntologyTest, ForwardEqualsBackwardOnLubm) {
+  workload::GeneratedData data = workload::GenerateLubm(
+      {.universities = 1, .seed = 42, .emit_ontology = true});
+  auto db = storage::Database::Build(std::move(data.dict),
+                                     std::move(data.triples));
+  ASSERT_TRUE(db.ok());
+  Hierarchy h = Hierarchy::FromDatabase(*db);
+  MaterializeStats stats;
+  auto closure = MaterializeHierarchies(*db, h, &stats);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_GT(stats.BlowupFactor(), 1.2);  // hierarchies add real volume
+  auto mat_db = storage::Database::Build(std::move(closure->dict),
+                                         std::move(closure->triples));
+  ASSERT_TRUE(mat_db.ok());
+
+  Hierarchy empty_hierarchy;
+  for (const auto& q : workload::LubmReasoningQueries()) {
+    SCOPED_TRACE(q.name);
+    auto backward = AnswerWithBackwardChaining(*db, q.sparql, h);
+    ASSERT_TRUE(backward.ok());
+    auto forward =
+        AnswerWithBackwardChaining(*mat_db, q.sparql, empty_hierarchy);
+    ASSERT_TRUE(forward.ok());
+    EXPECT_EQ(backward->row_count, forward->row_count) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace parj::reasoning

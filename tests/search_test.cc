@@ -1,0 +1,264 @@
+#include "join/search.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace parj::join {
+namespace {
+
+std::vector<TermId> SortedDistinct(Rng* rng, size_t count, TermId universe) {
+  std::set<TermId> s;
+  while (s.size() < count) {
+    s.insert(static_cast<TermId>(1 + rng->Uniform(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+size_t ReferenceFind(const std::vector<TermId>& a, TermId v) {
+  auto it = std::lower_bound(a.begin(), a.end(), v);
+  if (it == a.end() || *it != v) return kNotFound;
+  return static_cast<size_t>(it - a.begin());
+}
+
+TEST(BinarySearchTest, FindsAllElements) {
+  std::vector<TermId> a = {2, 5, 9, 14, 21, 30};
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t cursor = 0;
+    EXPECT_EQ(BinarySearch(a, a[i], &cursor), i);
+    EXPECT_EQ(cursor, i);  // cursor lands on the hit
+  }
+}
+
+TEST(BinarySearchTest, MissesReturnNotFound) {
+  std::vector<TermId> a = {2, 5, 9};
+  size_t cursor = 0;
+  EXPECT_EQ(BinarySearch(a, 1, &cursor), kNotFound);
+  EXPECT_EQ(BinarySearch(a, 4, &cursor), kNotFound);
+  EXPECT_EQ(BinarySearch(a, 100, &cursor), kNotFound);
+}
+
+TEST(BinarySearchTest, EmptyArray) {
+  std::vector<TermId> a;
+  size_t cursor = 0;
+  EXPECT_EQ(BinarySearch(a, 5, &cursor), kNotFound);
+}
+
+TEST(BinarySearchTest, CursorStaysInBoundsOnMiss) {
+  std::vector<TermId> a = {10, 20, 30};
+  size_t cursor = 0;
+  BinarySearch(a, 25, &cursor);
+  EXPECT_LT(cursor, a.size());
+  BinarySearch(a, 5, &cursor);
+  EXPECT_LT(cursor, a.size());
+  BinarySearch(a, 99, &cursor);
+  EXPECT_LT(cursor, a.size());
+}
+
+TEST(SequentialSearchTest, ForwardScan) {
+  std::vector<TermId> a = {2, 5, 9, 14, 21};
+  size_t cursor = 0;
+  uint64_t steps = 0;
+  EXPECT_EQ(SequentialSearch(a, 14, &cursor, &steps), 3u);
+  EXPECT_EQ(cursor, 3u);
+  EXPECT_EQ(steps, 3u);
+}
+
+TEST(SequentialSearchTest, BackwardScan) {
+  std::vector<TermId> a = {2, 5, 9, 14, 21};
+  size_t cursor = 4;
+  EXPECT_EQ(SequentialSearch(a, 5, &cursor), 1u);
+  EXPECT_EQ(cursor, 1u);
+}
+
+TEST(SequentialSearchTest, MissLandsBetween) {
+  std::vector<TermId> a = {2, 5, 9, 14, 21};
+  size_t cursor = 0;
+  EXPECT_EQ(SequentialSearch(a, 10, &cursor), kNotFound);
+  // Cursor stopped at the first element >= 10.
+  EXPECT_EQ(cursor, 3u);
+}
+
+TEST(SequentialSearchTest, MissBeyondEnds) {
+  std::vector<TermId> a = {10, 20};
+  size_t cursor = 0;
+  EXPECT_EQ(SequentialSearch(a, 100, &cursor), kNotFound);
+  EXPECT_EQ(cursor, 1u);  // clamped at last element
+  EXPECT_EQ(SequentialSearch(a, 1, &cursor), kNotFound);
+  EXPECT_EQ(cursor, 0u);
+}
+
+TEST(SequentialSearchTest, CursorBeyondSizeIsClamped) {
+  std::vector<TermId> a = {1, 2, 3};
+  size_t cursor = 99;
+  EXPECT_EQ(SequentialSearch(a, 2, &cursor), 1u);
+}
+
+TEST(SequentialSearchTest, StationaryHitCostsNoSteps) {
+  std::vector<TermId> a = {7, 8, 9};
+  size_t cursor = 1;
+  uint64_t steps = 0;
+  EXPECT_EQ(SequentialSearch(a, 8, &cursor, &steps), 1u);
+  EXPECT_EQ(steps, 0u);
+}
+
+TEST(RunContainsTest, Basics) {
+  std::vector<TermId> run = {3, 7, 11};
+  EXPECT_TRUE(RunContains(run, 3));
+  EXPECT_TRUE(RunContains(run, 7));
+  EXPECT_TRUE(RunContains(run, 11));
+  EXPECT_FALSE(RunContains(run, 5));
+  EXPECT_FALSE(RunContains({}, 5));
+}
+
+TEST(AdaptiveSearchTest, SmallDistanceUsesSequential) {
+  std::vector<TermId> a = {10, 12, 14, 16, 18, 20};
+  size_t cursor = 0;
+  SearchCounters counters;
+  size_t pos = AdaptiveSearch(a, 14, &cursor, /*threshold=*/10,
+                              SearchStrategy::kAdaptiveBinary, nullptr,
+                              &counters);
+  EXPECT_EQ(pos, 2u);
+  EXPECT_EQ(counters.sequential_searches, 1u);
+  EXPECT_EQ(counters.binary_searches, 0u);
+}
+
+TEST(AdaptiveSearchTest, LargeDistanceUsesBinary) {
+  std::vector<TermId> a;
+  for (TermId i = 0; i < 1000; ++i) a.push_back(i * 10);
+  size_t cursor = 0;
+  SearchCounters counters;
+  size_t pos = AdaptiveSearch(a, 5000, &cursor, /*threshold=*/50,
+                              SearchStrategy::kAdaptiveBinary, nullptr,
+                              &counters);
+  EXPECT_EQ(pos, 500u);
+  EXPECT_EQ(counters.binary_searches, 1u);
+  EXPECT_EQ(counters.sequential_searches, 0u);
+}
+
+TEST(AdaptiveSearchTest, ThresholdBoundaryIsInclusive) {
+  std::vector<TermId> a = {100, 200};
+  size_t cursor = 0;
+  SearchCounters counters;
+  // distance = a[0] - 150 = -50; |distance| == threshold -> sequential.
+  AdaptiveSearch(a, 150, &cursor, 50, SearchStrategy::kAdaptiveBinary, nullptr,
+                 &counters);
+  EXPECT_EQ(counters.sequential_searches, 1u);
+}
+
+TEST(AdaptiveSearchTest, PureStrategiesIgnoreThreshold) {
+  std::vector<TermId> a = {1, 2, 3};
+  size_t cursor = 0;
+  SearchCounters counters;
+  AdaptiveSearch(a, 2, &cursor, 1 << 30, SearchStrategy::kBinary, nullptr,
+                 &counters);
+  EXPECT_EQ(counters.binary_searches, 1u);
+  EXPECT_EQ(counters.sequential_searches, 0u);
+}
+
+TEST(AdaptiveSearchTest, IndexStrategyUsesIndex) {
+  std::vector<TermId> a = {5, 9, 42};
+  index::IdPositionIndex idx = index::IdPositionIndex::Build(a, 100);
+  size_t cursor = 0;
+  SearchCounters counters;
+  size_t pos = AdaptiveSearch(a, 42, &cursor, 0, SearchStrategy::kIndex, &idx,
+                              &counters);
+  EXPECT_EQ(pos, 2u);
+  EXPECT_EQ(cursor, 2u);
+  EXPECT_EQ(counters.index_lookups, 1u);
+  // Adaptive index falls back to the index beyond the threshold.
+  cursor = 0;
+  pos = AdaptiveSearch(a, 42, &cursor, 1, SearchStrategy::kAdaptiveIndex, &idx,
+                       &counters);
+  EXPECT_EQ(pos, 2u);
+  EXPECT_EQ(counters.index_lookups, 2u);
+}
+
+TEST(SearchCountersTest, AddAccumulates) {
+  SearchCounters a;
+  a.binary_searches = 1;
+  a.sequential_searches = 2;
+  a.sequential_steps = 3;
+  a.index_lookups = 4;
+  a.run_probes = 5;
+  SearchCounters b = a;
+  b.Add(a);
+  EXPECT_EQ(b.binary_searches, 2u);
+  EXPECT_EQ(b.sequential_searches, 4u);
+  EXPECT_EQ(b.sequential_steps, 6u);
+  EXPECT_EQ(b.index_lookups, 8u);
+  EXPECT_EQ(b.run_probes, 10u);
+  EXPECT_EQ(a.total_searches(), 7u);
+}
+
+TEST(SearchStrategyTest, Names) {
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kBinary), "Binary");
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kAdaptiveBinary),
+               "AdBinary");
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kIndex), "Index");
+  EXPECT_STREQ(SearchStrategyName(SearchStrategy::kAdaptiveIndex), "AdIndex");
+}
+
+/// Property test: every strategy returns exactly the reference result for
+/// arbitrary probe sequences, regardless of cursor history.
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SearchStrategy, uint64_t>> {};
+
+TEST_P(StrategyEquivalenceTest, MatchesReferenceOnRandomProbes) {
+  auto [strategy, seed] = GetParam();
+  Rng rng(seed);
+  const size_t n = 100 + rng.Uniform(2000);
+  std::vector<TermId> a = SortedDistinct(&rng, n, 50000);
+  index::IdPositionIndex idx = index::IdPositionIndex::Build(a, 50000);
+  SearchCounters counters;
+
+  size_t cursor = 0;
+  for (int probe = 0; probe < 3000; ++probe) {
+    // Mix of present values, near misses and far misses.
+    TermId v;
+    const uint64_t kind = rng.Uniform(3);
+    if (kind == 0) {
+      v = a[rng.Uniform(a.size())];
+    } else if (kind == 1) {
+      v = a[rng.Uniform(a.size())] + 1;
+    } else {
+      v = static_cast<TermId>(rng.Uniform(60000));
+    }
+    const int64_t threshold = static_cast<int64_t>(rng.Uniform(500));
+    size_t got = AdaptiveSearch(a, v, &cursor, threshold, strategy, &idx,
+                                &counters);
+    EXPECT_EQ(got, ReferenceFind(a, v)) << "value " << v;
+    ASSERT_LT(cursor, a.size());
+  }
+  EXPECT_GT(counters.total_searches(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyEquivalenceTest,
+    ::testing::Combine(::testing::Values(SearchStrategy::kBinary,
+                                         SearchStrategy::kAdaptiveBinary,
+                                         SearchStrategy::kIndex,
+                                         SearchStrategy::kAdaptiveIndex),
+                       ::testing::Values(101, 202, 303)));
+
+/// Property test: sorted ascending probes drive the adaptive method to
+/// sequential search almost always (the paper's merge-join behaviour).
+TEST(AdaptiveSearchTest, SortedProbesMostlySequential) {
+  Rng rng(77);
+  std::vector<TermId> a = SortedDistinct(&rng, 5000, 100000);
+  SearchCounters counters;
+  size_t cursor = 0;
+  const int64_t threshold = 200 * 20;  // window 200 x avg gap 20
+  for (TermId v : a) {
+    AdaptiveSearch(a, v, &cursor, threshold, SearchStrategy::kAdaptiveBinary,
+                   nullptr, &counters);
+  }
+  EXPECT_GT(counters.sequential_searches, counters.binary_searches * 50);
+}
+
+}  // namespace
+}  // namespace parj::join

@@ -1,0 +1,156 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "engine/parj_engine.h"
+#include "test_util.h"
+#include "workload/lubm.h"
+
+namespace parj::storage {
+namespace {
+
+using test::MakeDatabase;
+using test::Spec;
+
+const Spec kData = {
+    {"ProfessorA", "teaches", "Mathematics"},
+    {"ProfessorA", "worksFor", "University1"},
+    {"ProfessorB", "teaches", "Chemistry"},
+};
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+
+  auto restored = ReadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->total_triples(), original.total_triples());
+  EXPECT_EQ(restored->predicate_count(), original.predicate_count());
+  EXPECT_EQ(restored->dictionary().resource_count(),
+            original.dictionary().resource_count());
+  // IDs and decoded terms are identical.
+  for (TermId id = 1; id <= original.dictionary().resource_count(); ++id) {
+    EXPECT_EQ(restored->dictionary().DecodeResource(id),
+              original.dictionary().DecodeResource(id));
+  }
+  // Table contents are identical.
+  for (PredicateId pid = 1; pid <= original.predicate_count(); ++pid) {
+    const TableReplica& a = original.entry(pid).table.so();
+    const TableReplica& b = restored->entry(pid).table.so();
+    ASSERT_EQ(a.key_count(), b.key_count());
+    for (size_t k = 0; k < a.key_count(); ++k) {
+      EXPECT_EQ(a.KeyAt(k), b.KeyAt(k));
+      ASSERT_EQ(a.RunLength(k), b.RunLength(k));
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesLiteralKinds) {
+  std::vector<rdf::Triple> triples = {
+      {rdf::Term::Iri("s"), rdf::Term::Iri("p"), rdf::Term::Literal("plain")},
+      {rdf::Term::Iri("s"), rdf::Term::Iri("p"),
+       rdf::Term::LangLiteral("bonjour", "fr")},
+      {rdf::Term::Iri("s"), rdf::Term::Iri("p"),
+       rdf::Term::TypedLiteral("5", "http://dt")},
+      {rdf::Term::Blank("b0"), rdf::Term::Iri("q"), rdf::Term::Iri("o")},
+  };
+  auto engine = engine::ParjEngine::FromTriples(triples);
+  ASSERT_TRUE(engine.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(engine->database(), buffer).ok());
+  auto restored = ReadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok());
+  const auto& dict = restored->dictionary();
+  EXPECT_NE(dict.LookupResource(rdf::Term::LangLiteral("bonjour", "fr")),
+            kInvalidTermId);
+  EXPECT_NE(dict.LookupResource(rdf::Term::TypedLiteral("5", "http://dt")),
+            kInvalidTermId);
+  EXPECT_NE(dict.LookupResource(rdf::Term::Blank("b0")), kInvalidTermId);
+}
+
+TEST(SnapshotTest, QueriesAgreeAfterRoundTrip) {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = 1, .seed = 9});
+  auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                std::move(data.triples));
+  ASSERT_TRUE(engine.ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(engine->database(), buffer).ok());
+  auto restored_db = ReadSnapshot(buffer);
+  ASSERT_TRUE(restored_db.ok());
+  // Rebuild an engine around the restored database via a second snapshot
+  // pass through FromEncoded-equivalent path: reuse Database directly.
+  for (const auto& q : workload::LubmQueries()) {
+    engine::QueryOptions opts;
+    opts.mode = join::ResultMode::kCount;
+    auto original = engine->Execute(q.sparql, opts);
+    ASSERT_TRUE(original.ok());
+
+    // Execute against the restored database with the lower-level API.
+    auto ast = query::ParseQuery(q.sparql);
+    ASSERT_TRUE(ast.ok());
+    auto enc = query::EncodeQuery(*ast, *restored_db);
+    ASSERT_TRUE(enc.ok());
+    auto plan = query::Optimize(*enc, *restored_db);
+    ASSERT_TRUE(plan.ok());
+    join::Executor executor(&*restored_db);
+    join::ExecOptions exec;
+    exec.mode = join::ResultMode::kCount;
+    auto restored = executor.Execute(*plan, exec);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->row_count, original->row_count) << q.name;
+  }
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  Database original = MakeDatabase(kData);
+  const std::string path = ::testing::TempDir() + "/parj_snapshot_test.bin";
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->total_triples(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFile) {
+  auto restored = LoadSnapshot("/nonexistent/snapshot.bin");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTASNAP-and-some-more-bytes";
+  EXPECT_EQ(ReadSnapshot(buffer).status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // Chop the file at several points; every prefix must fail cleanly.
+  for (size_t cut : {size_t{4}, size_t{12}, size_t{20}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadSnapshot(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, RejectsFutureVersion) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[8] = 99;  // version field
+  std::stringstream patched(bytes);
+  EXPECT_EQ(ReadSnapshot(patched).status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace parj::storage

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace parj {
+namespace {
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hello  "), "hello");
+  EXPECT_EQ(TrimWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(TrimWhitespaceTest, AllWhitespaceYieldsEmpty) {
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(SplitStringTest, SplitsKeepingEmptyFields) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitStringTest, NoSeparatorYieldsWhole) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foo", ""));
+  EXPECT_FALSE(EndsWith("oo", "foo"));
+}
+
+TEST(FormatCountTest, InsertsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(1000000000ULL), "1,000,000,000");
+}
+
+TEST(FormatMillisTest, AdaptivePrecision) {
+  EXPECT_EQ(FormatMillis(0.001234), "0.0012");
+  EXPECT_EQ(FormatMillis(1.234), "1.23");
+  EXPECT_EQ(FormatMillis(12.34), "12.3");
+  EXPECT_EQ(FormatMillis(1234.6), "1235");
+}
+
+}  // namespace
+}  // namespace parj

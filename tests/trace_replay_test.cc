@@ -1,0 +1,115 @@
+#include "join/trace_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "test_util.h"
+
+namespace parj::join {
+namespace {
+
+using test::Encode;
+using test::MakeDatabase;
+using test::Spec;
+
+struct Traced {
+  query::Plan plan;
+  ProbeTrace trace;
+  SearchCounters live_counters;
+};
+
+Traced RunWithTrace(const storage::Database& db, const std::string& sparql) {
+  auto q = Encode(sparql, db);
+  auto plan = query::Optimize(q, db);
+  PARJ_CHECK(plan.ok());
+  Executor exec(&db);
+  ExecOptions opts;
+  opts.collect_probe_trace = true;
+  opts.mode = ResultMode::kCount;
+  auto r = exec.Execute(*plan, opts);
+  PARJ_CHECK(r.ok());
+  return Traced{std::move(plan).value(), std::move(r->trace), r->counters};
+}
+
+Spec ChainSpec(int n) {
+  Spec spec;
+  for (int i = 0; i < n; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "m" + std::to_string(i)});
+    spec.push_back({"m" + std::to_string(i), "q", "t" + std::to_string(i % 7)});
+  }
+  return spec;
+}
+
+TEST(TraceReplayTest, ReplaySearchCountMatchesLiveRun) {
+  auto db = MakeDatabase(ChainSpec(500));
+  Traced t = RunWithTrace(db, "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }");
+  auto replay = ReplaySearchTrace(db, t.plan, t.trace,
+                                  SearchStrategy::kAdaptiveBinary);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  // Replay performs exactly the probes the live adaptive-binary run did
+  // (both use the binary threshold).
+  EXPECT_EQ(replay->counters.total_searches(),
+            t.live_counters.total_searches());
+  EXPECT_GT(replay->cache.accesses, 0u);
+  EXPECT_GT(replay->cache.cycles, 0u);
+}
+
+TEST(TraceReplayTest, IndexReplayDoesSameSearches) {
+  auto db = MakeDatabase(ChainSpec(500));
+  Traced t = RunWithTrace(db, "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }");
+  auto binary = ReplaySearchTrace(db, t.plan, t.trace,
+                                  SearchStrategy::kAdaptiveBinary);
+  auto indexed = ReplaySearchTrace(db, t.plan, t.trace,
+                                   SearchStrategy::kAdaptiveIndex);
+  ASSERT_TRUE(binary.ok());
+  ASSERT_TRUE(indexed.ok());
+  // Same threshold -> identical sequential/fallback decisions.
+  EXPECT_EQ(binary->counters.sequential_searches,
+            indexed->counters.sequential_searches);
+  EXPECT_EQ(binary->counters.binary_searches, indexed->counters.index_lookups);
+}
+
+TEST(TraceReplayTest, IndexCheaperThanBinaryOnRandomProbes) {
+  // A large table probed in random order: binary search does log(n)
+  // dependent cache accesses per probe, the ID-to-Position index ~2.
+  Spec spec;
+  for (int i = 0; i < 20000; ++i) {
+    spec.push_back({"s" + std::to_string(i), "p", "k" + std::to_string(i)});
+  }
+  // Probing property: random subjects hit the big table.
+  for (int i = 0; i < 3000; ++i) {
+    int target = (i * 7919) % 20000;
+    spec.push_back({"probe" + std::to_string(i), "q",
+                    "s" + std::to_string(target)});
+  }
+  auto db = MakeDatabase(spec);
+  // ?x q ?s . ?s p ?k — scan q, probe p's (huge) subject array.
+  Traced t = RunWithTrace(db, "SELECT * WHERE { ?x <q> ?s . ?s <p> ?k }");
+  auto binary = ReplaySearchTrace(db, t.plan, t.trace, SearchStrategy::kBinary);
+  auto indexed = ReplaySearchTrace(db, t.plan, t.trace, SearchStrategy::kIndex);
+  ASSERT_TRUE(binary.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_LT(indexed->cache.cycles, binary->cache.cycles);
+  EXPECT_LT(indexed->cache.accesses, binary->cache.accesses);
+}
+
+TEST(TraceReplayTest, MismatchedTraceRejected) {
+  auto db = MakeDatabase(ChainSpec(10));
+  Traced t = RunWithTrace(db, "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }");
+  ProbeTrace bad;
+  bad.step_values.resize(1);
+  EXPECT_FALSE(
+      ReplaySearchTrace(db, t.plan, bad, SearchStrategy::kBinary).ok());
+}
+
+TEST(TraceReplayTest, IndexStrategyRequiresIndexes) {
+  storage::DatabaseOptions no_index;
+  no_index.build_id_position_indexes = false;
+  auto db = MakeDatabase(ChainSpec(10), no_index);
+  Traced t = RunWithTrace(db, "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }");
+  EXPECT_FALSE(
+      ReplaySearchTrace(db, t.plan, t.trace, SearchStrategy::kIndex).ok());
+}
+
+}  // namespace
+}  // namespace parj::join

@@ -1,0 +1,277 @@
+// parj_cli: interactive / scriptable shell for the PARJ store.
+//
+//   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
+//
+// Reads commands from stdin. Lines starting with '.' are commands;
+// anything else accumulates as SPARQL until a line consisting of a single
+// ';' (or EOF), then executes. Commands:
+//
+//   .load FILE            load an N-Triples file (replaces the store)
+//   .gen lubm N           generate LUBM data at N universities
+//   .gen watdiv N         generate WatDiv data at scale N
+//   .save FILE            write a binary snapshot
+//   .dump FILE            export the store as N-Triples
+//   .restore FILE         load a binary snapshot
+//   .threads N            set worker threads for queries
+//   .strategy NAME        Binary | AdBinary | Index | AdIndex
+//   .calibrate            run Algorithm 2 on all tables
+//   .explain on|off       print plans before execution
+//   .limit N              cap printed rows (default 20)
+//   .stats                print store statistics
+//   .help                 this text
+//   .quit                 exit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "engine/parj_engine.h"
+#include "storage/export.h"
+#include "storage/snapshot.h"
+#include "workload/lubm.h"
+#include "workload/watdiv.h"
+
+namespace parj::tool {
+namespace {
+
+struct Shell {
+  std::optional<engine::ParjEngine> engine;
+  int threads = 1;
+  join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveIndex;
+  bool explain = false;
+  uint64_t print_limit = 20;
+
+  void PrintStats() const {
+    if (!engine.has_value()) {
+      std::printf("no data loaded\n");
+      return;
+    }
+    const storage::Database& db = engine->database();
+    std::printf("triples:     %s\n", FormatCount(db.total_triples()).c_str());
+    std::printf("properties:  %zu\n", db.predicate_count());
+    std::printf("resources:   %s\n",
+                FormatCount(db.dictionary().resource_count()).c_str());
+    std::printf("table bytes: %s\n",
+                FormatCount(db.TableMemoryUsage()).c_str());
+    std::printf("dict bytes:  %s\n",
+                FormatCount(db.DictionaryMemoryUsage()).c_str());
+  }
+
+  void RunQuery(const std::string& sparql) {
+    if (!engine.has_value()) {
+      std::printf("no data loaded — use .load/.gen/.restore first\n");
+      return;
+    }
+    if (explain) {
+      auto plan = engine->Explain(sparql);
+      if (plan.ok()) std::printf("%s", plan->ToString().c_str());
+    }
+    engine::QueryOptions opts;
+    opts.num_threads = threads;
+    opts.strategy = strategy;
+    auto result = engine->Execute(sparql, opts);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    if (explain && !result->step_rows.empty()) {
+      std::printf("actual rows per step:");
+      for (uint64_t rows : result->step_rows) {
+        std::printf(" %s", FormatCount(rows).c_str());
+      }
+      std::printf("\n");
+    }
+    // Header.
+    for (const std::string& name : result->var_names) {
+      std::printf("?%s\t", name.c_str());
+    }
+    std::printf("\n");
+    const uint64_t shown = std::min<uint64_t>(result->row_count, print_limit);
+    for (uint64_t row = 0; row < shown; ++row) {
+      for (const std::string& cell : engine->DecodeRow(*result, row)) {
+        std::printf("%s\t", cell.c_str());
+      }
+      std::printf("\n");
+    }
+    if (shown < result->row_count) {
+      std::printf("... (%s more rows)\n",
+                  FormatCount(result->row_count - shown).c_str());
+    }
+    std::printf("%s rows in %s ms (parse %.2f + optimize %.2f + execute "
+                "%.2f) [%s, %d thread%s]\n",
+                FormatCount(result->row_count).c_str(),
+                FormatMillis(result->total_millis()).c_str(),
+                result->parse_millis, result->optimize_millis,
+                result->execute_millis,
+                join::SearchStrategyName(strategy), threads,
+                threads == 1 ? "" : "s");
+  }
+
+  bool HandleCommand(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command == ".quit" || command == ".exit") return false;
+    if (command == ".help") {
+      std::printf(
+          ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
+          ".restore FILE | .dump FILE | .threads N | .strategy NAME |\n"
+          ".calibrate | .explain on|off | .limit N | .stats | .quit\n");
+    } else if (command == ".load") {
+      std::string path;
+      in >> path;
+      auto loaded = engine::ParjEngine::FromNTriplesFile(path);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+      } else {
+        engine = std::move(loaded).value();
+        PrintStats();
+      }
+    } else if (command == ".gen") {
+      std::string kind;
+      int scale = 1;
+      in >> kind >> scale;
+      workload::GeneratedData data;
+      if (kind == "lubm") {
+        data = workload::GenerateLubm({.universities = scale, .seed = 42});
+      } else if (kind == "watdiv") {
+        data = workload::GenerateWatdiv({.scale = scale, .seed = 7});
+      } else {
+        std::printf("unknown generator '%s' (lubm | watdiv)\n", kind.c_str());
+        return true;
+      }
+      auto built = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                   std::move(data.triples));
+      if (!built.ok()) {
+        std::printf("error: %s\n", built.status().ToString().c_str());
+      } else {
+        engine = std::move(built).value();
+        PrintStats();
+      }
+    } else if (command == ".save") {
+      std::string path;
+      in >> path;
+      if (!engine.has_value()) {
+        std::printf("no data loaded\n");
+      } else {
+        Status st = storage::SaveSnapshot(engine->database(), path);
+        std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      }
+    } else if (command == ".restore") {
+      std::string path;
+      in >> path;
+      auto db = storage::LoadSnapshot(path);
+      if (!db.ok()) {
+        std::printf("error: %s\n", db.status().ToString().c_str());
+      } else {
+        engine = engine::ParjEngine::FromDatabase(std::move(db).value());
+        PrintStats();
+      }
+    } else if (command == ".dump") {
+      std::string path;
+      in >> path;
+      if (!engine.has_value()) {
+        std::printf("no data loaded\n");
+      } else {
+        Status st = storage::ExportNTriplesFile(engine->database(), path);
+        std::printf("%s\n", st.ok() ? "dumped" : st.ToString().c_str());
+      }
+    } else if (command == ".threads") {
+      in >> threads;
+      if (threads < 1) threads = 1;
+      std::printf("threads = %d\n", threads);
+    } else if (command == ".strategy") {
+      std::string name;
+      in >> name;
+      if (name == "Binary") {
+        strategy = join::SearchStrategy::kBinary;
+      } else if (name == "AdBinary") {
+        strategy = join::SearchStrategy::kAdaptiveBinary;
+      } else if (name == "Index") {
+        strategy = join::SearchStrategy::kIndex;
+      } else if (name == "AdIndex") {
+        strategy = join::SearchStrategy::kAdaptiveIndex;
+      } else {
+        std::printf("unknown strategy (Binary|AdBinary|Index|AdIndex)\n");
+        return true;
+      }
+      std::printf("strategy = %s\n", join::SearchStrategyName(strategy));
+    } else if (command == ".calibrate") {
+      if (!engine.has_value()) {
+        std::printf("no data loaded\n");
+      } else {
+        engine->Calibrate();
+        std::printf("calibrated\n");
+      }
+    } else if (command == ".explain") {
+      std::string mode;
+      in >> mode;
+      explain = mode == "on";
+      std::printf("explain = %s\n", explain ? "on" : "off");
+    } else if (command == ".limit") {
+      in >> print_limit;
+      std::printf("print limit = %llu\n",
+                  static_cast<unsigned long long>(print_limit));
+    } else if (command == ".stats") {
+      PrintStats();
+    } else {
+      std::printf("unknown command %s (.help for help)\n", command.c_str());
+    }
+    return true;
+  }
+
+};
+
+}  // namespace
+}  // namespace parj::tool
+
+int main(int argc, char** argv) {
+  parj::tool::Shell shell;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".load ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".restore ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--lubm") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".gen lubm ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--watdiv") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".gen watdiv ") + argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::string line;
+  std::string query;
+  while (std::getline(std::cin, line)) {
+    if (!query.empty()) {
+      if (line == ";") {
+        shell.RunQuery(query);
+        query.clear();
+      } else {
+        query += "\n" + line;
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line[0] == '.') {
+      if (!shell.HandleCommand(line)) break;
+      continue;
+    }
+    query = line;
+    // Single-line queries ending the statement immediately are common.
+    if (line.back() == ';') {
+      query.pop_back();
+      shell.RunQuery(query);
+      query.clear();
+    }
+  }
+  if (!query.empty()) shell.RunQuery(query);
+  return 0;
+}
