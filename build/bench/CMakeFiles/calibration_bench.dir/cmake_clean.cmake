@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_bench.dir/calibration_bench.cc.o"
+  "CMakeFiles/calibration_bench.dir/calibration_bench.cc.o.d"
+  "calibration_bench"
+  "calibration_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

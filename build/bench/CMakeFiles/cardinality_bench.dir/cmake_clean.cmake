@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_bench.dir/cardinality_bench.cc.o"
+  "CMakeFiles/cardinality_bench.dir/cardinality_bench.cc.o.d"
+  "cardinality_bench"
+  "cardinality_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

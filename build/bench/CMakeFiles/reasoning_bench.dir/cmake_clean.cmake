@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoning_bench.dir/reasoning_bench.cc.o"
+  "CMakeFiles/reasoning_bench.dir/reasoning_bench.cc.o.d"
+  "reasoning_bench"
+  "reasoning_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoning_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_handling.dir/result_handling.cc.o"
+  "CMakeFiles/result_handling.dir/result_handling.cc.o.d"
+  "result_handling"
+  "result_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lubm.dir/table2_lubm.cc.o"
+  "CMakeFiles/table2_lubm.dir/table2_lubm.cc.o.d"
+  "table2_lubm"
+  "table2_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_watdiv_basic.dir/table3_watdiv_basic.cc.o"
+  "CMakeFiles/table3_watdiv_basic.dir/table3_watdiv_basic.cc.o.d"
+  "table3_watdiv_basic"
+  "table3_watdiv_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_watdiv_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_watdiv_basic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_watdiv_linear.dir/table4_watdiv_linear.cc.o"
+  "CMakeFiles/table4_watdiv_linear.dir/table4_watdiv_linear.cc.o.d"
+  "table4_watdiv_linear"
+  "table4_watdiv_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_watdiv_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

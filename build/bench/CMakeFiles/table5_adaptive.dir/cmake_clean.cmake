@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_adaptive.dir/table5_adaptive.cc.o"
+  "CMakeFiles/table5_adaptive.dir/table5_adaptive.cc.o.d"
+  "table5_adaptive"
+  "table5_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

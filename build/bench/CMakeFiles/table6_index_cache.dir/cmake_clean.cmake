@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_index_cache.dir/table6_index_cache.cc.o"
+  "CMakeFiles/table6_index_cache.dir/table6_index_cache.cc.o.d"
+  "table6_index_cache"
+  "table6_index_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_index_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_explore.dir/adaptive_explore.cpp.o"
+  "CMakeFiles/adaptive_explore.dir/adaptive_explore.cpp.o.d"
+  "adaptive_explore"
+  "adaptive_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_demo.dir/lubm_demo.cpp.o"
+  "CMakeFiles/lubm_demo.dir/lubm_demo.cpp.o.d"
+  "lubm_demo"
+  "lubm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

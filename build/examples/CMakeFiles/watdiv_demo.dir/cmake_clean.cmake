@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watdiv_demo.dir/watdiv_demo.cpp.o"
+  "CMakeFiles/watdiv_demo.dir/watdiv_demo.cpp.o.d"
+  "watdiv_demo"
+  "watdiv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watdiv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

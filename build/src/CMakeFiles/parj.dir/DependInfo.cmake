@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline_engine.cc" "src/CMakeFiles/parj.dir/baseline/baseline_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/baseline/baseline_engine.cc.o.d"
+  "/root/repo/src/baseline/exchange_engine.cc" "src/CMakeFiles/parj.dir/baseline/exchange_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/baseline/exchange_engine.cc.o.d"
+  "/root/repo/src/baseline/hash_join_engine.cc" "src/CMakeFiles/parj.dir/baseline/hash_join_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/baseline/hash_join_engine.cc.o.d"
+  "/root/repo/src/baseline/naive_engine.cc" "src/CMakeFiles/parj.dir/baseline/naive_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/baseline/naive_engine.cc.o.d"
+  "/root/repo/src/baseline/sort_merge_engine.cc" "src/CMakeFiles/parj.dir/baseline/sort_merge_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/baseline/sort_merge_engine.cc.o.d"
+  "/root/repo/src/cluster/replicated_cluster.cc" "src/CMakeFiles/parj.dir/cluster/replicated_cluster.cc.o" "gcc" "src/CMakeFiles/parj.dir/cluster/replicated_cluster.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/parj.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/parj.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/parj.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/parj.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/parj.dir/common/status.cc.o" "gcc" "src/CMakeFiles/parj.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/parj.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/parj.dir/common/strings.cc.o.d"
+  "/root/repo/src/dict/dictionary.cc" "src/CMakeFiles/parj.dir/dict/dictionary.cc.o" "gcc" "src/CMakeFiles/parj.dir/dict/dictionary.cc.o.d"
+  "/root/repo/src/engine/parj_engine.cc" "src/CMakeFiles/parj.dir/engine/parj_engine.cc.o" "gcc" "src/CMakeFiles/parj.dir/engine/parj_engine.cc.o.d"
+  "/root/repo/src/index/id_position_index.cc" "src/CMakeFiles/parj.dir/index/id_position_index.cc.o" "gcc" "src/CMakeFiles/parj.dir/index/id_position_index.cc.o.d"
+  "/root/repo/src/join/calibration.cc" "src/CMakeFiles/parj.dir/join/calibration.cc.o" "gcc" "src/CMakeFiles/parj.dir/join/calibration.cc.o.d"
+  "/root/repo/src/join/executor.cc" "src/CMakeFiles/parj.dir/join/executor.cc.o" "gcc" "src/CMakeFiles/parj.dir/join/executor.cc.o.d"
+  "/root/repo/src/join/search.cc" "src/CMakeFiles/parj.dir/join/search.cc.o" "gcc" "src/CMakeFiles/parj.dir/join/search.cc.o.d"
+  "/root/repo/src/join/trace_replay.cc" "src/CMakeFiles/parj.dir/join/trace_replay.cc.o" "gcc" "src/CMakeFiles/parj.dir/join/trace_replay.cc.o.d"
+  "/root/repo/src/query/algebra.cc" "src/CMakeFiles/parj.dir/query/algebra.cc.o" "gcc" "src/CMakeFiles/parj.dir/query/algebra.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/parj.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/parj.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/parj.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/parj.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/CMakeFiles/parj.dir/query/plan.cc.o" "gcc" "src/CMakeFiles/parj.dir/query/plan.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/parj.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/parj.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/parj.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/parj.dir/rdf/term.cc.o.d"
+  "/root/repo/src/reasoning/answering.cc" "src/CMakeFiles/parj.dir/reasoning/answering.cc.o" "gcc" "src/CMakeFiles/parj.dir/reasoning/answering.cc.o.d"
+  "/root/repo/src/reasoning/hierarchy.cc" "src/CMakeFiles/parj.dir/reasoning/hierarchy.cc.o" "gcc" "src/CMakeFiles/parj.dir/reasoning/hierarchy.cc.o.d"
+  "/root/repo/src/reasoning/materialize.cc" "src/CMakeFiles/parj.dir/reasoning/materialize.cc.o" "gcc" "src/CMakeFiles/parj.dir/reasoning/materialize.cc.o.d"
+  "/root/repo/src/reasoning/rewrite.cc" "src/CMakeFiles/parj.dir/reasoning/rewrite.cc.o" "gcc" "src/CMakeFiles/parj.dir/reasoning/rewrite.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/parj.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/parj.dir/sim/cache.cc.o.d"
+  "/root/repo/src/storage/char_sets.cc" "src/CMakeFiles/parj.dir/storage/char_sets.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/char_sets.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/parj.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/export.cc" "src/CMakeFiles/parj.dir/storage/export.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/export.cc.o.d"
+  "/root/repo/src/storage/histogram.cc" "src/CMakeFiles/parj.dir/storage/histogram.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/histogram.cc.o.d"
+  "/root/repo/src/storage/property_table.cc" "src/CMakeFiles/parj.dir/storage/property_table.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/property_table.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/parj.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/parj.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/workload/lubm.cc" "src/CMakeFiles/parj.dir/workload/lubm.cc.o" "gcc" "src/CMakeFiles/parj.dir/workload/lubm.cc.o.d"
+  "/root/repo/src/workload/watdiv.cc" "src/CMakeFiles/parj.dir/workload/watdiv.cc.o" "gcc" "src/CMakeFiles/parj.dir/workload/watdiv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

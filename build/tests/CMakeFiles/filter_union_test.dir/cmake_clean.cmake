@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_union_test.dir/filter_union_test.cc.o"
+  "CMakeFiles/filter_union_test.dir/filter_union_test.cc.o.d"
+  "filter_union_test"
+  "filter_union_test.pdb"
+  "filter_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

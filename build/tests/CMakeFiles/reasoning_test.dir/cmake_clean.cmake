@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoning_test.dir/reasoning_test.cc.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_test.cc.o.d"
+  "reasoning_test"
+  "reasoning_test.pdb"
+  "reasoning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_lubm_test.dir/workload_lubm_test.cc.o"
+  "CMakeFiles/workload_lubm_test.dir/workload_lubm_test.cc.o.d"
+  "workload_lubm_test"
+  "workload_lubm_test.pdb"
+  "workload_lubm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_lubm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

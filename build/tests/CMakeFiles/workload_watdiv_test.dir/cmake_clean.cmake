@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_watdiv_test.dir/workload_watdiv_test.cc.o"
+  "CMakeFiles/workload_watdiv_test.dir/workload_watdiv_test.cc.o.d"
+  "workload_watdiv_test"
+  "workload_watdiv_test.pdb"
+  "workload_watdiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_watdiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

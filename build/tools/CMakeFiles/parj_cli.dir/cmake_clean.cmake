@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parj_cli.dir/parj_cli.cc.o"
+  "CMakeFiles/parj_cli.dir/parj_cli.cc.o.d"
+  "parj_cli"
+  "parj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
