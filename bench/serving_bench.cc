@@ -1,0 +1,133 @@
+// Serving-layer throughput/latency harness (not a paper table — the paper
+// measures single queries; this measures the concurrent serving subsystem
+// added on top).
+//
+// Runs a LUBM query mix through the QueryServer at 1, 4 and 16 concurrent
+// clients, reporting queries/sec and bucketed p50/p99 latency, and
+// verifies that every concurrently-served query returns exactly the same
+// row count as its serial execution. Ends with the metrics-registry dump
+// of the 16-client run.
+//
+// Environment overrides (see bench_util.h): PARJ_LUBM_UNIV,
+// PARJ_THREADS (per-query shards), PARJ_SERVE_ROUNDS (mix repetitions
+// per concurrency level, default 4).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "server/server.h"
+#include "workload/lubm.h"
+
+namespace parj::bench {
+namespace {
+
+int ServeRounds() { return EnvInt("PARJ_SERVE_ROUNDS", 4); }
+
+struct LevelResult {
+  int clients = 0;
+  double wall_seconds = 0.0;
+  uint64_t queries = 0;
+  double qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
+int Main() {
+  const int universities = LubmUniversities();
+  const int threads = BenchThreads();
+  const int rounds = ServeRounds();
+  PrintHeader("Serving throughput (QueryServer, shared pool)",
+              "LUBM " + std::to_string(universities) + " universities, " +
+                  std::to_string(threads) + " shard thread(s)/query, " +
+                  std::to_string(rounds) + " mix rounds per level");
+
+  engine::ParjEngine engine = BuildEngine(
+      workload::GenerateLubm({.universities = universities, .seed = 42}));
+  const std::vector<workload::NamedQuery> mix = workload::LubmQueries();
+
+  // Serial reference: every query once, straight through the engine.
+  engine::QueryOptions query_options;
+  query_options.mode = join::ResultMode::kCount;
+  query_options.num_threads = threads;
+  std::map<std::string, uint64_t> serial_rows;
+  for (const auto& q : mix) {
+    auto result = engine.Execute(q.sparql, query_options);
+    PARJ_CHECK(result.ok()) << q.name << ": " << result.status().ToString();
+    serial_rows[q.name] = result->row_count;
+  }
+
+  std::vector<LevelResult> levels;
+  std::string final_dump;
+  for (int clients : {1, 4, 16}) {
+    server::ServerOptions options;
+    options.query_defaults = query_options;
+    options.scheduler.max_in_flight = clients;
+    options.scheduler.max_queue = 4096;
+    server::QueryServer server(&engine, options);
+
+    Stopwatch wall;
+    std::vector<std::pair<std::string, server::SubmittedQuery>> submitted;
+    submitted.reserve(static_cast<size_t>(rounds) * mix.size());
+    for (int round = 0; round < rounds; ++round) {
+      for (const auto& q : mix) {
+        submitted.emplace_back(q.name, server.Submit(q.sparql));
+      }
+    }
+    for (auto& [name, q] : submitted) {
+      auto result = q.result.get();
+      PARJ_CHECK(result.ok()) << name << ": " << result.status().ToString();
+      PARJ_CHECK(result->row_count == serial_rows[name])
+          << name << ": concurrent row count " << result->row_count
+          << " != serial " << serial_rows[name];
+    }
+    const double seconds = wall.ElapsedSeconds();
+
+    LevelResult level;
+    level.clients = clients;
+    level.wall_seconds = seconds;
+    level.queries = submitted.size();
+    level.qps = seconds > 0 ? static_cast<double>(level.queries) / seconds : 0;
+    level.p50 = server.metrics().total.PercentileMillis(0.5);
+    level.p99 = server.metrics().total.PercentileMillis(0.99);
+    level.mean = server.metrics().total.mean_millis();
+    levels.push_back(level);
+    if (clients == 16) final_dump = server.metrics().Dump();
+  }
+
+  TablePrinter table({"clients", "queries", "wall s", "qps", "mean ms",
+                      "p50<= ms", "p99<= ms"});
+  char buf[64];
+  for (const LevelResult& level : levels) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(level.clients));
+    row.push_back(std::to_string(level.queries));
+    std::snprintf(buf, sizeof(buf), "%.2f", level.wall_seconds);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", level.qps);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", level.mean);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", level.p50);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", level.p99);
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\nAll %d x %zu concurrent results matched serial row counts.\n",
+              rounds, mix.size());
+  std::printf("\n%s", final_dump.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Main(); }

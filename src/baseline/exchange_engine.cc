@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
-#include <thread>
 #include <unordered_map>
+
+#include "server/thread_pool.h"
 
 namespace parj::baseline {
 
@@ -189,11 +190,10 @@ Result<BaselineResult> ExchangeEngine::Execute(
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(num_workers - 1);
-  for (int w = 1; w < num_workers; ++w) threads.emplace_back(worker_body, w);
-  worker_body(0);
-  for (std::thread& t : threads) t.join();
+  // Workers synchronize on barriers, so they must all run concurrently:
+  // RunGang hands members to idle pool workers and covers any shortfall
+  // with overflow threads (never deadlocks on pool capacity).
+  server::ThreadPool::Shared().RunGang(num_workers, worker_body);
 
   barrier_count = 1;  // step-0 barrier
   for (size_t s = 1; s < steps.size(); ++s) {

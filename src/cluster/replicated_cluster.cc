@@ -1,11 +1,11 @@
 #include "cluster/replicated_cluster.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/timer.h"
 #include "query/algebra.h"
 #include "query/parser.h"
+#include "server/thread_pool.h"
 
 namespace parj::cluster {
 
@@ -33,8 +33,8 @@ Result<ClusterResult> ReplicatedCluster::ExecutePlan(
     node_results.emplace_back(Status::Internal("node did not run"));
   }
 
-  // One OS thread per node; each node's Executor fans out into
-  // threads_per_node shards within its slice.
+  // One pool task per node; each node's Executor fans out into
+  // threads_per_node shards within its slice (also on the shared pool).
   auto node_body = [&](int node) {
     join::Executor executor(db_);
     join::ExecOptions exec;
@@ -47,11 +47,9 @@ Result<ClusterResult> ReplicatedCluster::ExecutePlan(
     node_results[node] = executor.Execute(plan, exec);
     result.node_millis[node] = timer.ElapsedMillis();
   };
-  std::vector<std::thread> threads;
-  threads.reserve(nodes - 1);
-  for (int n = 1; n < nodes; ++n) threads.emplace_back(node_body, n);
-  node_body(0);
-  for (std::thread& t : threads) t.join();
+  server::ThreadPool::Shared().ParallelFor(
+      static_cast<size_t>(nodes),
+      [&](size_t node) { node_body(static_cast<int>(node)); });
 
   // Final gather (the only cross-node traffic).
   for (int n = 0; n < nodes; ++n) {

@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kIoError,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -61,6 +64,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -87,6 +87,7 @@ Result<engine::QueryResult> ExecuteUnionAst(
     exec.strategy = options.strategy;
     exec.emulate_parallel = options.emulate_parallel;
     exec.mode = join::ResultMode::kMaterialize;
+    exec.cancel = options.cancel;
     PARJ_ASSIGN_OR_RETURN(join::ExecResult arm_result,
                           executor.Execute(plan, exec));
     result.row_count += arm_result.row_count;
@@ -170,6 +171,9 @@ Result<query::Plan> ParjEngine::Explain(
 Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
                                         const QueryOptions& options) const {
   QueryResult result;
+  // A query submitted with an already-expired deadline (or pre-cancelled
+  // token) returns its cancellation Status without parsing or executing.
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
   Stopwatch parse_timer;
   PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
@@ -190,6 +194,7 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   exec.strategy = options.strategy;
   exec.emulate_parallel = options.emulate_parallel;
   exec.collect_probe_trace = options.collect_probe_trace;
+  exec.cancel = options.cancel;
   // DISTINCT needs materialized rows to deduplicate, whatever the caller
   // asked for; LIMIT without DISTINCT can stop shards early.
   const bool need_rows =
@@ -240,6 +245,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
     std::string_view sparql, const QueryOptions& options,
     const join::RowVisitor& visitor) const {
   QueryResult result;
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
   Stopwatch parse_timer;
   PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
@@ -262,6 +268,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   exec.emulate_parallel = options.emulate_parallel;
   exec.mode = join::ResultMode::kVisit;
   exec.visitor = visitor;
+  exec.cancel = options.cancel;
   if (plan.limit != 0) exec.per_shard_limit = plan.limit;
   if (options.max_rows != 0 &&
       (exec.per_shard_limit == 0 || options.max_rows < exec.per_shard_limit)) {

@@ -38,6 +38,10 @@ struct QueryOptions {
   /// A safety valve for workloads with combinatorially exploding results
   /// (e.g. WatDiv IL-3 at large path lengths).
   uint64_t max_rows = 0;
+  /// Cooperative cancellation/deadline token (see join::ExecOptions).
+  /// Checked before parsing and throughout execution; a stopped query
+  /// returns the token's Status. Default token never fires.
+  server::CancellationToken cancel;
   query::OptimizerOptions optimizer;
 };
 

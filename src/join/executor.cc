@@ -1,10 +1,10 @@
 #include "join/executor.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "server/thread_pool.h"
 
 namespace parj::join {
 
@@ -57,6 +57,10 @@ struct ShardContext {
   size_t trace_entries = 0;
   std::vector<std::vector<TermId>> trace;
 
+  server::CancellationToken cancel;
+  bool cancel_enabled = false;
+  int cancel_countdown = kCancelCheckInterval;
+
   void Emit() {
     ++row_count;
     if (mode == ResultMode::kMaterialize) {
@@ -88,6 +92,14 @@ struct ShardContext {
   /// Evaluates steps[depth..] given bindings for earlier steps.
   void Descend(size_t depth, SearchStrategy strategy) {
     if (limit_reached) return;
+    if (cancel_enabled && --cancel_countdown <= 0) {
+      cancel_countdown = kCancelCheckInterval;
+      if (cancel.StopRequested()) {
+        // Reuse the limit machinery to unwind every loop in this shard.
+        limit_reached = true;
+        return;
+      }
+    }
     for (const query::EncodedFilter* filter : (*filters_at)[depth]) {
       if (!PassesFilter(*filter)) return;
     }
@@ -269,6 +281,9 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
   if (options.mode == ResultMode::kVisit && !options.visitor) {
     return Status::InvalidArgument("kVisit mode requires a visitor");
   }
+  // Admission check: an already-cancelled token (e.g. an expired
+  // deadline) stops the query before any work happens.
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
   const bool needs_index = options.strategy == SearchStrategy::kIndex ||
                            options.strategy == SearchStrategy::kAdaptiveIndex;
@@ -384,6 +399,8 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
       ctx.max_trace_entries = options.max_trace_entries / num_shards + 1;
       ctx.trace.resize(steps.size());
     }
+    ctx.cancel = options.cancel;
+    ctx.cancel_enabled = options.cancel.valid();
   }
 
   auto shard_range = [&](size_t shard) {
@@ -404,18 +421,19 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
         *std::max_element(result.shard_millis.begin(),
                           result.shard_millis.end());
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_shards - 1);
-    for (size_t shard = 1; shard < num_shards; ++shard) {
+    // Shards are tasks on the shared pool (the serving layer's one
+    // threading idiom) — no per-query thread spawn/join. The calling
+    // thread participates, so pool-run queries can fan out safely.
+    server::ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : server::ThreadPool::Shared();
+    pool.ParallelFor(num_shards, [&](size_t shard) {
       auto [begin, end] = shard_range(shard);
-      threads.emplace_back([&, begin, end, shard] {
-        RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
-      });
-    }
-    auto [begin, end] = shard_range(0);
-    RunShard(steps, src, begin, end, options.strategy, &contexts[0]);
-    for (std::thread& t : threads) t.join();
+      RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+    });
   }
+
+  // A cancelled query reports its Status instead of partial results.
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
   // Merge per-shard buffers (the only post-processing step; during the
   // join there is no cross-thread traffic).

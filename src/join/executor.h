@@ -10,7 +10,12 @@
 #include "common/types.h"
 #include "join/search.h"
 #include "query/plan.h"
+#include "server/cancellation.h"
 #include "storage/database.h"
+
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
 
 namespace parj::join {
 
@@ -64,7 +69,21 @@ struct ExecOptions {
   /// concatenating results is equivalent to a single full execution.
   int total_workers = 1;
   int worker_index = 0;
+  /// Cooperative cancellation/deadline token, checked on entry and then
+  /// every kCancelCheckInterval tuples inside each shard's pipeline. A
+  /// default-constructed token never fires. On cancellation Execute
+  /// returns the token's Status (Cancelled / DeadlineExceeded) and any
+  /// partial results are discarded.
+  server::CancellationToken cancel;
+  /// Pool used for multi-shard dispatch; nullptr means the process-wide
+  /// server::ThreadPool::Shared(). Shards are pool tasks, not per-query
+  /// spawned threads.
+  server::ThreadPool* pool = nullptr;
 };
+
+/// Tuples processed between cancellation-token checks in a shard loop
+/// (flag-only check; deadline clock reads are equally amortized).
+inline constexpr int kCancelCheckInterval = 2048;
 
 /// Probe values observed per plan step, in shard order. Step 0 records the
 /// first step's constant-key lookup (if any); probe steps record one entry

@@ -1,0 +1,22 @@
+#include "server/cancellation.h"
+
+namespace parj::server {
+
+Status CancellationToken::ToStatus() const {
+  switch (reason()) {
+    case CancelReason::kCancelled:
+      return Status::Cancelled("query cancelled by client");
+    case CancelReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case CancelReason::kNone:
+      break;
+  }
+  return Status::Internal("ToStatus() on a token that was not stopped");
+}
+
+void CancellationSource::set_timeout_millis(double millis) {
+  set_deadline(std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(static_cast<int64_t>(millis * 1e6)));
+}
+
+}  // namespace parj::server

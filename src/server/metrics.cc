@@ -1,0 +1,114 @@
+#include "server/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace parj::server {
+
+namespace {
+
+size_t BucketFor(uint64_t micros) {
+  if (micros == 0) return 0;
+  const size_t width = static_cast<size_t>(std::bit_width(micros));
+  return width < LatencyHistogram::kBucketCount
+             ? width
+             : LatencyHistogram::kBucketCount - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double millis) {
+  if (millis < 0 || !std::isfinite(millis)) millis = 0;
+  const uint64_t micros = static_cast<uint64_t>(millis * 1e3);
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+  while (micros > prev && !max_micros_.compare_exchange_weak(
+                              prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::BucketUpperMillis(size_t bucket) {
+  return static_cast<double>(uint64_t{1} << bucket) / 1e3;
+}
+
+double LatencyHistogram::PercentileMillis(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) return BucketUpperMillis(i);
+  }
+  return BucketUpperMillis(kBucketCount - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendHistogram(std::string* out, const char* name,
+                     const LatencyHistogram& h) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-12s count=%llu mean=%.3fms p50<=%.3fms p99<=%.3fms "
+                "max=%.3fms\n",
+                name, static_cast<unsigned long long>(h.count()),
+                h.mean_millis(), h.PercentileMillis(0.5),
+                h.PercentileMillis(0.99), h.max_millis());
+  *out += line;
+}
+
+void AppendCounter(std::string* out, const char* name,
+                   const std::atomic<uint64_t>& value) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%-20s %llu\n", name,
+                static_cast<unsigned long long>(
+                    value.load(std::memory_order_relaxed)));
+  *out += line;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Dump() const {
+  std::string out = "--- serving metrics ---\n";
+  AppendCounter(&out, "queries_submitted", queries_submitted);
+  AppendCounter(&out, "queries_admitted", queries_admitted);
+  AppendCounter(&out, "admission_rejected", admission_rejected);
+  AppendCounter(&out, "queries_completed", queries_completed);
+  AppendCounter(&out, "queries_failed", queries_failed);
+  AppendCounter(&out, "queries_cancelled", queries_cancelled);
+  AppendCounter(&out, "deadlines_expired", deadlines_expired);
+  AppendCounter(&out, "rows_returned", rows_returned);
+  AppendHistogram(&out, "queue_wait", queue_wait);
+  AppendHistogram(&out, "execution", execution);
+  AppendHistogram(&out, "total", total);
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  queries_submitted.store(0, std::memory_order_relaxed);
+  queries_admitted.store(0, std::memory_order_relaxed);
+  admission_rejected.store(0, std::memory_order_relaxed);
+  queries_completed.store(0, std::memory_order_relaxed);
+  queries_failed.store(0, std::memory_order_relaxed);
+  queries_cancelled.store(0, std::memory_order_relaxed);
+  deadlines_expired.store(0, std::memory_order_relaxed);
+  rows_returned.store(0, std::memory_order_relaxed);
+  queue_wait.Reset();
+  execution.Reset();
+  total.Reset();
+}
+
+}  // namespace parj::server

@@ -1,0 +1,78 @@
+#ifndef PARJ_SERVER_METRICS_H_
+#define PARJ_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace parj::server {
+
+/// Lock-free fixed-bucket latency histogram. Bucket i covers
+/// [2^(i-1), 2^i) microseconds (bucket 0 is [0, 1us)), so 32 buckets span
+/// sub-microsecond to ~35 minutes — plenty for query latencies — with one
+/// relaxed atomic increment per Record.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBucketCount = 32;
+
+  void Record(double millis);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_millis() const {
+    return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
+  double mean_millis() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum_millis() / static_cast<double>(n);
+  }
+  double max_millis() const {
+    return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
+
+  /// Upper bound (ms) of the bucket holding the p-quantile (0 < p <= 1);
+  /// 0 when empty. Bucketed percentiles are exact to within a factor of 2,
+  /// which is the standard tradeoff for lock-free serving metrics.
+  double PercentileMillis(double p) const;
+
+  /// Upper bound of bucket `i` in milliseconds.
+  static double BucketUpperMillis(size_t bucket);
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+/// All serving-layer counters and histograms. One instance per
+/// QueryServer; everything is an atomic, so workers record without locks
+/// and Dump() reads a consistent-enough snapshot for operators.
+struct MetricsRegistry {
+  std::atomic<uint64_t> queries_submitted{0};
+  std::atomic<uint64_t> queries_admitted{0};
+  std::atomic<uint64_t> admission_rejected{0};  ///< queue-full rejections
+  std::atomic<uint64_t> queries_completed{0};
+  std::atomic<uint64_t> queries_failed{0};      ///< non-cancel errors
+  std::atomic<uint64_t> queries_cancelled{0};   ///< client-initiated
+  std::atomic<uint64_t> deadlines_expired{0};
+  std::atomic<uint64_t> rows_returned{0};
+
+  LatencyHistogram queue_wait;  ///< submit -> job start
+  LatencyHistogram execution;   ///< engine Execute wall time
+  LatencyHistogram total;       ///< submit -> result ready
+
+  /// Human-readable text dump for the CLI / benches.
+  std::string Dump() const;
+
+  void Reset();
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_METRICS_H_

@@ -1,0 +1,81 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace parj::server {
+
+QueryScheduler::QueryScheduler(ThreadPool* pool, SchedulerOptions options)
+    : pool_(pool), options_(options) {
+  if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  Drain();
+}
+
+Status QueryScheduler::Submit(int priority, std::function<void()> job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::ResourceExhausted("scheduler is shutting down");
+  }
+  if (in_flight_ < options_.max_in_flight) {
+    ++in_flight_;
+    LaunchLocked(std::move(job));
+    return Status::OK();
+  }
+  if (queue_.size() >= options_.max_queue) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " queued, " + std::to_string(in_flight_) + " in flight)");
+  }
+  queue_.push_back(Entry{priority, next_seq_++, std::move(job)});
+  std::push_heap(queue_.begin(), queue_.end(), EntryWorse);
+  return Status::OK();
+}
+
+void QueryScheduler::LaunchLocked(std::function<void()> job) {
+  pool_->Submit([this, job = std::move(job)] {
+    job();
+    OnJobDone();
+  });
+}
+
+void QueryScheduler::OnJobDone() {
+  std::function<void()> next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queue_.empty()) {
+      std::pop_heap(queue_.begin(), queue_.end(), EntryWorse);
+      next = std::move(queue_.back().job);
+      queue_.pop_back();
+    } else {
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+      return;
+    }
+    LaunchLocked(std::move(next));
+  }
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0 && queue_.empty(); });
+}
+
+size_t QueryScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int QueryScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+}  // namespace parj::server

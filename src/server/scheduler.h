@@ -1,0 +1,75 @@
+#ifndef PARJ_SERVER_SCHEDULER_H_
+#define PARJ_SERVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "server/thread_pool.h"
+
+namespace parj::server {
+
+struct SchedulerOptions {
+  /// Queries executing concurrently; further admissions queue.
+  int max_in_flight = 4;
+  /// Bounded wait queue; submissions beyond this are rejected with
+  /// ResourceExhausted (the overload-shedding contract: fail fast instead
+  /// of buffering unbounded work).
+  size_t max_queue = 64;
+};
+
+/// Admission control plus FIFO-with-priority dispatch for query jobs.
+/// Jobs run on the shared ThreadPool; the scheduler only decides *when*
+/// each admitted job is released to it. Higher priority dispatches first;
+/// equal priorities dispatch in submission order.
+class QueryScheduler {
+ public:
+  QueryScheduler(ThreadPool* pool, SchedulerOptions options);
+  ~QueryScheduler();  ///< drains all admitted jobs
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admits `job` (immediately dispatched or queued) or rejects it with
+  /// ResourceExhausted when the wait queue is full / the scheduler is
+  /// shutting down. An admitted job ALWAYS runs eventually.
+  Status Submit(int priority, std::function<void()> job);
+
+  /// Blocks until every admitted job has finished.
+  void Drain();
+
+  size_t queued() const;
+  int in_flight() const;
+
+ private:
+  struct Entry {
+    int priority = 0;
+    uint64_t seq = 0;
+    std::function<void()> job;
+  };
+
+  /// Heap order: highest priority first, then FIFO by sequence number.
+  static bool EntryWorse(const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+
+  void LaunchLocked(std::function<void()> job);
+  void OnJobDone();
+
+  ThreadPool* pool_;
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<Entry> queue_;  // heap via std::push_heap/pop_heap
+  uint64_t next_seq_ = 0;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_SCHEDULER_H_

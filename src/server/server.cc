@@ -1,0 +1,106 @@
+#include "server/server.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace parj::server {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const engine::ParjEngine* engine,
+                         ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Shared()),
+      scheduler_(pool_, options_.scheduler) {}
+
+void QueryServer::CountTermination(const CancellationToken& token) {
+  if (token.reason() == CancelReason::kDeadlineExceeded) {
+    metrics_.deadlines_expired.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.queries_cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
+  metrics_.queries_submitted.fetch_add(1, std::memory_order_relaxed);
+  SubmittedQuery out;
+  out.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (options.deadline.has_value()) {
+    out.cancel.set_deadline(*options.deadline);
+  } else if (options.timeout_millis > 0) {
+    out.cancel.set_timeout_millis(options.timeout_millis);
+  }
+  auto promise =
+      std::make_shared<std::promise<Result<engine::QueryResult>>>();
+  out.result = promise->get_future();
+  CancellationToken token = out.cancel.token();
+
+  // Admission-time fast path: an already-expired deadline never executes
+  // (and never occupies a scheduler slot).
+  if (token.StopRequested()) {
+    CountTermination(token);
+    promise->set_value(token.ToStatus());
+    return out;
+  }
+
+  engine::QueryOptions query_options =
+      options.query.has_value() ? *options.query : options_.query_defaults;
+  query_options.cancel = token;
+  const auto submit_time = std::chrono::steady_clock::now();
+
+  auto job = [this, sparql = std::move(sparql), query_options, token, promise,
+              submit_time] {
+    metrics_.queue_wait.Record(MillisSince(submit_time));
+    if (token.StopRequested()) {
+      // Cancelled or expired while waiting in the admission queue.
+      CountTermination(token);
+      metrics_.total.Record(MillisSince(submit_time));
+      promise->set_value(token.ToStatus());
+      return;
+    }
+    Stopwatch exec_timer;
+    Result<engine::QueryResult> result =
+        engine_->Execute(sparql, query_options);
+    metrics_.execution.Record(exec_timer.ElapsedMillis());
+    metrics_.total.Record(MillisSince(submit_time));
+    if (result.ok()) {
+      metrics_.queries_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.rows_returned.fetch_add(result->row_count,
+                                       std::memory_order_relaxed);
+    } else if (result.status().code() == StatusCode::kCancelled ||
+               result.status().code() == StatusCode::kDeadlineExceeded) {
+      CountTermination(token);
+    } else {
+      metrics_.queries_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    promise->set_value(std::move(result));
+  };
+
+  const Status admitted = scheduler_.Submit(options.priority, std::move(job));
+  if (!admitted.ok()) {
+    metrics_.admission_rejected.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(admitted);
+    return out;
+  }
+  metrics_.queries_admitted.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<engine::QueryResult> QueryServer::Execute(std::string sparql,
+                                                 SubmitOptions options) {
+  SubmittedQuery q = Submit(std::move(sparql), std::move(options));
+  return q.result.get();
+}
+
+}  // namespace parj::server

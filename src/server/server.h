@@ -1,0 +1,104 @@
+#ifndef PARJ_SERVER_SERVER_H_
+#define PARJ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/parj_engine.h"
+#include "server/cancellation.h"
+#include "server/metrics.h"
+#include "server/scheduler.h"
+#include "server/thread_pool.h"
+
+namespace parj::server {
+
+struct ServerOptions {
+  SchedulerOptions scheduler;
+  /// Pool running both query jobs and their intra-query shards; nullptr
+  /// means ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Engine options applied to every submission unless overridden
+  /// per-query (SubmitOptions::query).
+  engine::QueryOptions query_defaults;
+};
+
+struct SubmitOptions {
+  /// Higher dispatches first; FIFO within a priority level.
+  int priority = 0;
+  /// Relative timeout in ms (0 = none); converted to an absolute deadline
+  /// at submission time.
+  double timeout_millis = 0.0;
+  /// Absolute steady-clock deadline; takes precedence over timeout_millis.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Per-query engine options; defaults to ServerOptions::query_defaults.
+  std::optional<engine::QueryOptions> query;
+};
+
+/// Client-side handle for one submitted query: the eventual result plus
+/// the cancellation source for client-initiated cancel.
+struct SubmittedQuery {
+  uint64_t id = 0;
+  std::future<Result<engine::QueryResult>> result;
+  CancellationSource cancel;
+
+  /// Requests cooperative cancellation; the result future then resolves
+  /// to a Cancelled Status (unless the query already finished).
+  void Cancel() { cancel.Cancel(); }
+};
+
+/// The concurrent query-serving front of a ParjEngine: a shared thread
+/// pool under an admission-controlled scheduler, with per-query
+/// deadlines/cancellation and a metrics registry. The engine itself stays
+/// a read-only, thread-safe evaluator — all serving policy lives here.
+///
+///   server::QueryServer server(&engine, {});
+///   auto q = server.Submit(sparql, {.timeout_millis = 500});
+///   auto result = q.result.get();      // Result<QueryResult>
+///
+/// Intra-query parallelism (the paper's one-thread-per-shard model) and
+/// inter-query concurrency share the same pool; SchedulerOptions bounds
+/// how many queries compete for it at once.
+class QueryServer {
+ public:
+  explicit QueryServer(const engine::ParjEngine* engine,
+                       ServerOptions options = {});
+  ~QueryServer() = default;  // scheduler drains admitted jobs
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Asynchronously executes `sparql`. Never blocks: an over-limit
+  /// submission resolves immediately with ResourceExhausted, an expired
+  /// deadline with DeadlineExceeded (without executing).
+  SubmittedQuery Submit(std::string sparql, SubmitOptions options = {});
+
+  /// Submit + wait convenience.
+  Result<engine::QueryResult> Execute(std::string sparql,
+                                      SubmitOptions options = {});
+
+  /// Blocks until every admitted query has finished.
+  void Drain() { scheduler_.Drain(); }
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const QueryScheduler& scheduler() const { return scheduler_; }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  void CountTermination(const CancellationToken& token);
+
+  const engine::ParjEngine* engine_;
+  ServerOptions options_;
+  ThreadPool* pool_;
+  QueryScheduler scheduler_;
+  MetricsRegistry metrics_;
+  std::atomic<uint64_t> next_query_id_{1};
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_SERVER_H_

@@ -1,0 +1,191 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "join/executor.h"
+#include "workload/lubm.h"
+
+namespace parj::server {
+namespace {
+
+engine::ParjEngine MakeLubmEngine(int universities = 1) {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = universities, .seed = 42});
+  auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                std::move(data.triples));
+  PARJ_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+const char* kPrefix =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n";
+
+/// A guaranteed-long query: the full three-way cartesian product of all
+/// undergraduate students (billions of tuples at any LUBM scale), counted
+/// silently. Only cancellation/deadline can end it promptly.
+std::string HeavyCartesianQuery() {
+  return std::string(kPrefix) +
+         "SELECT ?x ?y ?z WHERE { ?x a ub:UndergraduateStudent . "
+         "?y a ub:UndergraduateStudent . ?z a ub:UndergraduateStudent . }";
+}
+
+std::string SimpleQuery() {
+  return std::string(kPrefix) +
+         "SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }";
+}
+
+engine::QueryOptions CountMode() {
+  engine::QueryOptions options;
+  options.mode = join::ResultMode::kCount;
+  return options;
+}
+
+TEST(QueryServerTest, ExpiredDeadlineReturnsWithoutExecuting) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  QueryServer server(&engine, {});
+  SubmitOptions submit;
+  submit.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  SubmittedQuery q = server.Submit(SimpleQuery(), submit);
+  Result<engine::QueryResult> result = q.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Never admitted, never executed.
+  EXPECT_EQ(server.metrics().deadlines_expired.load(), 1u);
+  EXPECT_EQ(server.metrics().queries_admitted.load(), 0u);
+  EXPECT_EQ(server.metrics().execution.count(), 0u);
+}
+
+TEST(QueryServerTest, DeadlineExpiresMidQuery) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+  SubmitOptions submit;
+  submit.timeout_millis = 5.0;
+  SubmittedQuery q = server.Submit(HeavyCartesianQuery(), submit);
+  Result<engine::QueryResult> result = q.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.metrics().deadlines_expired.load(), 1u);
+  EXPECT_EQ(server.metrics().queries_admitted.load(), 1u);
+  // Normally expires mid-execution; on a badly overloaded machine the
+  // deadline can pass while still queued, so execution may not start.
+  EXPECT_LE(server.metrics().execution.count(), 1u);
+}
+
+TEST(QueryServerTest, ClientCancelMidExecution) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+  SubmittedQuery q = server.Submit(HeavyCartesianQuery());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Cancel();
+  Result<engine::QueryResult> result = q.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.metrics().queries_cancelled.load(), 1u);
+}
+
+TEST(QueryServerTest, CancelWhileQueuedSkipsExecution) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.scheduler.max_in_flight = 1;
+  QueryServer server(&engine, options);
+  // The blocker owns the only slot; the victim waits in the queue.
+  SubmittedQuery blocker = server.Submit(HeavyCartesianQuery());
+  SubmittedQuery victim = server.Submit(SimpleQuery());
+  victim.Cancel();
+  blocker.Cancel();
+  Result<engine::QueryResult> victim_result = victim.result.get();
+  ASSERT_FALSE(victim_result.ok());
+  EXPECT_EQ(victim_result.status().code(), StatusCode::kCancelled);
+  Result<engine::QueryResult> blocker_result = blocker.result.get();
+  ASSERT_FALSE(blocker_result.ok());
+  EXPECT_EQ(blocker_result.status().code(), StatusCode::kCancelled);
+  server.Drain();
+  EXPECT_EQ(server.metrics().queries_cancelled.load(), 2u);
+  EXPECT_EQ(server.metrics().queries_completed.load(), 0u);
+}
+
+TEST(QueryServerTest, AdmissionOverflowRejectsWithStatus) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.scheduler.max_in_flight = 1;
+  options.scheduler.max_queue = 1;
+  QueryServer server(&engine, options);
+  SubmittedQuery blocker = server.Submit(HeavyCartesianQuery());
+  SubmittedQuery queued = server.Submit(SimpleQuery());
+  SubmittedQuery rejected = server.Submit(SimpleQuery());
+  Result<engine::QueryResult> rejected_result = rejected.result.get();
+  ASSERT_FALSE(rejected_result.ok());
+  EXPECT_EQ(rejected_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.metrics().admission_rejected.load(), 1u);
+  blocker.Cancel();
+  ASSERT_FALSE(blocker.result.get().ok());
+  EXPECT_TRUE(queued.result.get().ok());
+  server.Drain();
+}
+
+TEST(QueryServerTest, ConcurrentSubmitMatchesSerialExecution) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  const std::vector<workload::NamedQuery> queries = workload::LubmQueries();
+
+  // Serial reference row counts, straight through the engine.
+  std::map<std::string, uint64_t> serial_rows;
+  for (const auto& q : queries) {
+    auto result = engine.Execute(q.sparql, CountMode());
+    ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+    serial_rows[q.name] = result->row_count;
+  }
+
+  // The same mix, three copies each, all in flight concurrently through
+  // the serving stack (multi-threaded shards on the shared pool too).
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.query_defaults.num_threads = 2;
+  options.scheduler.max_in_flight = 8;
+  options.scheduler.max_queue = 256;
+  QueryServer server(&engine, options);
+  constexpr int kCopies = 3;
+  std::vector<std::pair<std::string, SubmittedQuery>> submitted;
+  for (int copy = 0; copy < kCopies; ++copy) {
+    for (const auto& q : queries) {
+      submitted.emplace_back(q.name, server.Submit(q.sparql));
+    }
+  }
+  for (auto& [name, q] : submitted) {
+    Result<engine::QueryResult> result = q.result.get();
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ(result->row_count, serial_rows[name]) << name;
+  }
+  EXPECT_EQ(server.metrics().queries_completed.load(),
+            static_cast<uint64_t>(kCopies * queries.size()));
+  EXPECT_EQ(server.metrics().queries_failed.load(), 0u);
+}
+
+TEST(QueryServerTest, PreCancelledTokenStopsExecutorDirectly) {
+  // The executor itself honours admission-time cancellation (the
+  // serving layer's contract reaches the lowest loop).
+  engine::ParjEngine engine = MakeLubmEngine();
+  CancellationSource source;
+  source.Cancel();
+  engine::QueryOptions options = CountMode();
+  options.cancel = source.token();
+  auto result = engine.Execute(SimpleQuery(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace parj::server

@@ -1,0 +1,117 @@
+#include "server/thread_pool.h"
+
+#include <atomic>
+#include <barrier>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace parj::server {
+namespace {
+
+TEST(ThreadPoolTest, LazyStart) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.started());
+  EXPECT_EQ(pool.thread_count(), 2);
+  std::promise<void> ran;
+  pool.Submit([&] { ran.set_value(); });
+  ran.get_future().wait();
+  EXPECT_TRUE(pool.started());
+}
+
+TEST(ThreadPoolTest, ManySmallSubmittedTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> count{0};
+  std::promise<void> all_done;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_GE(pool.stats().tasks_executed, static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForFromConcurrentSubmitters) {
+  // Stress: several external threads drive fork-joins on one pool at once.
+  ThreadPool pool(2);
+  constexpr int kSubmitters = 4;
+  constexpr size_t kPerSubmitter = 250;
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      pool.ParallelFor(kPerSubmitter, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * static_cast<int>(kPerSubmitter));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A pool-run task fanning out again (a pool-served query executing its
+  // shards) must complete via caller participation.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, GangLargerThanPoolRunsConcurrently) {
+  // 5 barrier-coupled members on a 1-thread pool: only guaranteed
+  // concurrency (overflow threads) can pass the barrier.
+  ThreadPool pool(1);
+  constexpr int kMembers = 5;
+  std::barrier sync(kMembers);
+  std::atomic<int> passed{0};
+  pool.RunGang(kMembers, [&](int) {
+    sync.arrive_and_wait();
+    passed.fetch_add(1);
+    sync.arrive_and_wait();
+  });
+  EXPECT_EQ(passed.load(), kMembers);
+  EXPECT_GE(pool.stats().overflow_threads, 2u);
+  EXPECT_EQ(pool.stats().gangs_run, 1u);
+}
+
+TEST(ThreadPoolTest, GangReusesIdleWorkers) {
+  ThreadPool pool(4);
+  // Park-then-run once so workers are demonstrably idle.
+  pool.ParallelFor(4, [](size_t) {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::barrier sync(3);
+  pool.RunGang(3, [&](int) { sync.arrive_and_wait(); });
+  // All members fit on idle workers; no overflow thread needed.
+  EXPECT_EQ(pool.stats().overflow_threads, 0u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) pool.Submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace parj::server

@@ -1,10 +1,19 @@
 // parj_cli: interactive / scriptable shell for the PARJ store.
 //
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
+//            [serve | --serve]
 //
-// Reads commands from stdin. Lines starting with '.' are commands;
-// anything else accumulates as SPARQL until a line consisting of a single
-// ';' (or EOF), then executes. Commands:
+// With `serve` (or `--serve`), the shell enters concurrent serving mode
+// after loading: queries stream through the admission-controlled
+// QueryServer instead of executing one at a time, results are printed as
+// they complete, and `.metrics` dumps the serving metrics registry. Serve
+// commands: .metrics | .timeout MS | .priority N | .wait | .quit.
+// `--inflight N` caps concurrently executing queries; `--threads N` sets
+// shard threads per query.
+//
+// Otherwise, reads commands from stdin. Lines starting with '.' are
+// commands; anything else accumulates as SPARQL until a line consisting
+// of a single ';' (or EOF), then executes. Commands:
 //
 //   .load FILE            load an N-Triples file (replaces the store)
 //   .gen lubm N           generate LUBM data at N universities
@@ -21,15 +30,21 @@
 //   .help                 this text
 //   .quit                 exit
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "engine/parj_engine.h"
+#include "server/server.h"
 #include "storage/export.h"
 #include "storage/snapshot.h"
 #include "workload/lubm.h"
@@ -224,6 +239,123 @@ struct Shell {
     return true;
   }
 
+  // ---- Concurrent serving mode (`parj_cli serve`) ----------------------
+
+  struct PendingQuery {
+    uint64_t id = 0;
+    server::SubmittedQuery submission;
+  };
+
+  /// Prints every already-finished pending query; with `block`, waits for
+  /// and prints all of them.
+  void HarvestPending(std::vector<PendingQuery>* pending, bool block) {
+    for (auto it = pending->begin(); it != pending->end();) {
+      std::future<Result<engine::QueryResult>>& f = it->submission.result;
+      if (!block && f.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      auto result = f.get();
+      if (!result.ok()) {
+        std::printf("[q%llu] error: %s\n",
+                    static_cast<unsigned long long>(it->id),
+                    result.status().ToString().c_str());
+      } else {
+        std::printf("[q%llu] %s rows in %s ms\n",
+                    static_cast<unsigned long long>(it->id),
+                    FormatCount(result->row_count).c_str(),
+                    FormatMillis(result->total_millis()).c_str());
+      }
+      it = pending->erase(it);
+    }
+  }
+
+  /// Batch/REPL serving loop: submits every query to the QueryServer
+  /// without waiting, prints completions as they arrive, and dumps the
+  /// metrics registry on exit.
+  void RunServe() {
+    if (!engine.has_value()) {
+      std::printf("no data loaded — pass --load/--lubm/--snapshot first\n");
+      return;
+    }
+    server::ServerOptions options;
+    options.scheduler.max_in_flight = serve_inflight;
+    options.query_defaults.num_threads = threads;
+    options.query_defaults.strategy = strategy;
+    options.query_defaults.mode = join::ResultMode::kCount;
+    server::QueryServer srv(&*engine, options);
+    std::printf(
+        "serve mode: %d in flight, %d thread(s)/query; queries end with "
+        "';', .metrics dumps counters, .wait drains, .quit exits\n",
+        serve_inflight, threads);
+
+    std::vector<PendingQuery> pending;
+    auto submit = [&](const std::string& sparql) {
+      server::SubmitOptions submit_options;
+      submit_options.priority = serve_priority;
+      submit_options.timeout_millis = serve_timeout_millis;
+      server::SubmittedQuery q = srv.Submit(sparql, submit_options);
+      std::printf("[q%llu] submitted (priority %d%s)\n",
+                  static_cast<unsigned long long>(q.id), serve_priority,
+                  serve_timeout_millis > 0 ? ", with timeout" : "");
+      pending.push_back(PendingQuery{q.id, std::move(q)});
+    };
+
+    std::string line;
+    std::string query;
+    while (std::getline(std::cin, line)) {
+      HarvestPending(&pending, false);
+      if (!query.empty()) {
+        if (line == ";") {
+          submit(query);
+          query.clear();
+        } else {
+          query += "\n" + line;
+        }
+        continue;
+      }
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        std::istringstream in(line);
+        std::string command;
+        in >> command;
+        if (command == ".quit" || command == ".exit") break;
+        if (command == ".metrics") {
+          std::printf("%s", srv.metrics().Dump().c_str());
+        } else if (command == ".timeout") {
+          in >> serve_timeout_millis;
+          std::printf("timeout = %.1f ms\n", serve_timeout_millis);
+        } else if (command == ".priority") {
+          in >> serve_priority;
+          std::printf("priority = %d\n", serve_priority);
+        } else if (command == ".wait") {
+          HarvestPending(&pending, true);
+        } else if (command == ".help") {
+          std::printf(
+              ".metrics | .timeout MS | .priority N | .wait | .quit\n");
+        } else {
+          std::printf("unknown serve command %s (.help for help)\n",
+                      command.c_str());
+        }
+        continue;
+      }
+      query = line;
+      if (line.back() == ';') {
+        query.pop_back();
+        submit(query);
+        query.clear();
+      }
+    }
+    if (!query.empty()) submit(query);
+    HarvestPending(&pending, true);
+    srv.Drain();
+    std::printf("%s", srv.metrics().Dump().c_str());
+  }
+
+  int serve_inflight = 4;
+  int serve_priority = 0;
+  double serve_timeout_millis = 0.0;
 };
 
 }  // namespace
@@ -231,9 +363,17 @@ struct Shell {
 
 int main(int argc, char** argv) {
   parj::tool::Shell shell;
+  bool serve = false;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "serve") == 0 ||
+        std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      shell.serve_inflight = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".threads ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".load ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".restore ") + argv[++i]);
@@ -245,6 +385,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return 1;
     }
+  }
+
+  if (serve) {
+    shell.RunServe();
+    return 0;
   }
 
   std::string line;
