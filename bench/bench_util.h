@@ -132,6 +132,27 @@ inline Aggregate Aggregates(const std::vector<double>& values) {
   return out;
 }
 
+/// Writes a machine-readable bench artifact (`BENCH_<name>.json`) into
+/// PARJ_BENCH_JSON_DIR (default: the working directory). CI uploads these
+/// so the perf trajectory of every bench is diffable across commits; the
+/// payload is assembled by the caller with std::snprintf — the schemas are
+/// flat enough that a JSON library would be dead weight.
+inline void WriteBenchJson(const std::string& file_name,
+                           const std::string& payload) {
+  const char* dir = std::getenv("PARJ_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/" +
+      file_name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 inline void PrintHeader(const char* title, const std::string& detail) {
   std::printf("\n================================================================\n");
   std::printf("%s\n%s\n", title, detail.c_str());

@@ -36,6 +36,7 @@ int Run() {
       opts.strategy = join::SearchStrategy::kAdaptiveIndex;
       opts.num_threads = threads;
       opts.emulate_parallel = true;
+      opts.scheduling = join::Scheduling::kStatic;  // paper replication
       TimedRun run = TimeQuery(engine, q.sparql, opts, repeats);
       row.push_back(FormatMillis(run.millis));
       if (threads == 1) t1 = run.millis;

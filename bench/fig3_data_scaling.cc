@@ -35,6 +35,7 @@ int Run() {
       opts.strategy = join::SearchStrategy::kAdaptiveIndex;
       opts.num_threads = threads;
       opts.emulate_parallel = true;
+      opts.scheduling = join::Scheduling::kStatic;  // paper replication
       TimedRun run = TimeQuery(engine, queries[i].sparql, opts, repeats);
       times[i].push_back(run.millis);
     }

@@ -102,7 +102,7 @@ int Main() {
 
   TablePrinter table({"clients", "queries", "wall s", "qps", "mean ms",
                       "p50<= ms", "p99<= ms"});
-  char buf[64];
+  char buf[128];
   for (const LevelResult& level : levels) {
     std::vector<std::string> row;
     row.push_back(std::to_string(level.clients));
@@ -124,6 +124,27 @@ int Main() {
   std::printf("\nAll %d x %zu concurrent results matched serial row counts.\n",
               rounds, mix.size());
   std::printf("\n%s", final_dump.c_str());
+
+  std::string json = "{\n  \"bench\": \"serving\",\n";
+  json += "  \"universities\": " + std::to_string(universities) + ",\n";
+  json += "  \"threads_per_query\": " + std::to_string(threads) + ",\n";
+  json += "  \"levels\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& level = levels[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"clients\": %d, \"queries\": %llu, \"qps\": %.2f, ",
+                  level.clients,
+                  static_cast<unsigned long long>(level.queries), level.qps);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"mean_millis\": %.3f, \"p50_millis\": %.3f, "
+                  "\"p99_millis\": %.3f}",
+                  level.mean, level.p50, level.p99);
+    json += buf;
+    json += (i + 1 < levels.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  WriteBenchJson("BENCH_serving.json", json);
   return 0;
 }
 

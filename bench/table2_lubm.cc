@@ -79,6 +79,8 @@ int Run() {
     engine::QueryOptions multi = single;
     multi.num_threads = threads;
     multi.emulate_parallel = true;
+    // Paper replication: the paper's static equal-count sharding (S5).
+    multi.scheduling = join::Scheduling::kStatic;
     TimedRun parjn = TimeQuery(engine, q.sparql, multi, repeats);
 
     uint64_t rows = 0;

@@ -78,6 +78,7 @@ int Run() {
     engine::QueryOptions multi = single;
     multi.num_threads = threads;
     multi.emulate_parallel = true;
+    multi.scheduling = join::Scheduling::kStatic;  // paper replication
     TimedRun parjn = TimeQuery(engine, q.sparql, multi, repeats);
     double hash_ms = TimeBaseline(hash, db, q.sparql, repeats);
     double merge_ms = TimeBaseline(merge, db, q.sparql, repeats);

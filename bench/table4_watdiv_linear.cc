@@ -95,6 +95,7 @@ int Run() {
     engine::QueryOptions multi = single;
     multi.num_threads = threads;
     multi.emulate_parallel = true;
+    multi.scheduling = join::Scheduling::kStatic;  // paper replication
     TimedRun parjn = TimeQuery(engine, q.sparql, multi, reps);
 
     std::vector<double> unused;

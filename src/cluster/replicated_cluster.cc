@@ -40,6 +40,7 @@ Result<ClusterResult> ReplicatedCluster::ExecutePlan(
     join::ExecOptions exec;
     exec.num_threads = options_.threads_per_node;
     exec.strategy = options_.strategy;
+    exec.scheduling = options_.scheduling;
     exec.mode = options_.mode;
     exec.total_workers = nodes;
     exec.worker_index = node;

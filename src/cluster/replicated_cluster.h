@@ -26,6 +26,10 @@ struct ClusterOptions {
   int threads_per_node = 1;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveBinary;
   join::ResultMode mode = join::ResultMode::kCount;
+  /// Intra-node work distribution (see join::Scheduling). Node slices
+  /// stay statically partitioned — the paper's zero-communication cluster
+  /// contract — but within its slice each node balances dynamically.
+  join::Scheduling scheduling = join::Scheduling::kMorsel;
   query::OptimizerOptions optimizer;
 };
 

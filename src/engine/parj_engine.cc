@@ -85,6 +85,7 @@ Result<engine::QueryResult> ExecuteUnionAst(
     join::ExecOptions exec;
     exec.num_threads = options.num_threads;
     exec.strategy = options.strategy;
+    exec.scheduling = options.scheduling;
     exec.emulate_parallel = options.emulate_parallel;
     exec.mode = join::ResultMode::kMaterialize;
     exec.cancel = options.cancel;
@@ -192,6 +193,7 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   join::ExecOptions exec;
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
+  exec.scheduling = options.scheduling;
   exec.emulate_parallel = options.emulate_parallel;
   exec.collect_probe_trace = options.collect_probe_trace;
   exec.cancel = options.cancel;
@@ -216,6 +218,7 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   result.rows = std::move(exec_result.rows);
   result.step_rows = std::move(exec_result.step_rows);
   result.counters = exec_result.counters;
+  result.morsel_workers = std::move(exec_result.morsel_workers);
   result.execute_millis = exec_result.wall_millis;
   result.emulated_parallel_millis = exec_result.emulated_parallel_millis;
   result.shard_millis = std::move(exec_result.shard_millis);
@@ -265,6 +268,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   join::ExecOptions exec;
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
+  exec.scheduling = options.scheduling;
   exec.emulate_parallel = options.emulate_parallel;
   exec.mode = join::ResultMode::kVisit;
   exec.visitor = visitor;
@@ -281,6 +285,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   result.row_count = exec_result.row_count;
   result.column_count = exec_result.column_count;
   result.counters = exec_result.counters;
+  result.morsel_workers = std::move(exec_result.morsel_workers);
   result.execute_millis = exec_result.wall_millis;
   result.emulated_parallel_millis = exec_result.emulated_parallel_millis;
   result.shard_millis = std::move(exec_result.shard_millis);

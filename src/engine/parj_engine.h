@@ -28,6 +28,9 @@ struct EngineOptions {
 struct QueryOptions {
   int num_threads = 1;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveBinary;
+  /// Work distribution across shard threads (see join::Scheduling).
+  /// kMorsel by default; the paper-replication benches pin kStatic.
+  join::Scheduling scheduling = join::Scheduling::kMorsel;
   /// kCount reproduces the paper's silent mode; kMaterialize its full
   /// result handling (minus printing).
   join::ResultMode mode = join::ResultMode::kMaterialize;
@@ -58,6 +61,9 @@ struct QueryResult {
   /// join::ExecResult::step_rows). Empty for UNION queries.
   std::vector<uint64_t> step_rows;
   join::SearchCounters counters;
+  /// Per-worker morsel tallies (kMorsel multi-thread runs; see
+  /// join::ExecResult::morsel_workers). Empty for UNION queries.
+  std::vector<join::MorselWorkerStats> morsel_workers;
   double parse_millis = 0.0;
   double optimize_millis = 0.0;
   double execute_millis = 0.0;

@@ -28,10 +28,17 @@ struct StepInfo {
   bool value_is_key_var = false;
 };
 
-/// All mutable state of one shard's pipeline run. Shards never share
+/// Floor (in rows) for the first materialization buffer reservation, so
+/// result-heavy shards skip the pathological small-capacity doublings.
+constexpr size_t kRowsReserveFloor = 256;
+
+/// All mutable state of one worker's pipeline run. Workers never share
 /// mutable state — this is the paper's "no communication or
-/// synchronization between the workers".
-struct ShardContext {
+/// synchronization between the workers"; under kMorsel scheduling one
+/// context is reused across every morsel its worker claims. Cache-line
+/// aligned so adjacent workers' hot counters (row_count, counters,
+/// cancel_countdown) never false-share.
+struct alignas(64) ShardContext {
   const std::vector<StepInfo>* steps = nullptr;
   /// filters_at[d] is checked on entry to Descend(d), i.e. as soon as the
   /// bindings of steps 0..d-1 exist (filter pushdown).
@@ -42,7 +49,9 @@ struct ShardContext {
   uint64_t per_shard_limit = 0;
   size_t shard_id = 0;
   const RowVisitor* visitor = nullptr;
-  std::vector<TermId> visit_row;
+  /// Scratch for one projected row, sized once to the projection width;
+  /// Emit gathers into it and appends with a single insert.
+  std::vector<TermId> emit_row;
 
   std::vector<TermId> bindings;
   std::vector<size_t> cursors;
@@ -63,12 +72,19 @@ struct ShardContext {
 
   void Emit() {
     ++row_count;
-    if (mode == ResultMode::kMaterialize) {
-      for (int var : *projection) rows.push_back(bindings[var]);
-    } else if (mode == ResultMode::kVisit) {
-      visit_row.clear();
-      for (int var : *projection) visit_row.push_back(bindings[var]);
-      (*visitor)(shard_id, visit_row);
+    if (mode != ResultMode::kCount) {
+      const std::vector<int>& proj = *projection;
+      const size_t width = proj.size();
+      for (size_t i = 0; i < width; ++i) emit_row[i] = bindings[proj[i]];
+      if (mode == ResultMode::kMaterialize) {
+        if (rows.size() + width > rows.capacity()) {
+          rows.reserve(std::max(kRowsReserveFloor * width,
+                                rows.capacity() * 2));
+        }
+        rows.insert(rows.end(), emit_row.begin(), emit_row.end());
+      } else {
+        (*visitor)(shard_id, emit_row);
+      }
     }
     if (per_shard_limit != 0 && row_count >= per_shard_limit) {
       limit_reached = true;
@@ -200,6 +216,23 @@ WorkSource ResolveWorkSource(const StepInfo& first) {
   src.kind = WorkSource::Kind::kKeyRange;
   src.size = replica.key_count();
   return src;
+}
+
+/// Morsel sizing (DESIGN.md §8): aim for kMorselsPerWorker morsels per
+/// worker so the dispenser can smooth skew and stragglers, but never cut
+/// morsels below kMinMorselCost triples of estimated work — claim overhead
+/// (one fetch_add) must stay invisible next to the pipeline work — and
+/// never more morsels than work items.
+constexpr size_t kMorselsPerWorker = 8;
+constexpr uint64_t kMinMorselCost = 2048;
+
+size_t MorselTarget(size_t workers, size_t items, uint64_t cost) {
+  const uint64_t by_cost =
+      std::max<uint64_t>(workers, cost / kMinMorselCost);
+  const size_t target =
+      std::min<size_t>(workers * kMorselsPerWorker,
+                       static_cast<size_t>(by_cost));
+  return std::clamp<size_t>(target, 1, std::max<size_t>(1, items));
 }
 
 /// Executes one shard [begin, end) of the work source.
@@ -392,6 +425,7 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     ctx.mode = options.mode;
     ctx.per_shard_limit = options.per_shard_limit;
     ctx.bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
+    ctx.emit_row.assign(plan.projection.size(), 0);
     ctx.cursors.assign(steps.size(), 0);
     ctx.step_rows.assign(steps.size(), 0);
     ctx.tracing = options.collect_probe_trace;
@@ -409,7 +443,96 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     return std::pair<size_t, size_t>(begin, end);
   };
 
-  if (options.emulate_parallel || num_shards == 1) {
+  // kMorsel only matters with several workers and a divisible work range;
+  // a fully constant first pattern is one existence check either way.
+  const bool use_morsel = options.scheduling == Scheduling::kMorsel &&
+                          num_shards > 1 &&
+                          src.kind != WorkSource::Kind::kSingle;
+
+  if (use_morsel) {
+    // Cost-balanced morsels: for a key range, cut where the CSR offsets
+    // cross equal shares of cumulative run length (prefix sums are already
+    // materialized, so the split is a handful of binary searches); for a
+    // constant key's value run, every item costs one descent, so an
+    // equal-count cut is already cost-balanced.
+    std::vector<Morsel> morsels;
+    const storage::TableReplica& first = *steps[0].replica;
+    if (src.kind == WorkSource::Kind::kKeyRange) {
+      const uint64_t cost = first.RangeCost(worker_begin, worker_end);
+      morsels = MorselScheduler::MorselsFromCuts(first.CostBalancedSplit(
+          worker_begin, worker_end,
+          MorselTarget(num_shards, slice_size, cost)));
+    } else {
+      morsels = MorselScheduler::EqualSplit(
+          worker_begin, worker_end,
+          MorselTarget(num_shards, slice_size, slice_size));
+    }
+    MorselScheduler scheduler(std::move(morsels), num_shards);
+    std::vector<MorselWorkerStats> worker_stats(num_shards);
+
+    auto worker_loop = [&](size_t w) {
+      ShardContext& ctx = contexts[w];
+      MorselWorkerStats& stats = worker_stats[w];
+      Morsel morsel;
+      bool stolen = false;
+      while (!ctx.limit_reached && scheduler.Next(w, &morsel, &stolen)) {
+        RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
+                 &ctx);
+        ++stats.morsels;
+        if (stolen) ++stats.stolen;
+        stats.items += morsel.size();
+      }
+    };
+
+    if (options.emulate_parallel) {
+      // Discrete-event emulation of the dynamic schedule: morsels run
+      // sequentially on the calling thread, but each is dispatched to
+      // the virtual worker whose accumulated clock is lowest — the
+      // assignment a real dispenser run converges to. max(clock) is then
+      // the same straggler model the static emulation uses.
+      std::vector<double> clocks(num_shards, 0.0);
+      std::vector<bool> drained(num_shards, false);
+      size_t active = num_shards;
+      while (active > 0) {
+        size_t w = SIZE_MAX;
+        for (size_t i = 0; i < num_shards; ++i) {
+          if (!drained[i] && (w == SIZE_MAX || clocks[i] < clocks[w])) w = i;
+        }
+        ShardContext& ctx = contexts[w];
+        Morsel morsel;
+        bool stolen = false;
+        if (ctx.limit_reached || !scheduler.Next(w, &morsel, &stolen)) {
+          drained[w] = true;
+          --active;
+          continue;
+        }
+        Stopwatch morsel_timer;
+        RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
+                 &ctx);
+        clocks[w] += morsel_timer.ElapsedMillis();
+        ++worker_stats[w].morsels;
+        if (stolen) ++worker_stats[w].stolen;
+        worker_stats[w].items += morsel.size();
+      }
+      result.shard_millis = std::move(clocks);
+      result.emulated_parallel_millis = *std::max_element(
+          result.shard_millis.begin(), result.shard_millis.end());
+    } else {
+      // A worker gang on the shared pool: members start on idle pool
+      // workers via direct handoff; the caller participates and claims
+      // any member the pool cannot start, so saturation or nesting
+      // degrades to fewer effective workers, never to deadlock.
+      server::ThreadPool& pool = options.pool != nullptr
+                                     ? *options.pool
+                                     : server::ThreadPool::Shared();
+      pool.RunWorkers(static_cast<int>(num_shards),
+                      [&](int w) { worker_loop(static_cast<size_t>(w)); });
+    }
+    for (size_t w = 0; w < num_shards; ++w) {
+      worker_stats[w].rows = contexts[w].row_count;
+    }
+    result.morsel_workers = std::move(worker_stats);
+  } else if (options.emulate_parallel || num_shards == 1) {
     result.shard_millis.reserve(num_shards);
     for (size_t shard = 0; shard < num_shards; ++shard) {
       auto [begin, end] = shard_range(shard);

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "join/morsel.h"
 #include "join/search.h"
 #include "query/plan.h"
 #include "server/cancellation.h"
@@ -40,12 +41,40 @@ enum class ResultMode : uint8_t {
 using RowVisitor =
     std::function<void(size_t shard, std::span<const TermId> row)>;
 
+/// How the first step's work range is distributed over threads.
+enum class Scheduling : uint8_t {
+  /// The paper's §5 scheme: num_threads equal-count contiguous shards,
+  /// fixed up front. Zero scheduling overhead, but a skewed property
+  /// table (one giant run next to singleton keys) leaves one straggler
+  /// thread doing nearly all the work.
+  kStatic = 0,
+  /// Morsel-driven: the range is cut into cost-balanced morsels (equal
+  /// cumulative run length, read off the CSR offsets) that workers pull
+  /// from a shared lock-free dispenser, stealing from each other's local
+  /// queues when theirs drain. Identical results, robust to skew; the
+  /// paper's zero-communication pipeline is preserved within a morsel.
+  kMorsel = 1,
+};
+
+inline const char* SchedulingName(Scheduling s) {
+  return s == Scheduling::kStatic ? "static" : "morsel";
+}
+
 struct ExecOptions {
   /// Number of shards/threads for the first step (paper §3: each worker is
   /// exactly one thread).
   int num_threads = 1;
   SearchStrategy strategy = SearchStrategy::kAdaptiveBinary;
   ResultMode mode = ResultMode::kMaterialize;
+  /// Work distribution across threads. kMorsel (the default) is
+  /// skew-robust and produces the same result set as kStatic; the
+  /// paper-replication benches pin kStatic to reproduce §5 exactly.
+  /// Ignored when only one shard runs. Under emulate_parallel a kMorsel
+  /// run is emulated faithfully: morsels are executed sequentially but
+  /// dispatched to the virtual worker with the smallest accumulated
+  /// clock, so emulated_parallel_millis models the dynamic schedule the
+  /// same way it models the static one.
+  Scheduling scheduling = Scheduling::kMorsel;
   /// Run shards sequentially on the calling thread, timing each shard.
   /// `emulated_parallel_millis` then models wall time on num_threads real
   /// cores (shards share nothing, so max-of-shard-times is exact up to
@@ -102,6 +131,11 @@ struct ExecResult {
   /// counterpart of PlanStep::estimated_rows).
   std::vector<uint64_t> step_rows;
   SearchCounters counters;
+  /// Per-worker morsel tallies (kMorsel multi-shard runs only): morsels
+  /// executed / stolen, first-step items and rows per worker. The spread
+  /// of `items` across workers is the load-balance diagnostic the skew
+  /// bench reports.
+  std::vector<MorselWorkerStats> morsel_workers;
   /// Per-shard execution times (emulate_parallel mode only).
   std::vector<double> shard_millis;
   /// Wall-clock of the whole execution.
@@ -114,9 +148,13 @@ struct ExecResult {
 /// Evaluates left-deep plans over a read-only Database with the paper's
 /// pipelined, communication-free parallelization: the first step's key
 /// range (or, for a constant first key, its value run — Example 3.2) is
-/// split into contiguous shards; each thread runs the entire pipeline on
-/// its shard with private cursors, counters and result buffers. No locks,
-/// no queues, no data exchange.
+/// split across workers; each runs the entire pipeline with private
+/// cursors, counters and result buffers. No locks, no queues, no data
+/// exchange at tuple granularity. Scheduling::kStatic reproduces the
+/// paper's fixed equal-count shards; Scheduling::kMorsel (default) cuts
+/// the range into cost-balanced morsels dispensed dynamically with work
+/// stealing, which produces the identical result set but stays balanced
+/// on skewed data (DESIGN.md §8).
 class Executor {
  public:
   explicit Executor(const storage::Database* db) : db_(db) {}

@@ -31,6 +31,7 @@ ThreadPool::Stats ThreadPool::stats() const {
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.gangs_run = gangs_run_.load(std::memory_order_relaxed);
   s.overflow_threads = overflow_threads_.load(std::memory_order_relaxed);
+  s.worker_gangs_run = worker_gangs_run_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -131,6 +132,70 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
       std::min(n - 1, static_cast<size_t>(thread_count()));
   for (size_t h = 0; h < helpers; ++h) Submit(drain);
   drain();  // caller participation makes this deadlock-free
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] { return state->done.load() == state->total; });
+}
+
+void ThreadPool::RunWorkers(int n, const std::function<void(int)>& member) {
+  if (n <= 0) return;
+  if (n == 1) {
+    member(0);
+    return;
+  }
+  worker_gangs_run_.fetch_add(1, std::memory_order_relaxed);
+  struct WorkerGangState {
+    std::unique_ptr<std::atomic<bool>[]> claimed;
+    std::atomic<int> done{0};
+    int total = 0;
+    const std::function<void(int)>* member = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<WorkerGangState>();
+  state->claimed.reset(new std::atomic<bool>[n]);
+  for (int m = 0; m < n; ++m) {
+    state->claimed[m].store(false, std::memory_order_relaxed);
+  }
+  state->total = n;
+  state->member = &member;  // valid: the caller blocks until done == total
+
+  // Run `m` if nobody claimed it yet. Pool tasks that lose the claim race
+  // (to the participating caller) return immediately; they may run after
+  // the caller has moved on, but then every member is claimed and only
+  // the shared_ptr-owned flags are touched.
+  auto run_member = [state](int m) {
+    if (state->claimed[m].exchange(true, std::memory_order_acq_rel)) return;
+    (*state->member)(m);
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->total) {
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->cv.notify_all();
+    }
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    EnsureStartedLocked();
+    for (int m = 1; m < n; ++m) {
+      auto task = [run_member, m] { run_member(m); };
+      if (!idle_.empty()) {
+        // Direct handoff to a provably parked worker: the member starts
+        // without queue latency.
+        const size_t w = idle_.back();
+        idle_.pop_back();
+        workers_[w]->direct = std::move(task);
+        workers_[w]->has_direct = true;
+      } else {
+        queue_.push_back(std::move(task));
+      }
+    }
+  }
+  cv_.notify_all();
+  // Caller participation: run member 0, then claim everything the pool
+  // has not started yet. This keeps the gang deadlock-free (a saturated
+  // or nested pool degrades to the caller running all members) without
+  // spawning overflow threads — dispenser workers need no concurrency.
+  for (int m = 0; m < n; ++m) run_member(m);
   std::unique_lock<std::mutex> lk(state->mu);
   state->cv.wait(lk, [&] { return state->done.load() == state->total; });
 }

@@ -15,16 +15,17 @@ namespace parj::server {
 
 /// Fixed-size, lazily-started thread pool shared by every parallel code
 /// path in the repo (query shards, cluster nodes, exchange workers,
-/// scheduler jobs). Deliberately work-stealing-free: the paper's workers
-/// own contiguous shards and never exchange work, so a plain FIFO queue
-/// plus direct handoff covers every use without stealing machinery.
+/// scheduler jobs). The pool itself is work-stealing-free — a plain FIFO
+/// queue plus direct handoff; dynamic load balancing lives one layer up,
+/// in the join layer's MorselScheduler, which worker gangs consult at
+/// morsel granularity (see RunWorkers).
 ///
 /// Threads are created on the first task submission, not at construction,
 /// so merely linking the serving layer costs nothing (the paper's
 /// single-query binaries keep their exact thread behaviour until they
 /// submit work).
 ///
-/// Three submission shapes:
+/// Four submission shapes:
 ///  - Submit(): fire-and-forget queue task (used by the query scheduler).
 ///  - ParallelFor(): fork-join over n independent indices. The CALLER
 ///    participates in the loop, claiming indices from a shared atomic
@@ -36,12 +37,20 @@ namespace parj::server {
 ///    directly to provably idle workers; the remainder get temporary
 ///    overflow threads, so a gang can never deadlock waiting for pool
 ///    capacity held by another gang.
+///  - RunWorkers(): n long-lived workers that share a work dispenser
+///    (the morsel executor). Each member must run exactly once but needs
+///    no concurrency guarantee — a late worker just finds the dispenser
+///    drained. Members go to idle workers by direct handoff (no queue
+///    latency), any shortfall is queued, and the caller claims every
+///    member no pool worker picked up, so the call never oversubscribes
+///    (no overflow threads) and never deadlocks (caller participation).
 class ThreadPool {
  public:
   struct Stats {
     uint64_t tasks_executed = 0;     ///< queue + direct-handoff tasks run
     uint64_t gangs_run = 0;          ///< RunGang() calls
     uint64_t overflow_threads = 0;   ///< gang members that needed a temp thread
+    uint64_t worker_gangs_run = 0;   ///< RunWorkers() calls
   };
 
   /// `num_threads` <= 0 means hardware concurrency.
@@ -61,6 +70,13 @@ class ThreadPool {
   /// Runs member(0..n-1) with all n members guaranteed to be running
   /// concurrently (barrier-safe). The caller runs member 0.
   void RunGang(int n, const std::function<void(int)>& member);
+
+  /// Runs member(0..n-1), each exactly once, with as many members as the
+  /// pool has idle capacity for running concurrently and the rest run by
+  /// the caller. Built for dispenser-sharing worker gangs: members must
+  /// not synchronize with each other (no barriers — use RunGang for
+  /// that). Safe to call from inside a pool task.
+  void RunWorkers(int n, const std::function<void(int)>& member);
 
   int thread_count() const { return num_threads_; }
   bool started() const;
@@ -92,6 +108,7 @@ class ThreadPool {
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> gangs_run_{0};
   std::atomic<uint64_t> overflow_threads_{0};
+  std::atomic<uint64_t> worker_gangs_run_{0};
 };
 
 }  // namespace parj::server

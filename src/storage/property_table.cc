@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace parj::storage {
 
 TableReplica TableReplica::Build(
@@ -36,6 +38,25 @@ double TableReplica::AverageKeyGap() const {
   if (keys_.size() < 2 || keys_.back() <= keys_.front()) return 1.0;
   return static_cast<double>(keys_.back() - keys_.front()) /
          static_cast<double>(keys_.size());
+}
+
+std::vector<size_t> TableReplica::CostBalancedSplit(size_t begin, size_t end,
+                                                    size_t parts) const {
+  PARJ_DCHECK(begin <= end && end + 1 <= offsets_.size());
+  if (parts == 0) parts = 1;
+  std::vector<size_t> cuts(parts + 1, end);
+  cuts[0] = begin;
+  const uint64_t base = offsets_[begin];
+  const uint64_t total = offsets_[end] - base;
+  for (size_t k = 1; k < parts; ++k) {
+    // First key position whose cumulative cost reaches share k/parts.
+    const uint64_t target = base + total * k / parts;
+    auto it = std::lower_bound(offsets_.begin() + begin, offsets_.begin() + end,
+                               target);
+    size_t pos = static_cast<size_t>(it - offsets_.begin());
+    cuts[k] = std::clamp(pos, cuts[k - 1], end);
+  }
+  return cuts;
 }
 
 size_t TableReplica::FindKey(TermId key) const {

@@ -98,6 +98,22 @@ class TableReplica {
   /// kernels in join/search.h.
   size_t FindKey(TermId key) const;
 
+  /// Cost of processing the key range [begin, end): its cumulative run
+  /// length (= number of triples), read off the CSR offsets in O(1).
+  uint64_t RangeCost(size_t begin, size_t end) const {
+    return offsets_[end] - offsets_[begin];
+  }
+
+  /// Cuts the key range [begin, end) into `parts` contiguous sub-ranges of
+  /// approximately equal RangeCost (not equal key count), via binary search
+  /// on the cumulative offsets. Returns parts+1 monotone cut positions with
+  /// cuts.front() == begin and cuts.back() == end. A single key whose run
+  /// exceeds the per-part share gets its own (oversized) sub-range and the
+  /// neighbouring sub-ranges may be empty — cost balance is as good as the
+  /// key granularity allows.
+  std::vector<size_t> CostBalancedSplit(size_t begin, size_t end,
+                                        size_t parts) const;
+
   /// Bytes of heap memory held by the three arrays.
   size_t MemoryUsage() const {
     return keys_.capacity() * sizeof(TermId) +

@@ -99,6 +99,39 @@ TEST(ThreadPoolTest, GangReusesIdleWorkers) {
   EXPECT_EQ(pool.stats().overflow_threads, 0u);
 }
 
+TEST(ThreadPoolTest, RunWorkersRunsEveryMemberExactlyOnce) {
+  ThreadPool pool(2);
+  constexpr int kMembers = 8;
+  std::vector<std::atomic<int>> hits(kMembers);
+  pool.RunWorkers(kMembers, [&](int m) { hits[m].fetch_add(1); });
+  for (int m = 0; m < kMembers; ++m) EXPECT_EQ(hits[m].load(), 1) << m;
+  EXPECT_EQ(pool.stats().worker_gangs_run, 1u);
+}
+
+TEST(ThreadPoolTest, RunWorkersOnSaturatedPoolFallsBackToCaller) {
+  // Pool fully busy: every member must still run (the caller claims the
+  // ones no idle worker picked up) — degraded parallelism, never deadlock.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+  std::atomic<int> ran{0};
+  pool.RunWorkers(4, [&](int) { ran.fetch_add(1); });
+  release.set_value();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, RunWorkersNestedInsidePoolTaskCompletes) {
+  // A pool-served query's executor calling RunWorkers from a pool thread
+  // (the serving layer's actual call shape) must not deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](size_t) {
+    pool.RunWorkers(4, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 12);
+}
+
 TEST(ThreadPoolTest, SharedPoolIsASingleton) {
   EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
   EXPECT_GE(ThreadPool::Shared().thread_count(), 1);

@@ -57,6 +57,7 @@ struct Shell {
   std::optional<engine::ParjEngine> engine;
   int threads = 1;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveIndex;
+  join::Scheduling scheduling = join::Scheduling::kMorsel;
   bool explain = false;
   uint64_t print_limit = 20;
 
@@ -88,6 +89,7 @@ struct Shell {
     engine::QueryOptions opts;
     opts.num_threads = threads;
     opts.strategy = strategy;
+    opts.scheduling = scheduling;
     auto result = engine->Execute(sparql, opts);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -135,7 +137,8 @@ struct Shell {
       std::printf(
           ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
           ".restore FILE | .dump FILE | .threads N | .strategy NAME |\n"
-          ".calibrate | .explain on|off | .limit N | .stats | .quit\n");
+          ".scheduling static|morsel | .calibrate | .explain on|off |\n"
+          ".limit N | .stats | .quit\n");
     } else if (command == ".load") {
       std::string path;
       in >> path;
@@ -199,6 +202,18 @@ struct Shell {
       in >> threads;
       if (threads < 1) threads = 1;
       std::printf("threads = %d\n", threads);
+    } else if (command == ".scheduling") {
+      std::string name;
+      in >> name;
+      if (name == "static") {
+        scheduling = join::Scheduling::kStatic;
+      } else if (name == "morsel") {
+        scheduling = join::Scheduling::kMorsel;
+      } else if (!name.empty()) {
+        std::printf("unknown scheduling (static|morsel)\n");
+        return true;
+      }
+      std::printf("scheduling = %s\n", join::SchedulingName(scheduling));
     } else if (command == ".strategy") {
       std::string name;
       in >> name;
@@ -282,6 +297,7 @@ struct Shell {
     server::ServerOptions options;
     options.scheduler.max_in_flight = serve_inflight;
     options.query_defaults.num_threads = threads;
+    options.query_defaults.scheduling = scheduling;
     options.query_defaults.strategy = strategy;
     options.query_defaults.mode = join::ResultMode::kCount;
     server::QueryServer srv(&*engine, options);
