@@ -1,0 +1,25 @@
+#ifndef PARJ_COMMON_CRC32C_H_
+#define PARJ_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parj {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by the snapshot format's per-section integrity
+/// records. Table-driven software implementation; the tables are built at
+/// compile time, so the first call pays nothing.
+///
+/// `Crc32cExtend` continues a running checksum, letting the snapshot
+/// reader/writer fold bytes in as they stream past instead of buffering
+/// whole sections.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t length);
+
+inline uint32_t Crc32c(const void* data, size_t length) {
+  return Crc32cExtend(0, data, length);
+}
+
+}  // namespace parj
+
+#endif  // PARJ_COMMON_CRC32C_H_

@@ -1,0 +1,220 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace parj::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+enum class Action {
+  kError,
+  kIoError,
+  kDataLoss,
+  kExhausted,
+  kThrow,
+  kSleep,
+};
+
+struct FailpointState {
+  Action action = Action::kError;
+  double sleep_millis = 0.0;
+  /// Remaining firings; -1 = unlimited, 0 = budget exhausted (unarmed).
+  int64_t remaining = -1;
+  uint64_t hits = 0;
+};
+
+/// Registry guarded by a plain mutex: the lock is only ever taken on the
+/// slow path (something armed) or from test/CLI arming calls, never on
+/// the unarmed fast path.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, FailpointState> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: usable at exit
+  return *registry;
+}
+
+bool ParseSpec(const std::string& spec, FailpointState* out) {
+  std::string action = spec;
+  out->remaining = -1;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    action = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    if (count.empty()) return false;
+    char* end = nullptr;
+    const long long n = std::strtoll(count.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 0) return false;
+    out->remaining = n;
+  }
+  if (action == "error") {
+    out->action = Action::kError;
+  } else if (action == "io") {
+    out->action = Action::kIoError;
+  } else if (action == "dataloss") {
+    out->action = Action::kDataLoss;
+  } else if (action == "exhausted") {
+    out->action = Action::kExhausted;
+  } else if (action == "throw") {
+    out->action = Action::kThrow;
+  } else if (action.rfind("sleep-", 0) == 0) {
+    out->action = Action::kSleep;
+    const std::string millis = action.substr(6);
+    if (millis.empty()) return false;
+    char* end = nullptr;
+    out->sleep_millis = std::strtod(millis.c_str(), &end);
+    if (end == nullptr || *end != '\0' || out->sleep_millis < 0) return false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Arms PARJ_FAILPOINTS at process start, before main() runs, so env-armed
+/// failpoints are live from the very first evaluation (including snapshot
+/// loads triggered by static initialization elsewhere, should any appear).
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = std::getenv("PARJ_FAILPOINTS");
+    if (env != nullptr && *env != '\0') (void)ArmFromSpecList(env);
+  }
+} g_env_armer;
+
+}  // namespace
+
+Status Arm(const std::string& name, const std::string& spec) {
+  FailpointState state;
+  if (name.empty() || !ParseSpec(spec, &state)) {
+    return Status::InvalidArgument("bad failpoint spec '" + name + "=" + spec +
+                                   "' (want action[:count], action one of "
+                                   "error|io|dataloss|exhausted|throw|"
+                                   "sleep-MS)");
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  const bool was_armed = it != registry.points.end() && it->second.remaining != 0;
+  if (it != registry.points.end()) state.hits = it->second.hits;
+  const bool now_armed = state.remaining != 0;
+  registry.points[name] = state;
+  if (now_armed && !was_armed) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else if (!now_armed && was_armed) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  if (it->second.remaining != 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.points.erase(it);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, state] : registry.points) {
+    if (state.remaining != 0) {
+      internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  registry.points.clear();
+}
+
+Status ArmFromSpecList(const std::string& list) {
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad failpoint entry '" + entry +
+                                     "' (want name=spec)");
+    }
+    PARJ_RETURN_NOT_OK(Arm(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : registry.points) {
+    if (state.remaining != 0) names.push_back(name);
+  }
+  return names;
+}
+
+namespace internal {
+
+Status Eval(const char* name) {
+  Action action;
+  double sleep_millis = 0.0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end() || it->second.remaining == 0) {
+      return Status::OK();
+    }
+    FailpointState& state = it->second;
+    if (state.remaining > 0 && --state.remaining == 0) {
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ++state.hits;
+    action = state.action;
+    sleep_millis = state.sleep_millis;
+  }
+  const std::string tag = std::string(" (injected by failpoint '") + name +
+                          "')";
+  switch (action) {
+    case Action::kError:
+      return Status::Internal("fault" + tag);
+    case Action::kIoError:
+      return Status::IoError("I/O fault" + tag);
+    case Action::kDataLoss:
+      return Status::DataLoss("integrity fault" + tag);
+    case Action::kExhausted:
+      return Status::ResourceExhausted("transient fault" + tag);
+    case Action::kThrow:
+      throw std::bad_alloc();
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          sleep_millis));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+}  // namespace parj::failpoint

@@ -1,0 +1,95 @@
+#ifndef PARJ_COMMON_FAILPOINT_H_
+#define PARJ_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace parj::failpoint {
+
+/// Named failpoints for fault-injection testing. Code sprinkles
+/// `PARJ_FAILPOINT("snapshot.read.header")` at interesting boundaries;
+/// tests (or the `PARJ_FAILPOINTS` environment variable, parsed at
+/// start-up) arm a subset of them with an *action spec*, and an armed
+/// failpoint then injects the configured failure when execution reaches
+/// it. When nothing is armed the macro is a single relaxed atomic load —
+/// cheap enough to leave in release builds and hot-ish paths.
+///
+/// Action spec grammar (the value side of `name=spec`):
+///
+///   error[:N]      return Status::Internal          (generic fault)
+///   io[:N]         return Status::IoError           (medium failure)
+///   dataloss[:N]   return Status::DataLoss          (integrity failure)
+///   exhausted[:N]  return Status::ResourceExhausted (transient overload)
+///   throw[:N]      throw std::bad_alloc             (allocation failure)
+///   sleep-MS[:N]   sleep MS milliseconds, then return OK (latency fault)
+///
+/// `:N` limits the action to the first N times the failpoint is reached;
+/// after that it behaves as unarmed. Without `:N` the action fires every
+/// time until Disarm. Environment form, comma-separated:
+///
+///   PARJ_FAILPOINTS=snapshot.read.header=error:1,join.worker.morsel=sleep-20
+///
+/// Injected Status messages always contain the failpoint name, so a test
+/// (or an operator reading logs) can tell injected faults from real ones.
+
+/// Arms `name` with `spec`. Replaces any existing arming of the same
+/// name. Returns InvalidArgument on a malformed spec.
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Disarms `name` (no-op when not armed).
+void Disarm(const std::string& name);
+
+/// Disarms everything and clears hit counts (test teardown).
+void DisarmAll();
+
+/// Parses a comma-separated `name=spec,name=spec` list (the
+/// PARJ_FAILPOINTS format) and arms every entry. Stops at the first
+/// malformed entry and returns InvalidArgument for it.
+Status ArmFromSpecList(const std::string& list);
+
+/// Times the named failpoint's action actually fired (not merely
+/// evaluated). Counts survive exhaustion of a `:N` budget; DisarmAll
+/// resets them.
+uint64_t HitCount(const std::string& name);
+
+/// Names currently armed (spec budget not yet exhausted), for CLI/debug.
+std::vector<std::string> ArmedNames();
+
+namespace internal {
+/// Number of armed (non-exhausted) failpoints; the fast-path gate.
+extern std::atomic<int> g_armed_count;
+/// Slow path: registry lookup + action. Only called when something is
+/// armed somewhere. Throws for `throw` actions; sleeps for `sleep-MS`.
+Status Eval(const char* name);
+}  // namespace internal
+
+/// True when any failpoint is armed — one relaxed atomic load.
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Function form of the macro below, for call sites that want the Status
+/// without returning it (e.g. a worker loop that records it elsewhere).
+inline Status Check(const char* name) {
+  if (!AnyArmed()) return Status::OK();
+  return internal::Eval(name);
+}
+
+}  // namespace parj::failpoint
+
+/// Evaluates the named failpoint and propagates an injected error from
+/// the enclosing function (which must return Status or Result<T>).
+/// Unarmed cost: one relaxed atomic load.
+#define PARJ_FAILPOINT(name)                                      \
+  do {                                                            \
+    if (::parj::failpoint::AnyArmed()) {                          \
+      ::parj::Status _parj_fp = ::parj::failpoint::internal::Eval(name); \
+      if (!_parj_fp.ok()) return _parj_fp;                        \
+    }                                                             \
+  } while (false)
+
+#endif  // PARJ_COMMON_FAILPOINT_H_

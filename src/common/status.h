@@ -24,6 +24,11 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  /// Persisted state is present but failed an integrity check (bad CRC,
+  /// malformed section, trailing garbage). Unlike kIoError — which covers
+  /// the medium failing — kDataLoss means the bytes were readable but
+  /// wrong, so retrying will not help and the snapshot must be discarded.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,10 +79,34 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// ok()-style code accessors, one per error code, so call sites read
+  /// `st.IsResourceExhausted()` instead of comparing enum values.
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

@@ -1,7 +1,12 @@
 #include "join/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <new>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "server/thread_pool.h"
@@ -298,6 +303,48 @@ void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
   }
 }
 
+/// First-fault latch shared by a query's workers. A worker that faults
+/// records its Status here; the others observe Faulted() between work
+/// units and stop early, so one bad worker fails only its own query —
+/// the pool threads themselves always return to the pool intact.
+class FaultCollector {
+ public:
+  void Record(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status_.ok()) status_ = std::move(status);
+    }
+    faulted_.store(true, std::memory_order_release);
+  }
+  bool Faulted() const { return faulted_.load(std::memory_order_relaxed); }
+  Status Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  std::atomic<bool> faulted_{false};
+  std::mutex mu_;
+  Status status_;
+};
+
+/// Runs one work unit with exception containment: anything thrown inside
+/// (allocation failure, injected faults, logic errors surfacing as
+/// exceptions) becomes a Status instead of std::terminate on a pool
+/// thread.
+template <typename Fn>
+Status RunContained(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("join worker: out of memory");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("join worker exception: ") + e.what());
+  } catch (...) {
+    return Status::Internal("join worker: unknown exception");
+  }
+}
+
 }  // namespace
 
 Result<ExecResult> Executor::Execute(const Plan& plan,
@@ -443,6 +490,8 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     return std::pair<size_t, size_t>(begin, end);
   };
 
+  FaultCollector faults;
+
   // kMorsel only matters with several workers and a divisible work range;
   // a fully constant first pattern is one existence check either way.
   const bool use_morsel = options.scheduling == Scheduling::kMorsel &&
@@ -475,9 +524,19 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
       MorselWorkerStats& stats = worker_stats[w];
       Morsel morsel;
       bool stolen = false;
-      while (!ctx.limit_reached && scheduler.Next(w, &morsel, &stolen)) {
-        RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
-                 &ctx);
+      while (!ctx.limit_reached && !faults.Faulted() &&
+             scheduler.Next(w, &morsel, &stolen)) {
+        const Status unit = RunContained([&]() -> Status {
+          Status injected = failpoint::Check("join.worker.morsel");
+          if (!injected.ok()) return injected;
+          RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
+                   &ctx);
+          return Status::OK();
+        });
+        if (!unit.ok()) {
+          faults.Record(unit);
+          break;
+        }
         ++stats.morsels;
         if (stolen) ++stats.stolen;
         stats.items += morsel.size();
@@ -507,8 +566,17 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
           continue;
         }
         Stopwatch morsel_timer;
-        RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
-                 &ctx);
+        const Status unit = RunContained([&]() -> Status {
+          Status injected = failpoint::Check("join.worker.morsel");
+          if (!injected.ok()) return injected;
+          RunShard(steps, src, morsel.begin, morsel.end, options.strategy,
+                   &ctx);
+          return Status::OK();
+        });
+        if (!unit.ok()) {
+          faults.Record(unit);
+          break;
+        }
         clocks[w] += morsel_timer.ElapsedMillis();
         ++worker_stats[w].morsels;
         if (stolen) ++worker_stats[w].stolen;
@@ -537,12 +605,23 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     for (size_t shard = 0; shard < num_shards; ++shard) {
       auto [begin, end] = shard_range(shard);
       Stopwatch shard_timer;
-      RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+      const Status unit = RunContained([&]() -> Status {
+        Status injected = failpoint::Check("join.worker.shard");
+        if (!injected.ok()) return injected;
+        RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+        return Status::OK();
+      });
+      if (!unit.ok()) {
+        faults.Record(unit);
+        break;
+      }
       result.shard_millis.push_back(shard_timer.ElapsedMillis());
     }
-    result.emulated_parallel_millis =
-        *std::max_element(result.shard_millis.begin(),
-                          result.shard_millis.end());
+    if (!result.shard_millis.empty()) {
+      result.emulated_parallel_millis =
+          *std::max_element(result.shard_millis.begin(),
+                            result.shard_millis.end());
+    }
   } else {
     // Shards are tasks on the shared pool (the serving layer's one
     // threading idiom) — no per-query thread spawn/join. The calling
@@ -550,10 +629,21 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     server::ThreadPool& pool =
         options.pool != nullptr ? *options.pool : server::ThreadPool::Shared();
     pool.ParallelFor(num_shards, [&](size_t shard) {
-      auto [begin, end] = shard_range(shard);
-      RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+      if (faults.Faulted()) return;
+      const Status unit = RunContained([&]() -> Status {
+        Status injected = failpoint::Check("join.worker.shard");
+        if (!injected.ok()) return injected;
+        auto [begin, end] = shard_range(shard);
+        RunShard(steps, src, begin, end, options.strategy, &contexts[shard]);
+        return Status::OK();
+      });
+      if (!unit.ok()) faults.Record(unit);
     });
   }
+
+  // A faulted worker fails its query with the first recorded Status; the
+  // pool itself is untouched and immediately reusable.
+  if (faults.Faulted()) return faults.Take();
 
   // A cancelled query reports its Status instead of partial results.
   if (options.cancel.StopRequested()) return options.cancel.ToStatus();

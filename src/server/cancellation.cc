@@ -8,6 +8,9 @@ Status CancellationToken::ToStatus() const {
       return Status::Cancelled("query cancelled by client");
     case CancelReason::kDeadlineExceeded:
       return Status::DeadlineExceeded("query deadline exceeded");
+    case CancelReason::kWatchdog:
+      return Status::DeadlineExceeded(
+          "query killed by watchdog (exceeded the server's wall-clock cap)");
     case CancelReason::kNone:
       break;
   }

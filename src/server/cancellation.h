@@ -15,6 +15,7 @@ enum class CancelReason : int {
   kNone = 0,
   kCancelled = 1,         ///< client-initiated Cancel()
   kDeadlineExceeded = 2,  ///< deadline/timeout elapsed
+  kWatchdog = 3,          ///< killed by the server's QueryWatchdog
 };
 
 namespace internal {
@@ -99,11 +100,15 @@ class CancellationSource {
 
   /// Requests client-initiated cancellation (idempotent; never overrides
   /// an already-latched deadline expiry).
-  void Cancel() {
+  void Cancel() { CancelWith(CancelReason::kCancelled); }
+
+  /// Cancels with an explicit reason (idempotent; first reason wins).
+  /// Used by the watchdog so the resulting Status names the killer.
+  void CancelWith(CancelReason reason) {
     int expected = 0;
-    state_->reason.compare_exchange_strong(
-        expected, static_cast<int>(CancelReason::kCancelled),
-        std::memory_order_relaxed);
+    state_->reason.compare_exchange_strong(expected,
+                                           static_cast<int>(reason),
+                                           std::memory_order_relaxed);
   }
 
   CancellationToken token() const { return CancellationToken(state_); }

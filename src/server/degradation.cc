@@ -1,0 +1,39 @@
+#include "server/degradation.h"
+
+namespace parj::server {
+
+DegradationDecision DegradationPolicy::Admit(int priority,
+                                             double load_fraction) {
+  DegradationDecision decision;
+  if (!options_.enabled) return decision;
+
+  bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && load_fraction >= options_.high_watermark) {
+    // Plain store (not CAS): concurrent submitters crossing the watermark
+    // together count as one activation often enough for an ops counter,
+    // and the mode itself is idempotent.
+    if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+      if (metrics_ != nullptr) {
+        metrics_->degraded_activations.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+    }
+    degraded = true;
+  } else if (degraded && load_fraction <= options_.low_watermark) {
+    degraded_.store(false, std::memory_order_relaxed);
+    degraded = false;
+  }
+
+  if (!degraded) return decision;
+  if (priority < options_.min_priority) {
+    decision.shed = true;
+    if (metrics_ != nullptr) {
+      metrics_->degraded_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return decision;
+  }
+  decision.downgrade = options_.downgrade_scheduling;
+  return decision;
+}
+
+}  // namespace parj::server

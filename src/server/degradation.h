@@ -1,0 +1,56 @@
+#ifndef PARJ_SERVER_DEGRADATION_H_
+#define PARJ_SERVER_DEGRADATION_H_
+
+#include <atomic>
+
+#include "server/metrics.h"
+
+namespace parj::server {
+
+struct DegradationOptions {
+  bool enabled = false;
+  /// Load fraction — (in_flight + queued) / (max_in_flight + max_queue) —
+  /// at or above which the server enters degraded mode.
+  double high_watermark = 0.75;
+  /// Load fraction at or below which it exits (hysteresis gap so the mode
+  /// does not flap around a single threshold).
+  double low_watermark = 0.25;
+  /// While degraded, queries with priority below this are shed outright.
+  int min_priority = 1;
+  /// While degraded, admitted queries are downgraded from morsel-driven to
+  /// static scheduling — static sharding skips the shared work queues and
+  /// steal traffic, trading tail balance for lower coordination cost,
+  /// which is the right trade when every core is already saturated.
+  bool downgrade_scheduling = true;
+};
+
+/// Decision returned by Admit() for one query.
+struct DegradationDecision {
+  bool shed = false;       ///< reject with ResourceExhausted
+  bool downgrade = false;  ///< force static scheduling
+};
+
+/// Load-shedding state machine. Admit() is called with the current load
+/// fraction under the server's submission path; entry/exit uses the
+/// watermark pair for hysteresis, entries are counted in the metrics
+/// registry, and while degraded low-priority queries are shed first.
+class DegradationPolicy {
+ public:
+  DegradationPolicy(DegradationOptions options, MetricsRegistry* metrics)
+      : options_(options), metrics_(metrics) {}
+
+  DegradationDecision Admit(int priority, double load_fraction);
+
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const DegradationOptions options_;
+  MetricsRegistry* const metrics_;
+  std::atomic<bool> degraded_{false};
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_DEGRADATION_H_

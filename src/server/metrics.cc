@@ -91,6 +91,12 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "queries_cancelled", queries_cancelled);
   AppendCounter(&out, "deadlines_expired", deadlines_expired);
   AppendCounter(&out, "rows_returned", rows_returned);
+  AppendCounter(&out, "retries", retries);
+  AppendCounter(&out, "watchdog_kills", watchdog_kills);
+  AppendCounter(&out, "degraded_activations", degraded_activations);
+  AppendCounter(&out, "degraded_rejected", degraded_rejected);
+  AppendCounter(&out, "worker_faults", worker_faults);
+  AppendCounter(&out, "snapshot_crc_verified", snapshot_crc_verified);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -106,6 +112,12 @@ void MetricsRegistry::Reset() {
   queries_cancelled.store(0, std::memory_order_relaxed);
   deadlines_expired.store(0, std::memory_order_relaxed);
   rows_returned.store(0, std::memory_order_relaxed);
+  retries.store(0, std::memory_order_relaxed);
+  watchdog_kills.store(0, std::memory_order_relaxed);
+  degraded_activations.store(0, std::memory_order_relaxed);
+  degraded_rejected.store(0, std::memory_order_relaxed);
+  worker_faults.store(0, std::memory_order_relaxed);
+  snapshot_crc_verified.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

@@ -63,6 +63,14 @@ struct MetricsRegistry {
   std::atomic<uint64_t> deadlines_expired{0};
   std::atomic<uint64_t> rows_returned{0};
 
+  // Robustness counters (watchdog / retry / degradation / integrity).
+  std::atomic<uint64_t> retries{0};              ///< re-submissions after transient failure
+  std::atomic<uint64_t> watchdog_kills{0};       ///< queries killed past the wall-clock cap
+  std::atomic<uint64_t> degraded_activations{0}; ///< entries into degraded mode
+  std::atomic<uint64_t> degraded_rejected{0};    ///< queries shed while degraded
+  std::atomic<uint64_t> worker_faults{0};        ///< exceptions contained at the worker boundary
+  std::atomic<uint64_t> snapshot_crc_verified{0};///< mirrored from GlobalSnapshotStats
+
   LatencyHistogram queue_wait;  ///< submit -> job start
   LatencyHistogram execution;   ///< engine Execute wall time
   LatencyHistogram total;       ///< submit -> result ready

@@ -1,0 +1,21 @@
+#include "server/retry.h"
+
+#include <algorithm>
+
+namespace parj::server {
+
+double RetryPolicy::BackoffMillis(int attempt, Rng* rng) const {
+  if (attempt < 1) attempt = 1;
+  double base = initial_backoff_millis;
+  for (int i = 1; i < attempt; ++i) {
+    base *= backoff_multiplier;
+    if (base >= max_backoff_millis) break;
+  }
+  base = std::min(base, max_backoff_millis);
+  if (rng == nullptr || jitter <= 0) return base;
+  const double j = std::min(jitter, 1.0);
+  const double lo = base * (1.0 - j);
+  return lo + (base - lo) * rng->NextDouble();
+}
+
+}  // namespace parj::server

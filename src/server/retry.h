@@ -1,0 +1,42 @@
+#ifndef PARJ_SERVER_RETRY_H_
+#define PARJ_SERVER_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace parj::server {
+
+/// Bounded retry with jittered exponential backoff, applied by the server
+/// to *transient* failures only (admission rejections and injected
+/// ResourceExhausted faults). Permanent failures — parse errors, data
+/// loss, cancellation, watchdog kills — are never retried: retrying them
+/// cannot succeed and would double load exactly when the server is
+/// struggling.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  int max_attempts = 3;
+  double initial_backoff_millis = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_millis = 100.0;
+  /// Fraction of the backoff that is randomized away: the sleep is drawn
+  /// uniformly from [base * (1 - jitter), base]. Jitter decorrelates
+  /// retry storms from concurrent clients hitting the same full queue.
+  double jitter = 0.5;
+
+  /// Transient-failure predicate: only kResourceExhausted (queue full,
+  /// admission shed, allocation pressure) is worth another attempt.
+  static bool IsRetryable(const Status& status) {
+    return status.IsResourceExhausted();
+  }
+
+  /// Backoff before attempt `attempt` (1-based count of *failed*
+  /// attempts so far). `rng` supplies the jitter; pass nullptr for the
+  /// deterministic upper bound.
+  double BackoffMillis(int attempt, Rng* rng) const;
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_RETRY_H_

@@ -1,8 +1,12 @@
 #include "server/server.h"
 
+#include <exception>
 #include <memory>
+#include <new>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace parj::server {
@@ -22,11 +26,22 @@ QueryServer::QueryServer(const engine::ParjEngine* engine,
     : engine_(engine),
       options_(std::move(options)),
       pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Shared()),
-      scheduler_(pool_, options_.scheduler) {}
+      scheduler_(pool_, options_.scheduler),
+      degradation_(options_.degradation, &metrics_),
+      watchdog_(options_.watchdog, &metrics_) {}
+
+QueryServer::~QueryServer() {
+  // Members are destroyed in reverse declaration order, which would tear
+  // down watchdog_ and metrics_ while scheduler_'s destructor is still
+  // draining jobs that use them. Drain first so nothing is running.
+  scheduler_.Drain();
+}
 
 void QueryServer::CountTermination(const CancellationToken& token) {
   if (token.reason() == CancelReason::kDeadlineExceeded) {
     metrics_.deadlines_expired.fetch_add(1, std::memory_order_relaxed);
+  } else if (token.reason() == CancelReason::kWatchdog) {
+    // watchdog_kills was already counted by the watchdog thread itself.
   } else {
     metrics_.queries_cancelled.fetch_add(1, std::memory_order_relaxed);
   }
@@ -57,10 +72,34 @@ SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
   engine::QueryOptions query_options =
       options.query.has_value() ? *options.query : options_.query_defaults;
   query_options.cancel = token;
+
+  // Graceful degradation: under sustained load, shed low-priority queries
+  // and fall back to static scheduling for the rest.
+  const double capacity =
+      static_cast<double>(options_.scheduler.max_in_flight) +
+      static_cast<double>(options_.scheduler.max_queue);
+  const double load_fraction =
+      capacity > 0
+          ? (static_cast<double>(scheduler_.in_flight()) +
+             static_cast<double>(scheduler_.queued())) / capacity
+          : 0.0;
+  const DegradationDecision degraded =
+      degradation_.Admit(options.priority, load_fraction);
+  if (degraded.shed) {
+    promise->set_value(Status::ResourceExhausted(
+        "query shed: server degraded under load (priority " +
+        std::to_string(options.priority) + " below cutoff)"));
+    return out;
+  }
+  if (degraded.downgrade) {
+    query_options.scheduling = join::Scheduling::kStatic;
+  }
+
   const auto submit_time = std::chrono::steady_clock::now();
+  CancellationSource cancel_source = out.cancel;
 
   auto job = [this, sparql = std::move(sparql), query_options, token, promise,
-              submit_time] {
+              submit_time, cancel_source, id = out.id] {
     metrics_.queue_wait.Record(MillisSince(submit_time));
     if (token.StopRequested()) {
       // Cancelled or expired while waiting in the admission queue.
@@ -69,9 +108,30 @@ SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
       promise->set_value(token.ToStatus());
       return;
     }
+    watchdog_.Track(id, cancel_source);
     Stopwatch exec_timer;
-    Result<engine::QueryResult> result =
-        engine_->Execute(sparql, query_options);
+    // Containment boundary: whatever escapes the engine — including
+    // injected std::bad_alloc from the `server.execute` failpoint — is
+    // folded into the query's Status so one faulting query never takes
+    // down the serving thread.
+    Result<engine::QueryResult> result = [&]() -> Result<engine::QueryResult> {
+      try {
+        Status fault = failpoint::Check("server.execute");
+        if (!fault.ok()) return fault;
+        return engine_->Execute(sparql, query_options);
+      } catch (const std::bad_alloc&) {
+        metrics_.worker_faults.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted("query failed: out of memory");
+      } catch (const std::exception& e) {
+        metrics_.worker_faults.fetch_add(1, std::memory_order_relaxed);
+        return Status::Internal(std::string("query failed with exception: ") +
+                                e.what());
+      } catch (...) {
+        metrics_.worker_faults.fetch_add(1, std::memory_order_relaxed);
+        return Status::Internal("query failed with unknown exception");
+      }
+    }();
+    watchdog_.Untrack(id);
     metrics_.execution.Record(exec_timer.ElapsedMillis());
     metrics_.total.Record(MillisSince(submit_time));
     if (result.ok()) {
@@ -87,7 +147,10 @@ SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
     promise->set_value(std::move(result));
   };
 
-  const Status admitted = scheduler_.Submit(options.priority, std::move(job));
+  Status admitted = failpoint::Check("server.admit");
+  if (admitted.ok()) {
+    admitted = scheduler_.Submit(options.priority, std::move(job));
+  }
   if (!admitted.ok()) {
     metrics_.admission_rejected.fetch_add(1, std::memory_order_relaxed);
     promise->set_value(admitted);
@@ -99,8 +162,25 @@ SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
 
 Result<engine::QueryResult> QueryServer::Execute(std::string sparql,
                                                  SubmitOptions options) {
-  SubmittedQuery q = Submit(std::move(sparql), std::move(options));
-  return q.result.get();
+  const RetryPolicy& retry = options_.retry;
+  for (int attempt = 1;; ++attempt) {
+    SubmittedQuery q = Submit(sparql, options);
+    Result<engine::QueryResult> result = q.result.get();
+    if (result.ok() || !RetryPolicy::IsRetryable(result.status()) ||
+        attempt >= retry.max_attempts) {
+      return result;
+    }
+    double backoff_millis;
+    {
+      std::lock_guard<std::mutex> lock(retry_mu_);
+      backoff_millis = retry.BackoffMillis(attempt, &retry_rng_);
+    }
+    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_millis > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_millis));
+    }
+  }
 }
 
 }  // namespace parj::server

@@ -5,15 +5,20 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "engine/parj_engine.h"
 #include "server/cancellation.h"
+#include "server/degradation.h"
 #include "server/metrics.h"
+#include "server/retry.h"
 #include "server/scheduler.h"
 #include "server/thread_pool.h"
+#include "server/watchdog.h"
 
 namespace parj::server {
 
@@ -25,6 +30,12 @@ struct ServerOptions {
   /// Engine options applied to every submission unless overridden
   /// per-query (SubmitOptions::query).
   engine::QueryOptions query_defaults;
+  /// Server-side wall-clock cap on query runtime (0 = off).
+  WatchdogOptions watchdog;
+  /// Retry applied by Execute() to transient failures.
+  RetryPolicy retry;
+  /// Load shedding under sustained overload (off by default).
+  DegradationOptions degradation;
 };
 
 struct SubmitOptions {
@@ -67,18 +78,27 @@ class QueryServer {
  public:
   explicit QueryServer(const engine::ParjEngine* engine,
                        ServerOptions options = {});
-  ~QueryServer() = default;  // scheduler drains admitted jobs
+  /// Drains admitted jobs before any member the jobs touch (metrics,
+  /// watchdog) is torn down.
+  ~QueryServer();
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Asynchronously executes `sparql`. Never blocks: an over-limit
   /// submission resolves immediately with ResourceExhausted, an expired
-  /// deadline with DeadlineExceeded (without executing).
+  /// deadline with DeadlineExceeded (without executing). Queries that run
+  /// past the watchdog cap resolve with DeadlineExceeded; an exception
+  /// escaping the engine resolves the future with a contained Status
+  /// instead of crashing the serving thread.
   SubmittedQuery Submit(std::string sparql, SubmitOptions options = {});
 
-  /// Submit + wait convenience.
+  /// Submit + wait convenience. Transient failures (ResourceExhausted:
+  /// admission rejection, load shedding, allocation pressure) are retried
+  /// under ServerOptions::retry with jittered exponential backoff.
   Result<engine::QueryResult> Execute(std::string sparql,
                                       SubmitOptions options = {});
+
+  bool degraded() const { return degradation_.degraded(); }
 
   /// Blocks until every admitted query has finished.
   void Drain() { scheduler_.Drain(); }
@@ -96,7 +116,11 @@ class QueryServer {
   ThreadPool* pool_;
   QueryScheduler scheduler_;
   MetricsRegistry metrics_;
+  DegradationPolicy degradation_;
+  QueryWatchdog watchdog_;
   std::atomic<uint64_t> next_query_id_{1};
+  std::mutex retry_mu_;  ///< guards retry_rng_ (backoff path only)
+  Rng retry_rng_{0x7261626E6F77ULL};
 };
 
 }  // namespace parj::server

@@ -1,0 +1,64 @@
+#include "server/watchdog.h"
+
+#include <vector>
+
+namespace parj::server {
+
+QueryWatchdog::~QueryWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void QueryWatchdog::Track(uint64_t query_id, CancellationSource source) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(query_id,
+                   Entry{std::move(source), std::chrono::steady_clock::now()});
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+void QueryWatchdog::Untrack(uint64_t query_id) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(query_id);
+}
+
+size_t QueryWatchdog::tracked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void QueryWatchdog::Loop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      options_.poll_interval_millis);
+  const auto cap =
+      std::chrono::duration<double, std::milli>(options_.max_query_millis);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, poll);
+    if (shutdown_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (now - it->second.start >= cap) {
+        // Cancellation is cooperative: flag the token and let the worker
+        // unwind. The entry is dropped here so each overrun kills once.
+        it->second.source.CancelWith(CancelReason::kWatchdog);
+        if (metrics_ != nullptr) {
+          metrics_->watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+        }
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace parj::server

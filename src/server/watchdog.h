@@ -1,0 +1,77 @@
+#ifndef PARJ_SERVER_WATCHDOG_H_
+#define PARJ_SERVER_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "server/cancellation.h"
+#include "server/metrics.h"
+
+namespace parj::server {
+
+struct WatchdogOptions {
+  /// Wall-clock cap per query in milliseconds; 0 disables the watchdog
+  /// entirely (no thread is started).
+  double max_query_millis = 0.0;
+  /// How often the watchdog thread scans tracked queries.
+  double poll_interval_millis = 5.0;
+};
+
+/// Server-side guard against runaway queries. The deadline mechanism in
+/// CancellationSource covers *client-requested* timeouts; the watchdog is
+/// the server's own defense — a query that exceeds the configured
+/// wall-clock cap is cancelled with CancelReason::kWatchdog regardless of
+/// what the client asked for, and the kill is recorded in the metrics
+/// registry. Cancellation stays cooperative (the executor's shard loops
+/// poll their token), so a kill unwinds cleanly through Status.
+///
+/// The thread starts lazily on the first Track() and joins in the
+/// destructor. With max_query_millis == 0, Track/Untrack are no-ops.
+class QueryWatchdog {
+ public:
+  QueryWatchdog(WatchdogOptions options, MetricsRegistry* metrics)
+      : options_(options), metrics_(metrics) {}
+  ~QueryWatchdog();
+
+  QueryWatchdog(const QueryWatchdog&) = delete;
+  QueryWatchdog& operator=(const QueryWatchdog&) = delete;
+
+  bool enabled() const { return options_.max_query_millis > 0; }
+
+  /// Registers a running query. The watchdog holds the source (cheap
+  /// shared_ptr copy) so it can cancel even after the caller's handle
+  /// is gone.
+  void Track(uint64_t query_id, CancellationSource source);
+
+  /// Unregisters on completion (no-op when already killed-and-removed).
+  void Untrack(uint64_t query_id);
+
+  /// Queries currently tracked (for tests).
+  size_t tracked() const;
+
+ private:
+  struct Entry {
+    CancellationSource source;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  void Loop();
+
+  const WatchdogOptions options_;
+  MetricsRegistry* const metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  bool started_ = false;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_WATCHDOG_H_

@@ -1,181 +1,434 @@
 #include "storage/snapshot.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
 
 namespace parj::storage {
+
+SnapshotStats& GlobalSnapshotStats() {
+  static SnapshotStats* stats = new SnapshotStats();
+  return *stats;
+}
 
 namespace {
 
 constexpr char kMagic[8] = {'P', 'A', 'R', 'J', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
 constexpr size_t kMaxStringLength = 1u << 24;  // 16 MB per term, sanity cap
 
-void WriteU32(std::ostream& out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out.write(buf, 4);
-}
+// v2 section ids. The trailer id spells "TRLR" so a hex dump of a healthy
+// snapshot ends recognizably.
+constexpr uint32_t kSectionDictionary = 1;
+constexpr uint32_t kSectionTriples = 2;
+constexpr uint32_t kSectionTrailer = 0x524C5254u;  // "TRLR" in an LE dump
 
-void WriteU64(std::ostream& out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out.write(buf, 8);
-}
+/// Streaming writer: every byte goes straight to the ostream; while a
+/// section is open its payload bytes are folded into a running CRC-32C,
+/// which EndSection appends (and records for the trailer).
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::ostream& out) : out_(out) {}
 
-void WriteString(std::ostream& out, const std::string& s) {
-  WriteU32(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-Result<uint32_t> ReadU32(std::istream& in) {
-  char buf[4];
-  if (!in.read(buf, 4)) return Status::IoError("truncated snapshot (u32)");
-  uint32_t v;
-  std::memcpy(&v, buf, 4);
-  return v;
-}
-
-Result<uint64_t> ReadU64(std::istream& in) {
-  char buf[8];
-  if (!in.read(buf, 8)) return Status::IoError("truncated snapshot (u64)");
-  uint64_t v;
-  std::memcpy(&v, buf, 8);
-  return v;
-}
-
-Result<std::string> ReadString(std::istream& in) {
-  PARJ_ASSIGN_OR_RETURN(uint32_t length, ReadU32(in));
-  if (length > kMaxStringLength) {
-    return Status::ParseError("snapshot string length exceeds sanity cap");
+  void WriteBytes(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    if (crc_active_) crc_ = Crc32cExtend(crc_, data, n);
   }
-  std::string s(length, '\0');
-  if (length > 0 && !in.read(s.data(), length)) {
-    return Status::IoError("truncated snapshot (string)");
+  void WriteU8(uint8_t v) { WriteBytes(&v, 1); }
+  void WriteU32(uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    WriteBytes(buf, 4);
   }
-  return s;
-}
+  void WriteU64(uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    WriteBytes(buf, 8);
+  }
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+  void WriteTerm(const rdf::Term& term) {
+    WriteU8(static_cast<uint8_t>(term.kind()));
+    WriteString(term.lexical());
+    WriteString(term.datatype());
+    WriteString(term.lang());
+  }
 
-void WriteTerm(std::ostream& out, const rdf::Term& term) {
-  out.put(static_cast<char>(term.kind()));
-  WriteString(out, term.lexical());
-  WriteString(out, term.datatype());
-  WriteString(out, term.lang());
-}
+  void BeginSection(uint32_t id) {
+    WriteU32(id);  // header, not covered by the section CRC
+    crc_ = 0;
+    crc_active_ = true;
+  }
+  void EndSection() {
+    crc_active_ = false;
+    section_crcs_.push_back(crc_);
+    WriteU32(crc_);
+  }
+  void WriteTrailer() {
+    WriteU32(kSectionTrailer);
+    WriteU64(section_crcs_.size());
+    WriteU32(Crc32c(section_crcs_.data(),
+                    section_crcs_.size() * sizeof(uint32_t)));
+  }
 
-Result<rdf::Term> ReadTerm(std::istream& in) {
-  int kind_byte = in.get();
-  if (kind_byte == EOF) return Status::IoError("truncated snapshot (term)");
-  PARJ_ASSIGN_OR_RETURN(std::string lexical, ReadString(in));
-  PARJ_ASSIGN_OR_RETURN(std::string datatype, ReadString(in));
-  PARJ_ASSIGN_OR_RETURN(std::string lang, ReadString(in));
-  switch (static_cast<rdf::TermKind>(kind_byte)) {
-    case rdf::TermKind::kIri:
-      return rdf::Term::Iri(std::move(lexical));
-    case rdf::TermKind::kBlank:
-      return rdf::Term::Blank(std::move(lexical));
-    case rdf::TermKind::kLiteral:
-      if (!lang.empty()) {
-        return rdf::Term::LangLiteral(std::move(lexical), std::move(lang));
+  bool good() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+  uint32_t crc_ = 0;
+  bool crc_active_ = false;
+  std::vector<uint32_t> section_crcs_;
+};
+
+/// Streaming reader mirror: tracks the byte offset (for error messages)
+/// and folds bytes read while a section is open into a running CRC.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in) : in_(in) {}
+
+  Status ReadBytes(void* buf, size_t n, const char* what) {
+    if (n > 0 &&
+        !in_.read(static_cast<char*>(buf), static_cast<std::streamsize>(n))) {
+      return Status::IoError("truncated snapshot (" + std::string(what) +
+                             ") at offset " + std::to_string(offset_));
+    }
+    offset_ += n;
+    if (crc_active_) crc_ = Crc32cExtend(crc_, buf, n);
+    return Status::OK();
+  }
+  Result<uint8_t> ReadU8(const char* what) {
+    uint8_t v;
+    PARJ_RETURN_NOT_OK(ReadBytes(&v, 1, what));
+    return v;
+  }
+  Result<uint32_t> ReadU32(const char* what) {
+    char buf[4];
+    PARJ_RETURN_NOT_OK(ReadBytes(buf, 4, what));
+    uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+  Result<uint64_t> ReadU64(const char* what) {
+    char buf[8];
+    PARJ_RETURN_NOT_OK(ReadBytes(buf, 8, what));
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+  Result<std::string> ReadString() {
+    PARJ_ASSIGN_OR_RETURN(uint32_t length, ReadU32("string length"));
+    if (length > kMaxStringLength) {
+      return Status::ParseError(
+          "snapshot string length exceeds sanity cap at offset " +
+          std::to_string(offset_ - 4));
+    }
+    std::string s(length, '\0');
+    PARJ_RETURN_NOT_OK(ReadBytes(s.data(), length, "string"));
+    return s;
+  }
+  Result<rdf::Term> ReadTerm() {
+    PARJ_ASSIGN_OR_RETURN(uint8_t kind_byte, ReadU8("term"));
+    PARJ_ASSIGN_OR_RETURN(std::string lexical, ReadString());
+    PARJ_ASSIGN_OR_RETURN(std::string datatype, ReadString());
+    PARJ_ASSIGN_OR_RETURN(std::string lang, ReadString());
+    switch (static_cast<rdf::TermKind>(kind_byte)) {
+      case rdf::TermKind::kIri:
+        return rdf::Term::Iri(std::move(lexical));
+      case rdf::TermKind::kBlank:
+        return rdf::Term::Blank(std::move(lexical));
+      case rdf::TermKind::kLiteral:
+        if (!lang.empty()) {
+          return rdf::Term::LangLiteral(std::move(lexical), std::move(lang));
+        }
+        if (!datatype.empty()) {
+          return rdf::Term::TypedLiteral(std::move(lexical),
+                                         std::move(datatype));
+        }
+        return rdf::Term::Literal(std::move(lexical));
+    }
+    return Status::ParseError("snapshot term has unknown kind " +
+                              std::to_string(kind_byte) + " at offset " +
+                              std::to_string(offset_));
+  }
+
+  void BeginCrc() {
+    crc_ = 0;
+    crc_active_ = true;
+  }
+  uint32_t EndCrc() {
+    crc_active_ = false;
+    return crc_;
+  }
+
+  /// Reads the stored section CRC (not folded into any CRC) and compares
+  /// it to the computed payload CRC.
+  Status VerifySectionCrc(const char* section, uint32_t computed) {
+    const uint64_t payload_end = offset_;
+    PARJ_ASSIGN_OR_RETURN(uint32_t stored, ReadU32("section CRC"));
+    if (stored != computed) {
+      GlobalSnapshotStats().crc_mismatches.fetch_add(
+          1, std::memory_order_relaxed);
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), " (stored %08x, computed %08x)",
+                    stored, computed);
+      return Status::DataLoss("snapshot section '" + std::string(section) +
+                              "' CRC mismatch at offset " +
+                              std::to_string(payload_end) + detail);
+    }
+    GlobalSnapshotStats().crc_sections_verified.fetch_add(
+        1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  bool AtEof() {
+    return in_.peek() == std::istream::traits_type::eof();
+  }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  std::istream& in_;
+  uint64_t offset_ = 0;
+  uint32_t crc_ = 0;
+  bool crc_active_ = false;
+};
+
+/// Shared walker behind ReadSnapshot (build == true: populate dict +
+/// triples) and VerifySnapshot (build == false: decode and discard).
+Status ParseSnapshot(std::istream& in, bool build, dict::Dictionary* dict,
+                     std::vector<EncodedTriple>* triples, SnapshotInfo* info) {
+  SnapshotReader reader(in);
+  char magic[sizeof(kMagic)];
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic), "magic"));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a PARJ snapshot (bad magic)");
+  }
+  PARJ_FAILPOINT("snapshot.read.header");
+  PARJ_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32("version"));
+  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+    return Status::Unsupported("snapshot version " + std::to_string(version) +
+                               " (supported: " +
+                               std::to_string(kSnapshotVersionLegacy) + ", " +
+                               std::to_string(kSnapshotVersion) + ")");
+  }
+  info->version = version;
+  PARJ_ASSIGN_OR_RETURN(uint32_t flags, reader.ReadU32("flags"));
+  if (flags != 0) {
+    return Status::Unsupported("snapshot uses unknown flags");
+  }
+  const bool checked = version >= kSnapshotVersion;
+  std::vector<uint32_t> section_crcs;
+
+  // --- dictionary section -----------------------------------------------
+  PARJ_FAILPOINT("snapshot.read.dictionary");
+  if (checked) {
+    PARJ_ASSIGN_OR_RETURN(uint32_t id, reader.ReadU32("section id"));
+    if (id != kSectionDictionary) {
+      return Status::DataLoss(
+          "snapshot dictionary section has wrong id " + std::to_string(id) +
+          " at offset " + std::to_string(reader.offset() - 4));
+    }
+    reader.BeginCrc();
+  }
+  PARJ_ASSIGN_OR_RETURN(uint32_t resource_count,
+                        reader.ReadU32("resource count"));
+  info->resource_count = resource_count;
+  for (uint32_t i = 0; i < resource_count; ++i) {
+    PARJ_ASSIGN_OR_RETURN(rdf::Term term, reader.ReadTerm());
+    if (build) {
+      TermId id = dict->EncodeResource(term);
+      if (id != i + 1) {
+        return Status::ParseError("snapshot contains duplicate resource terms");
       }
-      if (!datatype.empty()) {
-        return rdf::Term::TypedLiteral(std::move(lexical),
-                                       std::move(datatype));
-      }
-      return rdf::Term::Literal(std::move(lexical));
+    }
   }
-  return Status::ParseError("snapshot term has unknown kind " +
-                            std::to_string(kind_byte));
+  PARJ_ASSIGN_OR_RETURN(uint32_t predicate_count,
+                        reader.ReadU32("predicate count"));
+  info->predicate_count = predicate_count;
+  for (uint32_t i = 0; i < predicate_count; ++i) {
+    PARJ_ASSIGN_OR_RETURN(rdf::Term term, reader.ReadTerm());
+    if (build) {
+      PredicateId id = dict->EncodePredicate(term);
+      if (id != i + 1) {
+        return Status::ParseError(
+            "snapshot contains duplicate predicate terms");
+      }
+    }
+  }
+  if (checked) {
+    const uint32_t computed = reader.EndCrc();
+    PARJ_RETURN_NOT_OK(reader.VerifySectionCrc("dictionary", computed));
+    section_crcs.push_back(computed);
+    ++info->sections_verified;
+  }
+
+  // --- triples section --------------------------------------------------
+  PARJ_FAILPOINT("snapshot.read.triples");
+  if (checked) {
+    PARJ_ASSIGN_OR_RETURN(uint32_t id, reader.ReadU32("section id"));
+    if (id != kSectionTriples) {
+      return Status::DataLoss(
+          "snapshot triples section has wrong id " + std::to_string(id) +
+          " at offset " + std::to_string(reader.offset() - 4));
+    }
+    reader.BeginCrc();
+  }
+  PARJ_ASSIGN_OR_RETURN(uint64_t triple_count, reader.ReadU64("triple count"));
+  info->triple_count = triple_count;
+  if (build) {
+    // Do not trust the header for a giant up-front allocation; a corrupted
+    // count will fail on the truncated read (or the CRC) instead.
+    triples->reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
+  }
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    EncodedTriple t;
+    PARJ_ASSIGN_OR_RETURN(t.subject, reader.ReadU32("triple subject"));
+    PARJ_ASSIGN_OR_RETURN(t.predicate, reader.ReadU32("triple predicate"));
+    PARJ_ASSIGN_OR_RETURN(t.object, reader.ReadU32("triple object"));
+    if (build) triples->push_back(t);
+  }
+  if (checked) {
+    const uint32_t computed = reader.EndCrc();
+    PARJ_RETURN_NOT_OK(reader.VerifySectionCrc("triples", computed));
+    section_crcs.push_back(computed);
+    ++info->sections_verified;
+  }
+
+  // --- trailer ----------------------------------------------------------
+  if (checked) {
+    PARJ_FAILPOINT("snapshot.read.trailer");
+    PARJ_ASSIGN_OR_RETURN(uint32_t id, reader.ReadU32("trailer id"));
+    if (id != kSectionTrailer) {
+      return Status::DataLoss("snapshot trailer has wrong id " +
+                              std::to_string(id) + " at offset " +
+                              std::to_string(reader.offset() - 4));
+    }
+    PARJ_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64("trailer count"));
+    if (count != section_crcs.size()) {
+      return Status::DataLoss("snapshot trailer records " +
+                              std::to_string(count) + " sections, expected " +
+                              std::to_string(section_crcs.size()));
+    }
+    PARJ_ASSIGN_OR_RETURN(uint32_t stored, reader.ReadU32("trailer CRC"));
+    const uint32_t computed = Crc32c(section_crcs.data(),
+                                     section_crcs.size() * sizeof(uint32_t));
+    if (stored != computed) {
+      GlobalSnapshotStats().crc_mismatches.fetch_add(
+          1, std::memory_order_relaxed);
+      return Status::DataLoss("snapshot section 'trailer' CRC mismatch at "
+                              "offset " + std::to_string(reader.offset() - 4));
+    }
+    GlobalSnapshotStats().crc_sections_verified.fetch_add(
+        1, std::memory_order_relaxed);
+    ++info->sections_verified;
+    if (!reader.AtEof()) {
+      return Status::DataLoss("snapshot has trailing bytes after trailer at "
+                              "offset " + std::to_string(reader.offset()));
+    }
+  }
+  info->bytes = reader.offset();
+  return Status::OK();
 }
 
 }  // namespace
 
-Status WriteSnapshot(const Database& db, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
-  WriteU32(out, 0);  // flags, reserved
+Status WriteSnapshot(const Database& db, std::ostream& out, uint32_t version) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+    return Status::InvalidArgument("cannot write snapshot version " +
+                                   std::to_string(version));
+  }
+  const bool checked = version >= kSnapshotVersion;
+  SnapshotWriter writer(out);
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(version);
+  writer.WriteU32(0);  // flags, reserved
 
   const dict::Dictionary& dict = db.dictionary();
-  WriteU32(out, dict.resource_count());
+  if (checked) writer.BeginSection(kSectionDictionary);
+  writer.WriteU32(dict.resource_count());
   for (TermId id = 1; id <= dict.resource_count(); ++id) {
-    WriteTerm(out, dict.DecodeResource(id));
+    writer.WriteTerm(dict.DecodeResource(id));
   }
-  WriteU32(out, dict.predicate_count());
+  writer.WriteU32(dict.predicate_count());
   for (PredicateId id = 1; id <= dict.predicate_count(); ++id) {
-    WriteTerm(out, dict.DecodePredicate(id));
+    writer.WriteTerm(dict.DecodePredicate(id));
   }
+  if (checked) writer.EndSection();
 
-  WriteU64(out, db.total_triples());
+  PARJ_FAILPOINT("snapshot.write.triples");
+  if (checked) writer.BeginSection(kSectionTriples);
+  writer.WriteU64(db.total_triples());
   for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
     const TableReplica& so = db.entry(pid).table.so();
     for (size_t k = 0; k < so.key_count(); ++k) {
       for (TermId o : so.Run(k)) {
-        WriteU32(out, so.KeyAt(k));
-        WriteU32(out, pid);
-        WriteU32(out, o);
+        writer.WriteU32(so.KeyAt(k));
+        writer.WriteU32(pid);
+        writer.WriteU32(o);
       }
     }
   }
-  if (!out) return Status::IoError("write failure while saving snapshot");
+  if (checked) {
+    writer.EndSection();
+    writer.WriteTrailer();
+  }
+  if (!writer.good()) {
+    return Status::IoError("write failure while saving snapshot");
+  }
+  GlobalSnapshotStats().snapshots_written.fetch_add(1,
+                                                    std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status SaveSnapshot(const Database& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return WriteSnapshot(db, out);
+  // Write-then-rename: the snapshot materializes at `path` only complete
+  // and flushed; any failure (including injected ones) leaves whatever
+  // was previously at `path` untouched and removes the temporary.
+  const std::string tmp = path + ".tmp";
+  {
+    Status open_fp = failpoint::Check("snapshot.save.open");
+    if (!open_fp.ok()) return open_fp;
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    Status written = WriteSnapshot(db, out);
+    if (written.ok()) {
+      out.flush();
+      if (!out) written = Status::IoError("flush failure while saving " + tmp);
+    }
+    if (!written.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+  Status rename_fp = failpoint::Check("snapshot.save.rename");
+  if (!rename_fp.ok()) {
+    std::remove(tmp.c_str());
+    return rename_fp;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
 }
 
 Result<Database> ReadSnapshot(std::istream& in,
                               const DatabaseOptions& options) {
-  char magic[sizeof(kMagic)];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::ParseError("not a PARJ snapshot (bad magic)");
-  }
-  PARJ_ASSIGN_OR_RETURN(uint32_t version, ReadU32(in));
-  if (version != kVersion) {
-    return Status::Unsupported("snapshot version " + std::to_string(version) +
-                               " (supported: " + std::to_string(kVersion) +
-                               ")");
-  }
-  PARJ_ASSIGN_OR_RETURN(uint32_t flags, ReadU32(in));
-  if (flags != 0) {
-    return Status::Unsupported("snapshot uses unknown flags");
-  }
-
   dict::Dictionary dict;
-  PARJ_ASSIGN_OR_RETURN(uint32_t resource_count, ReadU32(in));
-  for (uint32_t i = 0; i < resource_count; ++i) {
-    PARJ_ASSIGN_OR_RETURN(rdf::Term term, ReadTerm(in));
-    TermId id = dict.EncodeResource(term);
-    if (id != i + 1) {
-      return Status::ParseError("snapshot contains duplicate resource terms");
-    }
-  }
-  PARJ_ASSIGN_OR_RETURN(uint32_t predicate_count, ReadU32(in));
-  for (uint32_t i = 0; i < predicate_count; ++i) {
-    PARJ_ASSIGN_OR_RETURN(rdf::Term term, ReadTerm(in));
-    PredicateId id = dict.EncodePredicate(term);
-    if (id != i + 1) {
-      return Status::ParseError("snapshot contains duplicate predicate terms");
-    }
-  }
-
-  PARJ_ASSIGN_OR_RETURN(uint64_t triple_count, ReadU64(in));
   std::vector<EncodedTriple> triples;
-  // Do not trust the header for a giant up-front allocation; a corrupted
-  // count will fail on the truncated read instead.
-  triples.reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
-  for (uint64_t i = 0; i < triple_count; ++i) {
-    EncodedTriple t;
-    PARJ_ASSIGN_OR_RETURN(t.subject, ReadU32(in));
-    PARJ_ASSIGN_OR_RETURN(t.predicate, ReadU32(in));
-    PARJ_ASSIGN_OR_RETURN(t.object, ReadU32(in));
-    triples.push_back(t);
-  }
+  SnapshotInfo info;
+  PARJ_RETURN_NOT_OK(ParseSnapshot(in, /*build=*/true, &dict, &triples,
+                                   &info));
+  GlobalSnapshotStats().snapshots_loaded.fetch_add(1,
+                                                   std::memory_order_relaxed);
   return Database::Build(std::move(dict), std::move(triples), options);
 }
 
@@ -184,6 +437,19 @@ Result<Database> LoadSnapshot(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   return ReadSnapshot(in, options);
+}
+
+Result<SnapshotInfo> VerifySnapshot(std::istream& in) {
+  SnapshotInfo info;
+  PARJ_RETURN_NOT_OK(ParseSnapshot(in, /*build=*/false, nullptr, nullptr,
+                                   &info));
+  return info;
+}
+
+Result<SnapshotInfo> VerifySnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return VerifySnapshot(in);
 }
 
 }  // namespace parj::storage

@@ -1,6 +1,8 @@
 #ifndef PARJ_STORAGE_SNAPSHOT_H_
 #define PARJ_STORAGE_SNAPSHOT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -16,27 +18,79 @@ namespace parj::storage {
 /// loading rebuilds the property tables, indexes and statistics (which is
 /// fast and keeps the format independent of layout details).
 ///
-/// Format (little-endian):
-///   magic "PARJSNAP"  u32 version  u32 flags
-///   u32 resource_count  { u8 kind, varlen lexical, varlen datatype,
-///                         varlen lang } per resource (in ID order)
-///   u32 predicate_count { ... } per predicate
-///   u64 triple_count    { u32 s, u32 p, u32 o } per triple
-/// Strings are u32 length + bytes.
+/// Format v2 (little-endian; v1 files remain readable):
+///   magic "PARJSNAP"  u32 version=2  u32 flags
+///   section { u32 section_id, payload..., u32 crc32c(payload) }:
+///     id 1 "dictionary": u32 resource_count, terms...,
+///                        u32 predicate_count, terms...
+///     id 2 "triples":    u64 triple_count, { u32 s, u32 p, u32 o }...
+///   trailer: u32 id 0x524C5254 ("TRLR" in a little-endian dump),
+///            u64 section_count,
+///            u32 crc32c(per-section CRC words), then EOF
+/// Terms are { u8 kind, varlen lexical, varlen datatype, varlen lang };
+/// strings are u32 length + bytes.
+///
+/// Every section payload is covered by a CRC-32C record; the reader
+/// verifies each section as it streams past and returns
+/// StatusCode::kDataLoss naming the failing section and byte offset on
+/// any mismatch, truncation inside a verified region, or trailing
+/// garbage. A v1 snapshot (no CRCs) still loads, with integrity limited
+/// to the structural checks.
 
-/// Writes `db`'s dictionary and triples to `out`.
-Status WriteSnapshot(const Database& db, std::ostream& out);
+/// Current and legacy on-disk format versions.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionLegacy = 1;
 
-/// Convenience file wrapper.
+/// Summary of a verified snapshot (also returned by VerifySnapshot).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint32_t resource_count = 0;
+  uint32_t predicate_count = 0;
+  uint64_t triple_count = 0;
+  /// CRC-verified sections (0 for v1 files).
+  uint64_t sections_verified = 0;
+  /// Total bytes consumed.
+  uint64_t bytes = 0;
+};
+
+/// Process-wide snapshot I/O counters (all relaxed atomics), surfaced in
+/// `parj_cli serve` metrics output next to the serving registry.
+struct SnapshotStats {
+  std::atomic<uint64_t> snapshots_written{0};
+  std::atomic<uint64_t> snapshots_loaded{0};
+  std::atomic<uint64_t> crc_sections_verified{0};
+  std::atomic<uint64_t> crc_mismatches{0};
+};
+SnapshotStats& GlobalSnapshotStats();
+
+/// Writes `db`'s dictionary and triples to `out`. `version` selects the
+/// on-disk format — kSnapshotVersion unless writing a legacy file for
+/// compatibility testing.
+Status WriteSnapshot(const Database& db, std::ostream& out,
+                     uint32_t version = kSnapshotVersion);
+
+/// Convenience file wrapper. Writes to `<path>.tmp` and renames into
+/// place only after a fully successful write + flush, so a crash or
+/// failure mid-write never leaves a truncated snapshot at `path`.
 Status SaveSnapshot(const Database& db, const std::string& path);
 
-/// Reads a snapshot and rebuilds a Database with `options`.
+/// Reads a snapshot and rebuilds a Database with `options`. CRC or
+/// structural failures return kDataLoss/kParseError/kIoError — never a
+/// partially-populated database.
 Result<Database> ReadSnapshot(std::istream& in,
                               const DatabaseOptions& options = {});
 
 /// Convenience file wrapper.
 Result<Database> LoadSnapshot(const std::string& path,
                               const DatabaseOptions& options = {});
+
+/// Walks and CRC-verifies a snapshot without building the database
+/// (terms and triples are decoded and discarded). Cheap enough to run
+/// against every snapshot an operator is about to trust.
+Result<SnapshotInfo> VerifySnapshot(std::istream& in);
+
+/// Convenience file wrapper (the CLI's `verify-snapshot` command).
+Result<SnapshotInfo> VerifySnapshotFile(const std::string& path);
 
 }  // namespace parj::storage
 

@@ -1,0 +1,154 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+
+namespace parj::failpoint {
+namespace {
+
+/// Every test starts and ends with a clean registry so arming never leaks
+/// across tests (the registry is process-global by design).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+Status Guarded(const char* name) {
+  PARJ_FAILPOINT(name);
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, UnarmedIsOkAndCheap) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(Guarded("some.unarmed.point").ok());
+  EXPECT_EQ(HitCount("some.unarmed.point"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedInjectsStatusNamingThePoint) {
+  ASSERT_TRUE(Arm("demo.point", "error").ok());
+  EXPECT_TRUE(AnyArmed());
+  Status st = Guarded("demo.point");
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("demo.point"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ActionsMapToStatusCodes) {
+  ASSERT_TRUE(Arm("p.io", "io").ok());
+  ASSERT_TRUE(Arm("p.dataloss", "dataloss").ok());
+  ASSERT_TRUE(Arm("p.exhausted", "exhausted").ok());
+  EXPECT_TRUE(Guarded("p.io").IsIoError());
+  EXPECT_TRUE(Guarded("p.dataloss").IsDataLoss());
+  EXPECT_TRUE(Guarded("p.exhausted").IsResourceExhausted());
+}
+
+TEST_F(FailpointTest, CountBudgetExhausts) {
+  ASSERT_TRUE(Arm("budget.point", "error:2").ok());
+  EXPECT_FALSE(Guarded("budget.point").ok());
+  EXPECT_FALSE(Guarded("budget.point").ok());
+  // Budget spent: behaves as unarmed, and the global gate clears.
+  EXPECT_TRUE(Guarded("budget.point").ok());
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(HitCount("budget.point"), 2u);
+}
+
+TEST_F(FailpointTest, ThrowActionThrowsBadAlloc) {
+  ASSERT_TRUE(Arm("alloc.point", "throw:1").ok());
+  EXPECT_THROW(Guarded("alloc.point"), std::bad_alloc);
+  EXPECT_TRUE(Guarded("alloc.point").ok());
+}
+
+TEST_F(FailpointTest, SleepActionReturnsOk) {
+  ASSERT_TRUE(Arm("slow.point", "sleep-1:3").ok());
+  EXPECT_TRUE(Guarded("slow.point").ok());
+  EXPECT_EQ(HitCount("slow.point"), 1u);
+}
+
+TEST_F(FailpointTest, DisarmRestoresOk) {
+  ASSERT_TRUE(Arm("temp.point", "error").ok());
+  EXPECT_FALSE(Guarded("temp.point").ok());
+  Disarm("temp.point");
+  EXPECT_TRUE(Guarded("temp.point").ok());
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, SpecListArmsSeveral) {
+  ASSERT_TRUE(ArmFromSpecList("a.point=error:1,b.point=sleep-0.5").ok());
+  std::vector<std::string> names = ArmedNames();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_FALSE(Guarded("a.point").ok());
+  EXPECT_TRUE(Guarded("b.point").ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  EXPECT_TRUE(Arm("x", "explode").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "error:-1").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "error:two").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "sleep-").IsInvalidArgument());
+  EXPECT_TRUE(Arm("", "error").IsInvalidArgument());
+  EXPECT_TRUE(ArmFromSpecList("missing-equals").IsInvalidArgument());
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, RearmReplacesSpecAndKeepsHits) {
+  ASSERT_TRUE(Arm("re.point", "error").ok());
+  EXPECT_FALSE(Guarded("re.point").ok());
+  ASSERT_TRUE(Arm("re.point", "io:1").ok());
+  EXPECT_TRUE(Guarded("re.point").IsIoError());
+  EXPECT_EQ(HitCount("re.point"), 2u);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
+  ASSERT_TRUE(Arm("mt.point", "error:100").ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> injected{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!Guarded("mt.point").ok()) {
+          injected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly the budget fires across all threads, never more.
+  EXPECT_EQ(injected.load(), 100);
+  EXPECT_EQ(HitCount("mt.point"), 100u);
+}
+
+// CRC-32C shares this test binary: reference vectors from RFC 3720 §B.4.
+TEST(Crc32cTest, ReferenceVectors) {
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < 32; ++i) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t one_shot = Crc32c(data.data(), data.size());
+  uint32_t streamed = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    streamed = Crc32cExtend(streamed, data.data() + i,
+                            std::min<size_t>(7, data.size() - i));
+  }
+  EXPECT_EQ(streamed, one_shot);
+  // Any single-bit flip changes the checksum.
+  std::string flipped = data;
+  flipped[10] ^= 0x01;
+  EXPECT_NE(Crc32c(flipped.data(), flipped.size()), one_shot);
+}
+
+}  // namespace
+}  // namespace parj::failpoint

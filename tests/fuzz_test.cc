@@ -122,13 +122,31 @@ TEST_P(FuzzTest, MutatedSnapshotsFailCleanly) {
       mutated[rng.Uniform(mutated.size())] ^=
           static_cast<char>(1 + rng.Uniform(255));
     }
+    if (mutated == bytes) continue;
+    // With per-section CRC-32C coverage (format v2), any altered byte —
+    // header, payload, CRC record or trailer — must be rejected; the
+    // pre-CRC format merely required not crashing.
     std::stringstream in(mutated);
     auto result = storage::ReadSnapshot(in);
-    if (result.ok()) {
-      // A mutation that keeps the snapshot valid must still produce a
-      // structurally sound database.
-      EXPECT_LE(result->total_triples(), 4u);
-    }
+    EXPECT_FALSE(result.ok()) << "iteration " << i;
+  }
+}
+
+TEST_P(FuzzTest, TruncatedSnapshotsAlwaysFailCleanly) {
+  storage::Database db = test::MakeDatabase({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+  });
+  std::stringstream buffer;
+  ASSERT_TRUE(storage::WriteSnapshot(db, buffer).ok());
+  const std::string bytes = buffer.str();
+
+  Rng rng(GetParam() * 29 + 17);
+  for (int i = 0; i < 200; ++i) {
+    // Every proper prefix is missing at least the trailer.
+    const size_t cut = rng.Uniform(bytes.size());
+    std::stringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(storage::ReadSnapshot(in).ok()) << "cut at " << cut;
   }
 }
 

@@ -1,0 +1,248 @@
+// End-to-end fault injection through the serving stack: armed failpoints
+// must surface as clean Status propagation — never a crash, never a hang,
+// and never a poisoned thread pool.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "server/server.h"
+#include "workload/lubm.h"
+
+namespace parj::server {
+namespace {
+
+engine::ParjEngine MakeLubmEngine() {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = 1, .seed = 42});
+  auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                std::move(data.triples));
+  PARJ_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+const char* kPrefix =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n";
+
+std::string SimpleQuery() {
+  return std::string(kPrefix) +
+         "SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }";
+}
+
+engine::QueryOptions CountMode(int threads = 1) {
+  engine::QueryOptions options;
+  options.mode = join::ResultMode::kCount;
+  options.num_threads = threads;
+  return options;
+}
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(ServerFaultTest, MorselWorkerThrowFailsQueryPoolSurvives) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  const auto baseline = engine.Execute(SimpleQuery(), CountMode(4));
+  ASSERT_TRUE(baseline.ok());
+
+  // One worker's morsel throws bad_alloc mid-join; the query must fail
+  // with a contained Status while the other workers stop cleanly.
+  ASSERT_TRUE(failpoint::Arm("join.worker.morsel", "throw:1").ok());
+  auto faulted = engine.Execute(SimpleQuery(), CountMode(4));
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_TRUE(faulted.status().IsResourceExhausted())
+      << faulted.status().ToString();
+
+  // The pool survived: the very same engine and threads answer again.
+  failpoint::DisarmAll();
+  auto recovered = engine.Execute(SimpleQuery(), CountMode(4));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->row_count, baseline->row_count);
+}
+
+TEST_F(ServerFaultTest, MorselWorkerInjectedErrorNamesFailpoint) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ASSERT_TRUE(failpoint::Arm("join.worker.morsel", "error:1").ok());
+  auto faulted = engine.Execute(SimpleQuery(), CountMode(4));
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_TRUE(faulted.status().IsInternal());
+  EXPECT_NE(faulted.status().message().find("join.worker.morsel"),
+            std::string::npos);
+}
+
+TEST_F(ServerFaultTest, StaticShardFaultContained) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  for (int threads : {1, 4}) {
+    ASSERT_TRUE(failpoint::Arm("join.worker.shard", "throw:1").ok());
+    engine::QueryOptions options = CountMode(threads);
+    options.scheduling = join::Scheduling::kStatic;
+    auto faulted = engine.Execute(SimpleQuery(), options);
+    ASSERT_FALSE(faulted.ok()) << "threads=" << threads;
+    EXPECT_TRUE(faulted.status().IsResourceExhausted());
+    failpoint::DisarmAll();
+    EXPECT_TRUE(engine.Execute(SimpleQuery(), options).ok());
+  }
+}
+
+TEST_F(ServerFaultTest, ServerContainsEngineBoundaryException) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+
+  ASSERT_TRUE(failpoint::Arm("server.execute", "throw:1").ok());
+  SubmittedQuery q = server.Submit(SimpleQuery());
+  Result<engine::QueryResult> result = q.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_EQ(server.metrics().worker_faults.load(), 1u);
+
+  // Serving continues: the next query on the same server succeeds.
+  failpoint::DisarmAll();
+  EXPECT_TRUE(server.Execute(SimpleQuery()).ok());
+}
+
+TEST_F(ServerFaultTest, ExecuteRetriesTransientAdmissionFailure) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_millis = 0.1;
+  QueryServer server(&engine, options);
+
+  // The first two admissions fail transiently; the third succeeds.
+  ASSERT_TRUE(failpoint::Arm("server.admit", "exhausted:2").ok());
+  Result<engine::QueryResult> result = server.Execute(SimpleQuery());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(server.metrics().retries.load(), 2u);
+  EXPECT_EQ(server.metrics().admission_rejected.load(), 2u);
+}
+
+TEST_F(ServerFaultTest, ExecuteGivesUpAfterMaxAttempts) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_millis = 0.1;
+  QueryServer server(&engine, options);
+
+  ASSERT_TRUE(failpoint::Arm("server.admit", "exhausted").ok());
+  Result<engine::QueryResult> result = server.Execute(SimpleQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_EQ(server.metrics().retries.load(), 1u);
+}
+
+TEST_F(ServerFaultTest, ExecuteNeverRetriesPermanentFailures) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+
+  ASSERT_TRUE(failpoint::Arm("server.execute", "error:1").ok());
+  Result<engine::QueryResult> result = server.Execute(SimpleQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_EQ(server.metrics().retries.load(), 0u);
+}
+
+TEST_F(ServerFaultTest, WatchdogKillsOverrunningQuery) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.watchdog.max_query_millis = 20.0;
+  options.watchdog.poll_interval_millis = 2.0;
+  QueryServer server(&engine, options);
+
+  // Deterministic overrun: the query stalls 200ms at the execution
+  // boundary, far past the 20ms cap, so the watchdog always fires.
+  ASSERT_TRUE(failpoint::Arm("server.execute", "sleep-200:1").ok());
+  SubmittedQuery q = server.Submit(SimpleQuery());
+  Result<engine::QueryResult> result = q.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("watchdog"), std::string::npos);
+  EXPECT_EQ(server.metrics().watchdog_kills.load(), 1u);
+
+  // Within-cap queries are untouched.
+  EXPECT_TRUE(server.Execute(SimpleQuery()).ok());
+  EXPECT_EQ(server.metrics().watchdog_kills.load(), 1u);
+}
+
+TEST_F(ServerFaultTest, WatchdogDisabledByDefault) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+  EXPECT_TRUE(server.Execute(SimpleQuery()).ok());
+  EXPECT_EQ(server.metrics().watchdog_kills.load(), 0u);
+}
+
+TEST_F(ServerFaultTest, DegradedServerShedsAndDowngrades) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  options.degradation.enabled = true;
+  // Watermark 0 => permanently degraded; this isolates the shedding and
+  // downgrade behaviour from load timing.
+  options.degradation.high_watermark = 0.0;
+  options.degradation.low_watermark = -1.0;
+  options.degradation.min_priority = 1;
+  QueryServer server(&engine, options);
+
+  SubmitOptions low;
+  low.priority = 0;
+  Result<engine::QueryResult> shed = server.Submit(SimpleQuery(), low)
+                                         .result.get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+  EXPECT_NE(shed.status().message().find("shed"), std::string::npos);
+
+  SubmitOptions high;
+  high.priority = 1;
+  Result<engine::QueryResult> kept =
+      server.Submit(SimpleQuery(), high).result.get();
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+
+  EXPECT_TRUE(server.degraded());
+  EXPECT_EQ(server.metrics().degraded_rejected.load(), 1u);
+  EXPECT_EQ(server.metrics().degraded_activations.load(), 1u);
+}
+
+TEST_F(ServerFaultTest, FaultedQueriesDoNotPoisonConcurrentOnes) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode(2);
+  options.scheduler.max_in_flight = 4;
+  QueryServer server(&engine, options);
+  const auto baseline = engine.Execute(SimpleQuery(), CountMode());
+  ASSERT_TRUE(baseline.ok());
+
+  // Three of the next joins fault; everything else must still be exact.
+  ASSERT_TRUE(failpoint::Arm("join.worker.morsel", "error:3").ok());
+  std::vector<SubmittedQuery> submitted;
+  for (int i = 0; i < 12; ++i) submitted.push_back(server.Submit(SimpleQuery()));
+  int failed = 0;
+  for (auto& q : submitted) {
+    Result<engine::QueryResult> result = q.result.get();
+    if (result.ok()) {
+      EXPECT_EQ(result->row_count, baseline->row_count);
+    } else {
+      EXPECT_TRUE(result.status().IsInternal());
+      ++failed;
+    }
+  }
+  EXPECT_GE(failed, 1);
+  EXPECT_LE(failed, 3);
+  EXPECT_EQ(server.metrics().queries_failed.load(),
+            static_cast<uint64_t>(failed));
+}
+
+}  // namespace
+}  // namespace parj::server

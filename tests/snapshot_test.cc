@@ -1,10 +1,12 @@
 #include "storage/snapshot.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "engine/parj_engine.h"
 #include "test_util.h"
 #include "workload/lubm.h"
@@ -150,6 +152,145 @@ TEST(SnapshotTest, RejectsFutureVersion) {
   bytes[8] = 99;  // version field
   std::stringstream patched(bytes);
   EXPECT_EQ(ReadSnapshot(patched).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SnapshotTest, LegacyV1RoundTripStillReads) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(
+      WriteSnapshot(original, buffer, kSnapshotVersionLegacy).ok());
+  auto restored = ReadSnapshot(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->total_triples(), original.total_triples());
+
+  // Verify walks it too, with zero CRC-verified sections (v1 has none).
+  std::stringstream again;
+  ASSERT_TRUE(WriteSnapshot(original, again, kSnapshotVersionLegacy).ok());
+  auto info = VerifySnapshot(again);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, kSnapshotVersionLegacy);
+  EXPECT_EQ(info->sections_verified, 0u);
+}
+
+TEST(SnapshotTest, VerifyReportsSectionsAndCounts) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  auto info = VerifySnapshot(buffer);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, kSnapshotVersion);
+  EXPECT_EQ(info->triple_count, original.total_triples());
+  EXPECT_EQ(info->resource_count, original.dictionary().resource_count());
+  EXPECT_EQ(info->predicate_count, original.dictionary().predicate_count());
+  EXPECT_EQ(info->sections_verified, 3u);  // dictionary, triples, trailer
+  EXPECT_EQ(info->bytes, buffer.str().size());
+}
+
+TEST(SnapshotTest, CorruptDictionaryNamedInDataLoss) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // Flip a byte inside the first term's lexical text: structurally the
+  // file still parses, so only the CRC can catch it.
+  bytes[30] ^= 0x40;
+  std::stringstream corrupted(bytes);
+  Status status = ReadSnapshot(corrupted).status();
+  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("dictionary"), std::string::npos);
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+TEST(SnapshotTest, CorruptTripleNamedInDataLoss) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // The last 16 bytes are the trailer, 4 more the triples CRC; flip an
+  // object id inside the final 12-byte triple record.
+  bytes[bytes.size() - 16 - 4 - 2] ^= 0x01;
+  std::stringstream corrupted(bytes);
+  Status status = VerifySnapshot(corrupted).status();
+  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("triples"), std::string::npos);
+}
+
+TEST(SnapshotTest, TrailingGarbageRejected) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str() + "extra";
+  std::stringstream padded(bytes);
+  Status status = ReadSnapshot(padded).status();
+  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+}
+
+TEST(SnapshotTest, CorruptTrailerRejected) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[bytes.size() - 1] ^= 0xFF;  // trailer's crc-of-crcs
+  std::stringstream corrupted(bytes);
+  EXPECT_EQ(VerifySnapshot(corrupted).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, CrcMismatchCountsInGlobalStats) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[30] ^= 0x40;
+  const uint64_t before = GlobalSnapshotStats().crc_mismatches.load();
+  std::stringstream corrupted(bytes);
+  ASSERT_FALSE(ReadSnapshot(corrupted).ok());
+  EXPECT_GT(GlobalSnapshotStats().crc_mismatches.load(), before);
+}
+
+TEST(SnapshotTest, SaveIsAtomicUnderRenameFault) {
+  Database original = MakeDatabase(kData);
+  const std::string path = ::testing::TempDir() + "/parj_atomic_test.bin";
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+
+  // A failure at the rename step must leave the previous snapshot intact
+  // and clean up the temporary.
+  ASSERT_TRUE(failpoint::Arm("snapshot.save.rename", "io:1").ok());
+  Status st = SaveSnapshot(original, path);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  auto survivor = LoadSnapshot(path);
+  EXPECT_TRUE(survivor.ok()) << survivor.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveWriteFaultLeavesNoFile) {
+  Database original = MakeDatabase(kData);
+  const std::string path = ::testing::TempDir() + "/parj_writefault_test.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(failpoint::Arm("snapshot.write.triples", "io:1").ok());
+  Status st = SaveSnapshot(original, path);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(SnapshotTest, ReadFailpointsInjectCleanly) {
+  Database original = MakeDatabase(kData);
+  for (const char* point :
+       {"snapshot.read.header", "snapshot.read.dictionary",
+        "snapshot.read.triples", "snapshot.read.trailer"}) {
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+    ASSERT_TRUE(failpoint::Arm(point, "dataloss:1").ok());
+    Status status = ReadSnapshot(buffer).status();
+    failpoint::DisarmAll();
+    ASSERT_EQ(status.code(), StatusCode::kDataLoss) << point;
+    EXPECT_NE(status.message().find(point), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <iterator>
+
 #include <gtest/gtest.h>
 
 namespace parj {
@@ -25,8 +27,46 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kParseError, StatusCode::kOutOfRange,
         StatusCode::kAlreadyExists, StatusCode::kUnsupported,
-        StatusCode::kInternal, StatusCode::kIoError}) {
+        StatusCode::kInternal, StatusCode::kIoError, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+        StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, DataLossFactory) {
+  Status st = Status::DataLoss("crc mismatch in section 'triples'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_EQ(st.ToString(), "DataLoss: crc mismatch in section 'triples'");
+}
+
+TEST(StatusTest, CodeAccessorsMatchExactlyOneCode) {
+  struct Case {
+    Status status;
+    bool (Status::*accessor)() const;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), &Status::IsInvalidArgument},
+      {Status::NotFound("m"), &Status::IsNotFound},
+      {Status::ParseError("m"), &Status::IsParseError},
+      {Status::OutOfRange("m"), &Status::IsOutOfRange},
+      {Status::AlreadyExists("m"), &Status::IsAlreadyExists},
+      {Status::Unsupported("m"), &Status::IsUnsupported},
+      {Status::Internal("m"), &Status::IsInternal},
+      {Status::IoError("m"), &Status::IsIoError},
+      {Status::Cancelled("m"), &Status::IsCancelled},
+      {Status::DeadlineExceeded("m"), &Status::IsDeadlineExceeded},
+      {Status::ResourceExhausted("m"), &Status::IsResourceExhausted},
+      {Status::DataLoss("m"), &Status::IsDataLoss},
+  };
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    for (size_t j = 0; j < std::size(cases); ++j) {
+      EXPECT_EQ((cases[i].status.*(cases[j].accessor))(), i == j)
+          << "status " << i << " vs accessor " << j;
+    }
+    EXPECT_FALSE((Status::OK().*(cases[i].accessor))());
   }
 }
 

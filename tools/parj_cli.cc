@@ -1,7 +1,14 @@
 // parj_cli: interactive / scriptable shell for the PARJ store.
 //
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
-//            [serve | --serve]
+//            [--failpoints name=spec,...] [serve | --serve]
+//   parj_cli verify-snapshot FILE
+//
+// `verify-snapshot FILE` walks FILE section by section, checking every
+// CRC-32C record without building the store, and exits 0 (intact) or 1
+// (corrupt/unreadable) — run it before trusting a snapshot. Fault
+// injection can be armed via `--failpoints` or the PARJ_FAILPOINTS
+// environment variable (same spec grammar, see common/failpoint.h).
 //
 // With `serve` (or `--serve`), the shell enters concurrent serving mode
 // after loading: queries stream through the admission-controlled
@@ -21,6 +28,7 @@
 //   .save FILE            write a binary snapshot
 //   .dump FILE            export the store as N-Triples
 //   .restore FILE         load a binary snapshot
+//   .verify FILE          CRC-check a snapshot without loading it
 //   .threads N            set worker threads for queries
 //   .strategy NAME        Binary | AdBinary | Index | AdIndex
 //   .calibrate            run Algorithm 2 on all tables
@@ -42,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "engine/parj_engine.h"
 #include "server/server.h"
@@ -136,9 +145,9 @@ struct Shell {
     if (command == ".help") {
       std::printf(
           ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
-          ".restore FILE | .dump FILE | .threads N | .strategy NAME |\n"
-          ".scheduling static|morsel | .calibrate | .explain on|off |\n"
-          ".limit N | .stats | .quit\n");
+          ".restore FILE | .verify FILE | .dump FILE | .threads N |\n"
+          ".strategy NAME | .scheduling static|morsel | .calibrate |\n"
+          ".explain on|off | .limit N | .stats | .quit\n");
     } else if (command == ".load") {
       std::string path;
       in >> path;
@@ -188,6 +197,21 @@ struct Shell {
       } else {
         engine = engine::ParjEngine::FromDatabase(std::move(db).value());
         PrintStats();
+      }
+    } else if (command == ".verify") {
+      std::string path;
+      in >> path;
+      auto info = storage::VerifySnapshotFile(path);
+      if (!info.ok()) {
+        std::printf("error: %s\n", info.status().ToString().c_str());
+      } else {
+        std::printf(
+            "snapshot OK: v%u, %u resources, %u predicates, %llu triples, "
+            "%llu section(s) CRC-verified, %llu bytes\n",
+            info->version, info->resource_count, info->predicate_count,
+            static_cast<unsigned long long>(info->triple_count),
+            static_cast<unsigned long long>(info->sections_verified),
+            static_cast<unsigned long long>(info->bytes));
       }
     } else if (command == ".dump") {
       std::string path;
@@ -305,6 +329,16 @@ struct Shell {
         "serve mode: %d in flight, %d thread(s)/query; queries end with "
         "';', .metrics dumps counters, .wait drains, .quit exits\n",
         serve_inflight, threads);
+    // Snapshot integrity counters live in a process-wide registry (loads
+    // can happen before the server exists); mirror them into the serving
+    // registry so one .metrics dump shows everything.
+    auto dump_metrics = [&srv] {
+      srv.metrics().snapshot_crc_verified.store(
+          storage::GlobalSnapshotStats().crc_sections_verified.load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      std::printf("%s", srv.metrics().Dump().c_str());
+    };
 
     std::vector<PendingQuery> pending;
     auto submit = [&](const std::string& sparql) {
@@ -338,7 +372,7 @@ struct Shell {
         in >> command;
         if (command == ".quit" || command == ".exit") break;
         if (command == ".metrics") {
-          std::printf("%s", srv.metrics().Dump().c_str());
+          dump_metrics();
         } else if (command == ".timeout") {
           in >> serve_timeout_millis;
           std::printf("timeout = %.1f ms\n", serve_timeout_millis);
@@ -366,7 +400,7 @@ struct Shell {
     if (!query.empty()) submit(query);
     HarvestPending(&pending, true);
     srv.Drain();
-    std::printf("%s", srv.metrics().Dump().c_str());
+    dump_metrics();
   }
 
   int serve_inflight = 4;
@@ -381,10 +415,39 @@ int main(int argc, char** argv) {
   parj::tool::Shell shell;
   bool serve = false;
 
+  // Standalone integrity check: exit status is the verdict, so scripts
+  // can gate a restore on `parj_cli verify-snapshot FILE`.
+  if (argc >= 2 && std::strcmp(argv[1], "verify-snapshot") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: parj_cli verify-snapshot FILE\n");
+      return 2;
+    }
+    auto info = parj::storage::VerifySnapshotFile(argv[2]);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[2],
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%s: OK (v%u, %u resources, %u predicates, %llu triples, "
+        "%llu section(s) CRC-verified, %llu bytes)\n",
+        argv[2], info->version, info->resource_count, info->predicate_count,
+        static_cast<unsigned long long>(info->triple_count),
+        static_cast<unsigned long long>(info->sections_verified),
+        static_cast<unsigned long long>(info->bytes));
+    return 0;
+  }
+
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "serve") == 0 ||
         std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      parj::Status armed = parj::failpoint::ArmFromSpecList(argv[++i]);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
       shell.serve_inflight = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
