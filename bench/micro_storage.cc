@@ -2,14 +2,48 @@
 // the paper's compact two-level CSR replica versus a flat sorted
 // (key, value) pair array — the design §3 argues for. Measures (a) point
 // lookup of one key's full run and (b) a full sequential sweep.
+//
+// The binary also hard-asserts (before any benchmark runs) that a
+// dictionary lookup HIT performs zero heap allocations: the transparent
+// hash map is probed with a string_view into a thread-local scratch
+// buffer, so the old per-lookup DictionaryKey() string is gone. The
+// counting operator new below makes any regression fail the bench run.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "dict/dictionary.h"
 #include "storage/property_table.h"
+
+// TU-level replacement of the global allocator: every heap allocation in
+// the binary bumps one relaxed counter. Used only to difference across a
+// measurement window.
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace parj::storage {
 namespace {
@@ -142,7 +176,82 @@ void BM_FlatKeyScan(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatKeyScan);
 
+// ---- Dictionary lookup: timing + zero-allocation assertion ---------------
+
+std::vector<rdf::Term> DictTerms() {
+  std::vector<rdf::Term> terms;
+  for (int i = 0; i < 1024; ++i) {
+    const std::string n = std::to_string(i);
+    terms.push_back(rdf::Term::Iri("http://example.org/resource/" + n));
+    terms.push_back(rdf::Term::Literal("literal value " + n));
+    terms.push_back(rdf::Term::TypedLiteral(
+        n, "http://www.w3.org/2001/XMLSchema#integer"));
+    terms.push_back(rdf::Term::LangLiteral("label " + n, "en"));
+  }
+  return terms;
+}
+
+const dict::Dictionary& Dict() {
+  static const dict::Dictionary* dict = [] {
+    auto* d = new dict::Dictionary();
+    for (const rdf::Term& t : DictTerms()) d->EncodeResource(t);
+    return d;
+  }();
+  return *dict;
+}
+
+void BM_DictLookupHit(benchmark::State& state) {
+  const dict::Dictionary& dict = Dict();
+  const std::vector<rdf::Term> terms = DictTerms();
+  Rng rng(13);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += dict.LookupResource(terms[rng.Uniform(terms.size())]);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictLookupHit);
+
+/// Aborts the binary if a dictionary lookup hit allocates. One full warm
+/// pass first grows the thread-local key scratch buffer to the longest
+/// key, so the counted window measures only steady-state lookups.
+void AssertLookupHitsDoNotAllocate() {
+  const dict::Dictionary& dict = Dict();
+  const std::vector<rdf::Term> terms = DictTerms();
+  uint64_t hits = 0;
+  for (const rdf::Term& t : terms) {
+    hits += dict.LookupResource(t) != kInvalidTermId;
+  }
+  const uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int round = 0; round < 4; ++round) {
+    for (const rdf::Term& t : terms) {
+      hits += dict.LookupResource(t) != kInvalidTermId;
+    }
+  }
+  const uint64_t allocations =
+      g_allocation_count.load(std::memory_order_relaxed) - before;
+  if (allocations != 0 || hits != terms.size() * 5) {
+    std::fprintf(stderr,
+                 "FAIL: %llu allocation(s) across %llu dictionary lookup "
+                 "hits (expected 0; hits expected %zu)\n",
+                 static_cast<unsigned long long>(allocations),
+                 static_cast<unsigned long long>(hits), terms.size() * 5);
+    std::abort();
+  }
+  std::printf("dictionary lookup-hit allocation check: %llu hits, "
+              "0 allocations\n",
+              static_cast<unsigned long long>(hits));
+}
+
 }  // namespace
 }  // namespace parj::storage
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  parj::storage::AssertLookupHitsDoNotAllocate();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,32 @@
 #include "dict/dictionary.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace parj::dict {
+
+namespace internal {
+
+std::string& TlsKeyBuffer() {
+  thread_local std::string buffer;
+  return buffer;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Builds `term`'s canonical key in the thread-local scratch buffer and
+/// returns a view of it (valid until the next call on this thread).
+std::string_view ScratchKey(const rdf::Term& term) {
+  std::string& key = internal::TlsKeyBuffer();
+  key.clear();
+  term.AppendDictionaryKey(&key);
+  return key;
+}
+
+}  // namespace
 
 Dictionary Dictionary::Clone() const {
   Dictionary copy;
@@ -13,33 +37,94 @@ Dictionary Dictionary::Clone() const {
   return copy;
 }
 
+Result<Dictionary> Dictionary::FromTerms(std::vector<rdf::Term> resources,
+                                         std::vector<rdf::Term> predicates) {
+  Dictionary dict;
+  dict.resources_ = std::move(resources);
+  dict.predicates_ = std::move(predicates);
+  dict.resource_ids_.reserve(dict.resources_.size());
+  dict.predicate_ids_.reserve(dict.predicates_.size());
+  for (size_t i = 0; i < dict.resources_.size(); ++i) {
+    auto [it, inserted] = dict.resource_ids_.emplace(
+        dict.resources_[i].DictionaryKey(), static_cast<TermId>(i + 1));
+    if (!inserted) {
+      return Status::ParseError("duplicate resource term '" + it->first +
+                                "' in bulk dictionary build");
+    }
+  }
+  for (size_t i = 0; i < dict.predicates_.size(); ++i) {
+    auto [it, inserted] = dict.predicate_ids_.emplace(
+        dict.predicates_[i].DictionaryKey(), static_cast<PredicateId>(i + 1));
+    if (!inserted) {
+      return Status::ParseError("duplicate predicate term '" + it->first +
+                                "' in bulk dictionary build");
+    }
+  }
+  return dict;
+}
+
+void Dictionary::Reserve(size_t resources, size_t predicates) {
+  resources_.reserve(resources);
+  predicates_.reserve(predicates);
+  resource_ids_.reserve(resources);
+  predicate_ids_.reserve(predicates);
+}
+
 TermId Dictionary::EncodeResource(const rdf::Term& term) {
-  std::string key = term.DictionaryKey();
+  const std::string_view key = ScratchKey(term);
   auto it = resource_ids_.find(key);
-  if (it != resource_ids_.end()) return it->second;
+  if (it != resource_ids_.end()) return it->second;  // hit: no allocation
   resources_.push_back(term);
   TermId id = static_cast<TermId>(resources_.size());
-  resource_ids_.emplace(std::move(key), id);
+  resource_ids_.emplace(std::string(key), id);
+  return id;
+}
+
+TermId Dictionary::EncodeResource(rdf::Term&& term) {
+  const std::string_view key = ScratchKey(term);
+  auto it = resource_ids_.find(key);
+  if (it != resource_ids_.end()) return it->second;
+  resources_.push_back(std::move(term));
+  TermId id = static_cast<TermId>(resources_.size());
+  resource_ids_.emplace(std::string(key), id);
   return id;
 }
 
 PredicateId Dictionary::EncodePredicate(const rdf::Term& term) {
-  std::string key = term.DictionaryKey();
+  const std::string_view key = ScratchKey(term);
   auto it = predicate_ids_.find(key);
   if (it != predicate_ids_.end()) return it->second;
   predicates_.push_back(term);
   PredicateId id = static_cast<PredicateId>(predicates_.size());
-  predicate_ids_.emplace(std::move(key), id);
+  predicate_ids_.emplace(std::string(key), id);
+  return id;
+}
+
+PredicateId Dictionary::EncodePredicate(rdf::Term&& term) {
+  const std::string_view key = ScratchKey(term);
+  auto it = predicate_ids_.find(key);
+  if (it != predicate_ids_.end()) return it->second;
+  predicates_.push_back(std::move(term));
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicate_ids_.emplace(std::string(key), id);
   return id;
 }
 
 TermId Dictionary::LookupResource(const rdf::Term& term) const {
-  auto it = resource_ids_.find(term.DictionaryKey());
-  return it == resource_ids_.end() ? kInvalidTermId : it->second;
+  return LookupResourceByKey(ScratchKey(term));
 }
 
 PredicateId Dictionary::LookupPredicate(const rdf::Term& term) const {
-  auto it = predicate_ids_.find(term.DictionaryKey());
+  return LookupPredicateByKey(ScratchKey(term));
+}
+
+TermId Dictionary::LookupResourceByKey(std::string_view key) const {
+  auto it = resource_ids_.find(key);
+  return it == resource_ids_.end() ? kInvalidTermId : it->second;
+}
+
+PredicateId Dictionary::LookupPredicateByKey(std::string_view key) const {
+  auto it = predicate_ids_.find(key);
   return it == predicate_ids_.end() ? kInvalidPredicateId : it->second;
 }
 

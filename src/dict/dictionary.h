@@ -2,6 +2,7 @@
 #define PARJ_DICT_DICTIONARY_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +12,30 @@
 
 namespace parj::dict {
 
+/// Transparent (heterogeneous) hash for the dictionary's key maps: lets
+/// lookups probe with a `std::string_view` into a reused buffer, so a hit
+/// never allocates a key string. `std::hash<std::string_view>` is
+/// guaranteed to agree with `std::hash<std::string>` on equal content.
+struct TermKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Map from a term's canonical dictionary key to an ID, with transparent
+/// lookup. Shared by the Dictionary itself and the chunk-local delta maps
+/// of the sharded encoder.
+template <typename V>
+using TermKeyMap = std::unordered_map<std::string, V, TermKeyHash,
+                                      std::equal_to<>>;
+
+namespace internal {
+/// Per-thread scratch buffer for building dictionary keys. Reused across
+/// calls, so after warm-up key construction never allocates.
+std::string& TlsKeyBuffer();
+}  // namespace internal
+
 /// Dictionary encoding for RDF terms (paper §3): every distinct value that
 /// appears in a subject or object position receives a dense integer ID from
 /// one shared ID space (1..N); predicates receive IDs from a second,
@@ -18,7 +43,10 @@ namespace parj::dict {
 ///
 /// The dictionary is append-only; IDs are assigned in first-seen order,
 /// which the loader exploits to make encoding deterministic for a given
-/// input order.
+/// input order. Concurrent READERS (Lookup*/Decode*) are safe; any write
+/// (Encode* miss) requires exclusive access — the parallel bulk loader
+/// gets both by encoding chunks against a frozen dictionary plus
+/// chunk-local deltas (see dict/sharded_encoder.h).
 class Dictionary {
  public:
   Dictionary() = default;
@@ -34,17 +62,37 @@ class Dictionary {
   /// Explicit deep copy preserving all ID assignments.
   Dictionary Clone() const;
 
+  /// Bulk-builds a dictionary whose ID assignment is positional:
+  /// resources[i] gets ID i+1, predicates[i] gets ID i+1. Used by the
+  /// parallel snapshot loader, which decodes the term arrays up front.
+  /// A duplicate term in either list yields ParseError.
+  static Result<Dictionary> FromTerms(std::vector<rdf::Term> resources,
+                                      std::vector<rdf::Term> predicates);
+
+  /// Pre-sizes the hash tables and term arrays (load-time optimization;
+  /// never required for correctness).
+  void Reserve(size_t resources, size_t predicates);
+
   /// Returns the ID for `term`, inserting it if absent.
   TermId EncodeResource(const rdf::Term& term);
+  /// Move-inserting variant for bulk paths (the sharded encoder's merge).
+  TermId EncodeResource(rdf::Term&& term);
 
   /// Returns the ID for predicate `term`, inserting it if absent.
   PredicateId EncodePredicate(const rdf::Term& term);
+  PredicateId EncodePredicate(rdf::Term&& term);
 
   /// Returns the ID for `term` or kInvalidTermId when absent.
+  /// Allocation-free on hits (transparent map probe on a reused buffer).
   TermId LookupResource(const rdf::Term& term) const;
 
   /// Returns the predicate ID or kInvalidPredicateId when absent.
   PredicateId LookupPredicate(const rdf::Term& term) const;
+
+  /// Lookup by a precomputed canonical key (Term::AppendDictionaryKey);
+  /// lets callers that already built the key probe without rebuilding it.
+  TermId LookupResourceByKey(std::string_view key) const;
+  PredicateId LookupPredicateByKey(std::string_view key) const;
 
   /// Decodes a resource ID. Asserts on out-of-range IDs.
   const rdf::Term& DecodeResource(TermId id) const;
@@ -77,8 +125,8 @@ class Dictionary {
  private:
   std::vector<rdf::Term> resources_;    // index = id - 1
   std::vector<rdf::Term> predicates_;   // index = id - 1
-  std::unordered_map<std::string, TermId> resource_ids_;
-  std::unordered_map<std::string, PredicateId> predicate_ids_;
+  TermKeyMap<TermId> resource_ids_;
+  TermKeyMap<PredicateId> predicate_ids_;
 };
 
 }  // namespace parj::dict

@@ -1,0 +1,123 @@
+#include "dict/sharded_encoder.h"
+
+#include <utility>
+
+#include "server/thread_pool.h"
+
+namespace parj::dict {
+
+namespace {
+
+/// Encodes one term against base + delta, assigning a provisional delta
+/// index on a double miss. `delta_ids` maps key -> local index into
+/// `delta_terms`.
+template <typename LookupByKey>
+TermId EncodeTermAgainst(const rdf::Term& term, const LookupByKey& base_lookup,
+                         TermKeyMap<TermId>* delta_ids,
+                         std::vector<rdf::Term>* delta_terms) {
+  std::string& key = internal::TlsKeyBuffer();
+  key.clear();
+  term.AppendDictionaryKey(&key);
+  const std::string_view view(key);
+  const TermId base_id = base_lookup(view);
+  if (base_id != kInvalidTermId) return base_id;
+  auto it = delta_ids->find(view);
+  if (it != delta_ids->end()) return kDeltaTag | it->second;
+  const TermId local = static_cast<TermId>(delta_terms->size());
+  delta_terms->push_back(term);
+  delta_ids->emplace(std::string(view), local);
+  return kDeltaTag | local;
+}
+
+}  // namespace
+
+EncodedChunk EncodeChunk(const Dictionary& base,
+                         std::span<const rdf::Triple> triples) {
+  EncodedChunk out;
+  out.triples.reserve(triples.size());
+  TermKeyMap<TermId> resource_delta_ids;
+  TermKeyMap<TermId> predicate_delta_ids;
+  const auto resource_lookup = [&base](std::string_view key) {
+    return base.LookupResourceByKey(key);
+  };
+  const auto predicate_lookup = [&base](std::string_view key) {
+    return base.LookupPredicateByKey(key);
+  };
+  for (const rdf::Triple& t : triples) {
+    EncodedTriple e;
+    e.subject = EncodeTermAgainst(t.subject, resource_lookup,
+                                  &resource_delta_ids, &out.delta_resources);
+    e.predicate = EncodeTermAgainst(t.predicate, predicate_lookup,
+                                    &predicate_delta_ids,
+                                    &out.delta_predicates);
+    e.object = EncodeTermAgainst(t.object, resource_lookup,
+                                 &resource_delta_ids, &out.delta_resources);
+    out.triples.push_back(e);
+  }
+  return out;
+}
+
+Result<std::vector<EncodedTriple>> MergeEncodedChunks(
+    Dictionary* base, std::vector<EncodedChunk> chunks,
+    server::ThreadPool* pool) {
+  // Phase 2 (serial, chunk order): every delta term receives its final ID
+  // exactly as a serial first-occurrence scan would have assigned it — a
+  // term introduced by an earlier chunk resolves to that earlier ID.
+  std::vector<std::vector<TermId>> resource_remap(chunks.size());
+  std::vector<std::vector<PredicateId>> predicate_remap(chunks.size());
+  uint64_t total_triples = 0;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EncodedChunk& chunk = chunks[c];
+    resource_remap[c].reserve(chunk.delta_resources.size());
+    for (rdf::Term& term : chunk.delta_resources) {
+      resource_remap[c].push_back(base->EncodeResource(std::move(term)));
+    }
+    chunk.delta_resources.clear();
+    predicate_remap[c].reserve(chunk.delta_predicates.size());
+    for (rdf::Term& term : chunk.delta_predicates) {
+      predicate_remap[c].push_back(base->EncodePredicate(std::move(term)));
+    }
+    chunk.delta_predicates.clear();
+    total_triples += chunk.triples.size();
+  }
+  if (base->resource_count() >= kDeltaTag ||
+      base->predicate_count() >= kDeltaTag) {
+    return Status::Internal(
+        "dictionary exceeds 2^31 terms; sharded encoding tag space "
+        "exhausted");
+  }
+
+  // Phase 3 (parallel): patch provisional IDs and concatenate, each chunk
+  // writing its own pre-computed slice of the output.
+  std::vector<size_t> offsets(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    offsets[c + 1] = offsets[c] + chunks[c].triples.size();
+  }
+  std::vector<EncodedTriple> out(total_triples);
+  auto patch_chunk = [&](size_t c) {
+    const std::vector<TermId>& res_map = resource_remap[c];
+    const std::vector<PredicateId>& pred_map = predicate_remap[c];
+    EncodedTriple* dst = out.data() + offsets[c];
+    for (const EncodedTriple& t : chunks[c].triples) {
+      EncodedTriple patched = t;
+      if (patched.subject & kDeltaTag) {
+        patched.subject = res_map[patched.subject & ~kDeltaTag];
+      }
+      if (patched.predicate & kDeltaTag) {
+        patched.predicate = pred_map[patched.predicate & ~kDeltaTag];
+      }
+      if (patched.object & kDeltaTag) {
+        patched.object = res_map[patched.object & ~kDeltaTag];
+      }
+      *dst++ = patched;
+    }
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->ParallelFor(chunks.size(), patch_chunk);
+  } else {
+    for (size_t c = 0; c < chunks.size(); ++c) patch_chunk(c);
+  }
+  return out;
+}
+
+}  // namespace parj::dict

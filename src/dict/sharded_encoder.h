@@ -1,0 +1,66 @@
+#ifndef PARJ_DICT_SHARDED_ENCODER_H_
+#define PARJ_DICT_SHARDED_ENCODER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dict/dictionary.h"
+#include "rdf/term.h"
+
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
+
+namespace parj::dict {
+
+/// Deterministic two-phase parallel dictionary encoding (bulk-load
+/// pipeline, DESIGN.md §10).
+///
+/// Phase 1 — EncodeChunk, one call per input chunk, all concurrent: each
+/// chunk encodes its triples against a FROZEN base dictionary (read-only,
+/// safely shared) plus a chunk-local delta dictionary that assigns
+/// provisional IDs (kDeltaTag | local-index) to terms the base does not
+/// know, in first-occurrence order within the chunk.
+///
+/// Phase 2 — MergeEncodedChunks: deltas are folded into the base IN CHUNK
+/// ORDER, so a term's final ID equals the ID a serial first-occurrence
+/// scan of the concatenated input would have assigned — byte-identical
+/// dictionaries and snapshots whatever the thread count or chunk size.
+/// The per-chunk patch of provisional IDs to final IDs runs in parallel.
+
+/// High bit of a TermId marks a provisional chunk-local delta index during
+/// phase 1. Final dictionaries must stay below this (2^31 terms), which
+/// MergeEncodedChunks enforces.
+inline constexpr TermId kDeltaTag = TermId{1} << 31;
+
+/// One chunk's provisional encoding.
+struct EncodedChunk {
+  /// Triples whose IDs are either final (base hits) or provisional
+  /// (kDeltaTag set; low bits index the delta lists below).
+  std::vector<EncodedTriple> triples;
+  /// Terms unknown to the base, in first-occurrence (subject, predicate,
+  /// object within each triple) order.
+  std::vector<rdf::Term> delta_resources;
+  std::vector<rdf::Term> delta_predicates;
+};
+
+/// Phase 1: encodes `triples` against the frozen `base` plus a fresh
+/// chunk-local delta. Safe to run concurrently with other EncodeChunk
+/// calls sharing `base`, as long as nothing mutates `base` meanwhile.
+/// Base hits are allocation-free (transparent-hash probe).
+EncodedChunk EncodeChunk(const Dictionary& base,
+                         std::span<const rdf::Triple> triples);
+
+/// Phases 2+3: merges every chunk's delta into `*base` in chunk order,
+/// patches all provisional IDs to final ones (on `pool` when non-null),
+/// and returns the chunks' triples concatenated in chunk order. Fails
+/// with Internal if the dictionary would cross the kDeltaTag capacity.
+Result<std::vector<EncodedTriple>> MergeEncodedChunks(
+    Dictionary* base, std::vector<EncodedChunk> chunks,
+    server::ThreadPool* pool = nullptr);
+
+}  // namespace parj::dict
+
+#endif  // PARJ_DICT_SHARDED_ENCODER_H_

@@ -1,11 +1,15 @@
 #include "engine/parj_engine.h"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
+#include <optional>
+#include <span>
 
 #include "common/timer.h"
+#include "dict/sharded_encoder.h"
 #include "rdf/ntriples.h"
+#include "server/thread_pool.h"
+#include "storage/snapshot.h"
 
 namespace parj::engine {
 
@@ -116,49 +120,191 @@ Result<engine::QueryResult> ExecuteUnionAst(
 
 }  // namespace
 
-Result<ParjEngine> ParjEngine::FromEncoded(dict::Dictionary dict,
-                                           std::vector<EncodedTriple> triples,
-                                           const EngineOptions& options) {
+Result<ParjEngine> ParjEngine::FinishLoad(dict::Dictionary dict,
+                                          std::vector<EncodedTriple> triples,
+                                          const EngineOptions& options,
+                                          LoadStats stats) {
+  // load.threads is the default for the store/calibration phases too,
+  // unless the caller configured those explicitly.
+  EngineOptions effective = options;
+  if (effective.load.threads > 1) {
+    if (effective.database.build_threads <= 1) {
+      effective.database.build_threads = effective.load.threads;
+    }
+    if (effective.calibration.threads <= 1) {
+      effective.calibration.threads = effective.load.threads;
+    }
+  }
+  stats.triples = triples.size();
+  stats.threads = std::max(1, effective.load.threads);
+  storage::BuildTimings timings;
   PARJ_ASSIGN_OR_RETURN(
       storage::Database db,
       storage::Database::Build(std::move(dict), std::move(triples),
-                               options.database));
-  ParjEngine engine(std::move(db), options.calibration);
-  if (options.calibrate) engine.Calibrate();
+                               effective.database, &timings));
+  stats.build_millis += timings.group_millis + timings.tables_millis;
+  stats.index_millis += timings.meta_millis + timings.pair_stats_millis +
+                        timings.char_sets_millis;
+  ParjEngine engine(std::move(db), effective.calibration);
+  if (effective.calibrate) {
+    Stopwatch calibrate_timer;
+    engine.Calibrate();
+    stats.calibrate_millis = calibrate_timer.ElapsedMillis();
+  }
+  stats.total_millis = stats.read_millis + stats.parse_millis +
+                       stats.encode_millis + stats.build_millis +
+                       stats.index_millis + stats.calibrate_millis;
+  engine.load_stats_ = stats;
   return engine;
 }
 
+Result<ParjEngine> ParjEngine::FromEncoded(dict::Dictionary dict,
+                                           std::vector<EncodedTriple> triples,
+                                           const EngineOptions& options) {
+  return FinishLoad(std::move(dict), std::move(triples), options, LoadStats{});
+}
+
+namespace {
+
+/// Sharded two-phase encode of parsed triples: per-chunk delta encode
+/// against the (empty) base dictionary in parallel, then a chunk-order
+/// merge that reproduces serial first-occurrence IDs exactly (see
+/// dict/sharded_encoder.h).
+Result<std::vector<EncodedTriple>> EncodeShards(
+    dict::Dictionary* dict, std::vector<std::span<const rdf::Triple>> shards,
+    server::ThreadPool* pool) {
+  std::vector<dict::EncodedChunk> encoded(shards.size());
+  const dict::Dictionary& base = *dict;
+  const auto encode_one = [&](size_t i) {
+    encoded[i] = dict::EncodeChunk(base, shards[i]);
+  };
+  if (pool != nullptr && shards.size() > 1) {
+    pool->ParallelFor(shards.size(), encode_one);
+  } else {
+    for (size_t i = 0; i < shards.size(); ++i) encode_one(i);
+  }
+  return dict::MergeEncodedChunks(dict, std::move(encoded), pool);
+}
+
+}  // namespace
+
 Result<ParjEngine> ParjEngine::FromTriples(
     const std::vector<rdf::Triple>& triples, const EngineOptions& options) {
+  LoadStats stats;
+  std::optional<server::ThreadPool> pool;
+  if (options.load.threads > 1) pool.emplace(options.load.threads);
+
+  Stopwatch encode_timer;
+  // Shard the input into contiguous spans (chunk order = input order, so
+  // the merged IDs match a serial encode of the same vector).
+  constexpr size_t kTriplesPerShard = size_t{64} << 10;
+  std::vector<std::span<const rdf::Triple>> shards;
+  for (size_t begin = 0; begin < triples.size(); begin += kTriplesPerShard) {
+    const size_t len = std::min(kTriplesPerShard, triples.size() - begin);
+    shards.emplace_back(triples.data() + begin, len);
+  }
   dict::Dictionary dict;
-  std::vector<EncodedTriple> encoded;
-  encoded.reserve(triples.size());
-  for (const rdf::Triple& t : triples) encoded.push_back(dict.Encode(t));
-  return FromEncoded(std::move(dict), std::move(encoded), options);
+  PARJ_ASSIGN_OR_RETURN(
+      std::vector<EncodedTriple> encoded,
+      EncodeShards(&dict, std::move(shards),
+                   pool.has_value() ? &*pool : nullptr));
+  stats.encode_millis = encode_timer.ElapsedMillis();
+  return FinishLoad(std::move(dict), std::move(encoded), options, stats);
 }
 
 Result<ParjEngine> ParjEngine::FromNTriplesText(std::string_view text,
                                                 const EngineOptions& options) {
+  LoadStats stats;
+  std::optional<server::ThreadPool> pool;
+  if (options.load.threads > 1) pool.emplace(options.load.threads);
+  rdf::ParallelParseOptions parse_options;
+  parse_options.strict = options.load.strict;
+  parse_options.chunk_bytes = options.load.chunk_bytes;
+  parse_options.pool = pool.has_value() ? &*pool : nullptr;
+
+  Stopwatch parse_timer;
+  PARJ_ASSIGN_OR_RETURN(std::vector<rdf::ParsedChunk> chunks,
+                        rdf::ParseTextParallel(text, parse_options));
+  stats.parse_millis = parse_timer.ElapsedMillis();
+  stats.chunks = chunks.size();
+  for (const rdf::ParsedChunk& chunk : chunks) {
+    stats.skipped_lines += chunk.skipped_lines;
+  }
+
+  Stopwatch encode_timer;
+  std::vector<std::span<const rdf::Triple>> shards;
+  shards.reserve(chunks.size());
+  for (const rdf::ParsedChunk& chunk : chunks) shards.emplace_back(chunk.triples);
   dict::Dictionary dict;
-  std::vector<EncodedTriple> encoded;
-  rdf::NTriplesParser parser;
-  PARJ_RETURN_NOT_OK(parser.ParseDocument(text, [&](rdf::Triple t) {
-    encoded.push_back(dict.Encode(t));
-  }));
-  return FromEncoded(std::move(dict), std::move(encoded), options);
+  PARJ_ASSIGN_OR_RETURN(
+      std::vector<EncodedTriple> encoded,
+      EncodeShards(&dict, std::move(shards),
+                   pool.has_value() ? &*pool : nullptr));
+  stats.encode_millis = encode_timer.ElapsedMillis();
+  return FinishLoad(std::move(dict), std::move(encoded), options, stats);
 }
 
 Result<ParjEngine> ParjEngine::FromNTriplesFile(const std::string& path,
                                                 const EngineOptions& options) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  LoadStats stats;
+  std::optional<server::ThreadPool> pool;
+  if (options.load.threads > 1) pool.emplace(options.load.threads);
+  rdf::ParallelParseOptions parse_options;
+  parse_options.strict = options.load.strict;
+  parse_options.chunk_bytes = options.load.chunk_bytes;
+  parse_options.pool = pool.has_value() ? &*pool : nullptr;
+
+  Stopwatch parse_timer;
+  PARJ_ASSIGN_OR_RETURN(
+      std::vector<rdf::ParsedChunk> chunks,
+      rdf::ParseFileParallel(path, parse_options, &stats.read_millis));
+  stats.parse_millis = parse_timer.ElapsedMillis() - stats.read_millis;
+  stats.chunks = chunks.size();
+  for (const rdf::ParsedChunk& chunk : chunks) {
+    stats.skipped_lines += chunk.skipped_lines;
+  }
+
+  Stopwatch encode_timer;
+  std::vector<std::span<const rdf::Triple>> shards;
+  shards.reserve(chunks.size());
+  for (const rdf::ParsedChunk& chunk : chunks) shards.emplace_back(chunk.triples);
   dict::Dictionary dict;
-  std::vector<EncodedTriple> encoded;
-  rdf::NTriplesParser parser;
-  PARJ_RETURN_NOT_OK(parser.ParseStream(in, [&](rdf::Triple t) {
-    encoded.push_back(dict.Encode(t));
-  }));
-  return FromEncoded(std::move(dict), std::move(encoded), options);
+  PARJ_ASSIGN_OR_RETURN(
+      std::vector<EncodedTriple> encoded,
+      EncodeShards(&dict, std::move(shards),
+                   pool.has_value() ? &*pool : nullptr));
+  stats.encode_millis = encode_timer.ElapsedMillis();
+  return FinishLoad(std::move(dict), std::move(encoded), options, stats);
+}
+
+Result<ParjEngine> ParjEngine::FromSnapshotFile(const std::string& path,
+                                                const EngineOptions& options) {
+  EngineOptions effective = options;
+  if (effective.load.threads > 1 && effective.database.build_threads <= 1) {
+    effective.database.build_threads = effective.load.threads;
+  }
+  storage::SnapshotLoadOptions snapshot_load;
+  snapshot_load.threads = effective.load.threads;
+  storage::SnapshotLoadStats snapshot_stats;
+  PARJ_ASSIGN_OR_RETURN(storage::Database db,
+                        storage::LoadSnapshot(path, effective.database,
+                                              snapshot_load, &snapshot_stats));
+  LoadStats stats;
+  stats.read_millis = snapshot_stats.read_millis;
+  stats.parse_millis = snapshot_stats.decode_millis;  // decode == "parse"
+  stats.build_millis = snapshot_stats.build_millis;
+  stats.triples = db.total_triples();
+  stats.threads = std::max(1, effective.load.threads);
+  ParjEngine engine(std::move(db), effective.calibration);
+  if (effective.calibrate) {
+    Stopwatch calibrate_timer;
+    engine.Calibrate();
+    stats.calibrate_millis = calibrate_timer.ElapsedMillis();
+  }
+  stats.total_millis = stats.read_millis + stats.parse_millis +
+                       stats.build_millis + stats.calibrate_millis;
+  engine.load_stats_ = stats;
+  return engine;
 }
 
 Result<query::Plan> ParjEngine::Explain(

@@ -13,6 +13,39 @@
 
 namespace parj::engine {
 
+/// Bulk-load pipeline options (DESIGN.md §10). The pipeline is the same
+/// at any thread count — chunked parse, sharded dictionary encode,
+/// grouped store build — so the loaded engine is identical whatever
+/// `threads` is; only wall time changes.
+struct LoadOptions {
+  /// Worker threads for every load phase (parse, encode, build, index,
+  /// calibrate, snapshot decode). <= 1 runs the pipeline serially.
+  int threads = 1;
+  /// Parser chunk size in bytes; chunks split at newline boundaries so a
+  /// triple never straddles two chunks.
+  size_t chunk_bytes = size_t{16} << 20;
+  /// Fail on the first malformed line (reported with its 1-based line
+  /// number); false skips malformed lines, counted in
+  /// LoadStats::skipped_lines.
+  bool strict = true;
+};
+
+/// Per-phase wall-clock breakdown of one load, plus dataset counters.
+/// Phases are disjoint; total_millis covers the whole load call.
+struct LoadStats {
+  double read_millis = 0.0;       ///< file -> memory (file loads only)
+  double parse_millis = 0.0;      ///< N-Triples chunks -> rdf::Triple
+  double encode_millis = 0.0;     ///< terms -> dense IDs (shard + merge)
+  double build_millis = 0.0;      ///< group by predicate + CSR tables
+  double index_millis = 0.0;      ///< histograms, ID indexes, statistics
+  double calibrate_millis = 0.0;  ///< Algorithm 2 (when enabled)
+  double total_millis = 0.0;
+  uint64_t triples = 0;        ///< encoded triples handed to the store
+  uint64_t skipped_lines = 0;  ///< malformed lines dropped (strict=false)
+  uint64_t chunks = 0;         ///< parse chunks (0 for non-text loads)
+  int threads = 1;             ///< effective LoadOptions::threads
+};
+
 /// Load-time options for a PARJ instance.
 struct EngineOptions {
   storage::DatabaseOptions database;
@@ -22,6 +55,10 @@ struct EngineOptions {
   /// paper's published windows (200 / 20 positions).
   bool calibrate = false;
   join::CalibrationOptions calibration;
+  /// Bulk-load pipeline knobs. `load.threads > 1` also becomes the
+  /// default for database.build_threads / calibration.threads unless the
+  /// caller set those explicitly.
+  LoadOptions load;
 };
 
 /// Per-query execution options.
@@ -117,6 +154,11 @@ class ParjEngine {
                                         std::vector<EncodedTriple> triples,
                                         const EngineOptions& options = {});
 
+  /// Loads a snapshot file (see storage/snapshot.h) and wraps it, using
+  /// options.load.threads for the parallel snapshot decode.
+  static Result<ParjEngine> FromSnapshotFile(const std::string& path,
+                                             const EngineOptions& options = {});
+
   /// Wraps an already-built database (e.g. one loaded from a snapshot —
   /// see storage/snapshot.h).
   static ParjEngine FromDatabase(storage::Database db) {
@@ -149,6 +191,10 @@ class ParjEngine {
 
   const storage::Database& database() const { return db_; }
 
+  /// Phase breakdown of the load that produced this engine (zeroed for
+  /// FromDatabase-wrapped instances).
+  const LoadStats& load_stats() const { return load_stats_; }
+
   /// Decodes one materialized row to N-Triples term strings.
   std::vector<std::string> DecodeRow(const QueryResult& result,
                                      size_t row) const;
@@ -158,8 +204,16 @@ class ParjEngine {
                       join::CalibrationOptions calibration)
       : db_(std::move(db)), calibration_options_(calibration) {}
 
+  /// Shared tail of every load path: build the store (threaded per
+  /// `options`), calibrate if asked, and finalize `stats`.
+  static Result<ParjEngine> FinishLoad(dict::Dictionary dict,
+                                       std::vector<EncodedTriple> triples,
+                                       const EngineOptions& options,
+                                       LoadStats stats);
+
   storage::Database db_;
   join::CalibrationOptions calibration_options_;
+  LoadStats load_stats_;
 };
 
 }  // namespace parj::engine

@@ -29,6 +29,12 @@ struct CalibrationOptions {
   /// Per-step multiplicative adjustment is clamped to this factor to damp
   /// oscillation from noisy timings.
   double max_adjust_factor = 4.0;
+  /// Worker threads for Database::Calibrate's per-replica loop (each
+  /// replica's Algorithm-2 run is independent). <=1 calibrates serially.
+  /// Concurrent calibration adds timing noise on busy machines, but the
+  /// algorithm is self-damping (stop_ratio / max_adjust_factor), so the
+  /// resulting windows stay in the same regime.
+  int threads = 1;
 };
 
 /// Result of one calibration run.

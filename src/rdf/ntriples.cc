@@ -1,9 +1,13 @@
 #include "rdf/ntriples.h"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/strings.h"
+#include "common/timer.h"
+#include "server/thread_pool.h"
 
 namespace parj::rdf {
 
@@ -184,6 +188,120 @@ Result<std::vector<Triple>> NTriplesParser::ParseToVector(
   Status st = ParseDocument(text, [&out](Triple t) { out.push_back(std::move(t)); });
   if (!st.ok()) return st;
   return out;
+}
+
+namespace {
+
+/// Newline-aligned chunk byte ranges covering all of `text`. Every chunk
+/// except possibly the last ends just past a '\n'; a single line longer
+/// than `chunk_bytes` gets a correspondingly oversized chunk.
+std::vector<std::pair<size_t, size_t>> SplitNewlineChunks(
+    std::string_view text, size_t chunk_bytes) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = pos + chunk_bytes;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const size_t nl = text.find('\n', end - 1);
+      end = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    }
+    chunks.emplace_back(pos, end);
+    pos = end;
+  }
+  return chunks;
+}
+
+/// Parses one chunk; records errors with chunk-local 1-based line
+/// ordinals (rebased to file line numbers once all chunks report their
+/// line counts).
+void ParseOneChunk(std::string_view text, bool strict, ParsedChunk* chunk) {
+  const std::string_view body =
+      text.substr(chunk->begin_offset, chunk->end_offset - chunk->begin_offset);
+  uint64_t local_line = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    const std::string_view line = (end == std::string_view::npos)
+                                      ? body.substr(start)
+                                      : body.substr(start, end - start);
+    ++local_line;
+    Result<Triple> triple = ParseStatementLine(line);
+    if (triple.ok()) {
+      chunk->triples.push_back(std::move(triple).value());
+    } else if (triple.status().code() != StatusCode::kNotFound) {
+      chunk->errors.push_back(
+          ParsedChunk::LineError{local_line, triple.status().message()});
+      if (!strict) ++chunk->skipped_lines;
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  chunk->line_count = local_line;
+}
+
+}  // namespace
+
+Result<std::vector<ParsedChunk>> ParseTextParallel(
+    std::string_view text, const ParallelParseOptions& options) {
+  std::vector<ParsedChunk> chunks;
+  const auto ranges = SplitNewlineChunks(text, options.chunk_bytes);
+  chunks.resize(ranges.size());
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    chunks[c].begin_offset = ranges[c].first;
+    chunks[c].end_offset = ranges[c].second;
+  }
+
+  auto parse_one = [&](size_t c) {
+    ParseOneChunk(text, options.strict, &chunks[c]);
+  };
+  if (options.pool != nullptr && chunks.size() > 1) {
+    options.pool->ParallelFor(chunks.size(), parse_one);
+  } else {
+    for (size_t c = 0; c < chunks.size(); ++c) parse_one(c);
+  }
+
+  // Rebase chunk-local line ordinals to real file line numbers.
+  uint64_t line_base = 0;
+  for (ParsedChunk& chunk : chunks) {
+    chunk.first_line = line_base + 1;
+    for (ParsedChunk::LineError& error : chunk.errors) {
+      error.line += line_base;
+    }
+    line_base += chunk.line_count;
+  }
+
+  if (options.strict) {
+    // Fail with the earliest error, exactly as the serial parser's
+    // first-error abort would have.
+    const ParsedChunk::LineError* first = nullptr;
+    for (const ParsedChunk& chunk : chunks) {
+      for (const ParsedChunk::LineError& error : chunk.errors) {
+        if (first == nullptr || error.line < first->line) first = &error;
+      }
+    }
+    if (first != nullptr) {
+      return Status::ParseError("line " + std::to_string(first->line) + ": " +
+                                first->message);
+    }
+  }
+  return chunks;
+}
+
+Result<std::vector<ParsedChunk>> ParseFileParallel(
+    const std::string& path, const ParallelParseOptions& options,
+    double* read_millis) {
+  Stopwatch read_timer;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  const std::string text = std::move(buffer).str();
+  if (read_millis != nullptr) *read_millis = read_timer.ElapsedMillis();
+  return ParseTextParallel(text, options);
 }
 
 void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out) {

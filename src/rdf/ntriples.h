@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "rdf/term.h"
 
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
+
 namespace parj::rdf {
 
 /// Parses one N-Triples term starting at `*pos` in `line`; advances `*pos`
@@ -61,6 +65,60 @@ class NTriplesParser {
 
 /// Serializes triples in N-Triples syntax, one statement per line.
 void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out);
+
+// --- Chunked parallel parsing (bulk-load pipeline, DESIGN.md §10) --------
+
+/// One parsed chunk of a parallel parse. Chunks partition the input at
+/// newline boundaries; all line numbers are real (1-based) file line
+/// numbers, identical to what a serial parse would report.
+struct ParsedChunk {
+  std::vector<Triple> triples;
+  /// File line number of the chunk's first line.
+  uint64_t first_line = 1;
+  /// Lines in this chunk (a trailing line without '\n' counts).
+  uint64_t line_count = 0;
+  /// Malformed lines skipped (only accumulates in non-strict mode).
+  uint64_t skipped_lines = 0;
+  /// Byte range of the chunk in the input text.
+  size_t begin_offset = 0;
+  size_t end_offset = 0;
+
+  struct LineError {
+    uint64_t line = 0;  ///< real file line number
+    std::string message;
+  };
+  /// Every malformed line, with its real line number. In strict mode the
+  /// overall parse fails with the earliest error across all chunks; in
+  /// non-strict mode the lists are informational.
+  std::vector<LineError> errors;
+};
+
+struct ParallelParseOptions {
+  /// Strict: any malformed line fails the parse with "line N: ..." for
+  /// the earliest offending line. Non-strict: malformed lines are skipped
+  /// and recorded per chunk.
+  bool strict = true;
+  /// Target chunk size; actual chunks extend to the next newline.
+  size_t chunk_bytes = size_t{16} << 20;
+  /// Pool to parse chunks on; nullptr parses them serially (still through
+  /// the identical chunked code path, so results cannot differ).
+  server::ThreadPool* pool = nullptr;
+};
+
+/// Splits `text` into newline-aligned chunks of ~`chunk_bytes` and parses
+/// them concurrently. The concatenated per-chunk triples are exactly the
+/// serial parse's output (same order); per-chunk error lists carry real
+/// line numbers. Empty input yields zero chunks.
+Result<std::vector<ParsedChunk>> ParseTextParallel(
+    std::string_view text, const ParallelParseOptions& options = {});
+
+/// Reads `path` fully into memory and parses it with ParseTextParallel
+/// (parsed Triples own their strings, so the file buffer is dropped on
+/// return). `read_millis`, when non-null, receives the file-to-memory
+/// read time.
+Result<std::vector<ParsedChunk>> ParseFileParallel(
+    const std::string& path, const ParallelParseOptions& options = {},
+    double* read_millis = nullptr);
 
 }  // namespace parj::rdf
 

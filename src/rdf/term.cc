@@ -65,23 +65,66 @@ Result<std::string> UnescapeLiteral(std::string_view value) {
   return out;
 }
 
-std::string Term::ToNTriples() const {
-  switch (kind_) {
-    case TermKind::kIri:
-      return "<" + lexical_ + ">";
-    case TermKind::kBlank:
-      return "_:" + lexical_;
-    case TermKind::kLiteral: {
-      std::string out = "\"" + EscapeLiteral(lexical_) + "\"";
-      if (!lang_.empty()) {
-        out += "@" + lang_;
-      } else if (!datatype_.empty()) {
-        out += "^^<" + datatype_ + ">";
-      }
-      return out;
+namespace {
+
+/// EscapeLiteral, appending into an existing buffer (no temporary string).
+void AppendEscapedLiteral(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
     }
   }
-  return {};
+}
+
+}  // namespace
+
+void Term::AppendNTriples(std::string* out) const {
+  switch (kind_) {
+    case TermKind::kIri:
+      out->push_back('<');
+      out->append(lexical_);
+      out->push_back('>');
+      return;
+    case TermKind::kBlank:
+      out->append("_:");
+      out->append(lexical_);
+      return;
+    case TermKind::kLiteral:
+      out->push_back('"');
+      AppendEscapedLiteral(lexical_, out);
+      out->push_back('"');
+      if (!lang_.empty()) {
+        out->push_back('@');
+        out->append(lang_);
+      } else if (!datatype_.empty()) {
+        out->append("^^<");
+        out->append(datatype_);
+        out->push_back('>');
+      }
+      return;
+  }
+}
+
+std::string Term::ToNTriples() const {
+  std::string out;
+  AppendNTriples(&out);
+  return out;
 }
 
 }  // namespace parj::rdf

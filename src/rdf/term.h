@@ -72,9 +72,18 @@ class Term {
   /// literal values.
   std::string ToNTriples() const;
 
+  /// Appends the N-Triples serialization to `*out` without clearing it.
+  /// Allocation-free when `out` already has enough capacity, which is what
+  /// makes dictionary lookups on a reused buffer allocation-free.
+  void AppendNTriples(std::string* out) const;
+
   /// Canonical key used by the dictionary: distinct terms map to distinct
   /// keys and equal terms to equal keys.
   std::string DictionaryKey() const { return ToNTriples(); }
+
+  /// Appends DictionaryKey() to `*out` (same bytes, no fresh allocation
+  /// once `out` has capacity).
+  void AppendDictionaryKey(std::string* out) const { AppendNTriples(out); }
 
   friend bool operator==(const Term& a, const Term& b) {
     return a.kind_ == b.kind_ && a.lexical_ == b.lexical_ &&

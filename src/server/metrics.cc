@@ -97,6 +97,13 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "degraded_rejected", degraded_rejected);
   AppendCounter(&out, "worker_faults", worker_faults);
   AppendCounter(&out, "snapshot_crc_verified", snapshot_crc_verified);
+  AppendCounter(&out, "load_total_micros", load_total_micros);
+  AppendCounter(&out, "load_parse_micros", load_parse_micros);
+  AppendCounter(&out, "load_encode_micros", load_encode_micros);
+  AppendCounter(&out, "load_build_micros", load_build_micros);
+  AppendCounter(&out, "load_index_micros", load_index_micros);
+  AppendCounter(&out, "load_calibrate_micros", load_calibrate_micros);
+  AppendCounter(&out, "load_threads_used", load_threads_used);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -118,6 +125,13 @@ void MetricsRegistry::Reset() {
   degraded_rejected.store(0, std::memory_order_relaxed);
   worker_faults.store(0, std::memory_order_relaxed);
   snapshot_crc_verified.store(0, std::memory_order_relaxed);
+  load_total_micros.store(0, std::memory_order_relaxed);
+  load_parse_micros.store(0, std::memory_order_relaxed);
+  load_encode_micros.store(0, std::memory_order_relaxed);
+  load_build_micros.store(0, std::memory_order_relaxed);
+  load_index_micros.store(0, std::memory_order_relaxed);
+  load_calibrate_micros.store(0, std::memory_order_relaxed);
+  load_threads_used.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

@@ -71,6 +71,17 @@ struct MetricsRegistry {
   std::atomic<uint64_t> worker_faults{0};        ///< exceptions contained at the worker boundary
   std::atomic<uint64_t> snapshot_crc_verified{0};///< mirrored from GlobalSnapshotStats
 
+  // Bulk-load phase gauges (microseconds), set once by the serving CLI
+  // after load from engine::LoadStats so operators can see where start-up
+  // time went without rerunning the load.
+  std::atomic<uint64_t> load_total_micros{0};
+  std::atomic<uint64_t> load_parse_micros{0};
+  std::atomic<uint64_t> load_encode_micros{0};
+  std::atomic<uint64_t> load_build_micros{0};
+  std::atomic<uint64_t> load_index_micros{0};
+  std::atomic<uint64_t> load_calibrate_micros{0};
+  std::atomic<uint64_t> load_threads_used{0};
+
   LatencyHistogram queue_wait;  ///< submit -> job start
   LatencyHistogram execution;   ///< engine Execute wall time
   LatencyHistogram total;       ///< submit -> result ready

@@ -3,26 +3,42 @@
 #include <algorithm>
 #include <map>
 
+#include "server/thread_pool.h"
 #include "storage/database.h"
 
 namespace parj::storage {
 
 CharacteristicSets CharacteristicSets::Build(const Database& db,
-                                             size_t max_sets) {
+                                             size_t max_sets,
+                                             server::ThreadPool* pool) {
   // Collect (subject, predicate, run-length) over all properties, grouped
-  // by subject via sort.
+  // by subject via sort. Each property's entry count is its SO key count,
+  // so the destination is exactly sized up front and properties fill
+  // disjoint slices — parallelizable without changing the layout the
+  // serial path produces.
   struct Entry {
     TermId subject;
     PredicateId predicate;
     uint32_t count;
   };
-  std::vector<Entry> entries;
-  for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+  const size_t predicate_count = db.predicate_count();
+  std::vector<size_t> offsets(predicate_count + 1, 0);
+  for (PredicateId pid = 1; pid <= predicate_count; ++pid) {
+    offsets[pid] = offsets[pid - 1] + db.entry(pid).table.so().key_count();
+  }
+  std::vector<Entry> entries(offsets[predicate_count]);
+  const auto fill_property = [&](size_t p) {
+    const PredicateId pid = static_cast<PredicateId>(p + 1);
     const TableReplica& so = db.entry(pid).table.so();
+    Entry* out = entries.data() + offsets[p];
     for (size_t k = 0; k < so.key_count(); ++k) {
-      entries.push_back(Entry{so.KeyAt(k), pid,
-                              static_cast<uint32_t>(so.RunLength(k))});
+      out[k] = Entry{so.KeyAt(k), pid, static_cast<uint32_t>(so.RunLength(k))};
     }
+  };
+  if (pool != nullptr && predicate_count > 1) {
+    pool->ParallelFor(predicate_count, fill_property);
+  } else {
+    for (size_t p = 0; p < predicate_count; ++p) fill_property(p);
   }
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
     if (a.subject != b.subject) return a.subject < b.subject;

@@ -7,6 +7,10 @@
 
 #include "common/types.h"
 
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
+
 namespace parj::storage {
 
 class Database;
@@ -28,8 +32,11 @@ class CharacteristicSets {
   /// Groups all subjects of `db` by their property set. If the data has
   /// more than `max_sets` distinct sets, the rarest are merged into their
   /// closest kept superset... (sets beyond the cap are simply dropped and
-  /// `truncated()` reports it; estimates then under-count).
-  static CharacteristicSets Build(const Database& db, size_t max_sets = 65536);
+  /// `truncated()` reports it; estimates then under-count). The per-table
+  /// entry collection parallelizes on `pool` when given; grouping stays
+  /// serial (a sort), so the result is pool-independent.
+  static CharacteristicSets Build(const Database& db, size_t max_sets = 65536,
+                                  server::ThreadPool* pool = nullptr);
 
   /// Number of distinct subjects whose property set contains all of
   /// `predicates` (sorted or not; duplicates ignored).

@@ -1,8 +1,11 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "server/thread_pool.h"
 
 namespace parj::storage {
 
@@ -51,49 +54,174 @@ void InitReplicaMeta(const TableReplica& replica, TermId max_resource_id,
   meta->threshold_index = join::WindowToValueThreshold(meta->window_index, gap);
 }
 
+/// Runs body(0..n-1) on `pool`, or inline when no pool is available. All
+/// parallel build loops funnel through this, so serial and parallel
+/// builds execute the identical per-index work.
+void RunIndexed(server::ThreadPool* pool, size_t n,
+                const std::function<void(size_t)>& body) {
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, body);
+  } else {
+    for (size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+/// Contiguous near-equal split of [0, n) into `parts` ranges.
+std::vector<std::pair<size_t, size_t>> SplitRanges(size_t n, size_t parts) {
+  parts = std::max<size_t>(1, std::min(parts, std::max<size_t>(1, n)));
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(parts);
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  size_t begin = 0;
+  for (size_t r = 0; r < parts; ++r) {
+    const size_t len = base + (r < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
 }  // namespace
 
 Result<Database> Database::Build(dict::Dictionary dict,
                                  std::vector<EncodedTriple> triples,
-                                 const DatabaseOptions& options) {
+                                 const DatabaseOptions& options,
+                                 BuildTimings* timings) {
   Database db;
   db.options_ = options;
   db.dict_ = std::move(dict);
 
   const size_t predicate_count = db.dict_.predicate_count();
-  std::vector<std::vector<std::pair<TermId, TermId>>> grouped(predicate_count);
-  for (const EncodedTriple& t : triples) {
-    if (t.predicate == kInvalidPredicateId || t.predicate > predicate_count) {
-      return Status::InvalidArgument(
-          "triple has predicate id " + std::to_string(t.predicate) +
-          " outside [1, " + std::to_string(predicate_count) + "]");
+  const TermId max_id = db.dict_.resource_count();
+
+  // A private pool for the build; sized by build_threads, absent (serial)
+  // otherwise. Scoped so its workers join before Build returns.
+  std::optional<server::ThreadPool> pool_storage;
+  if (options.build_threads > 1) pool_storage.emplace(options.build_threads);
+  server::ThreadPool* pool =
+      pool_storage.has_value() ? &*pool_storage : nullptr;
+
+  // --- Grouping: validate + counting pre-pass + exact-size scatter ------
+  // One sweep per range counts triples per predicate and validates IDs;
+  // prefix sums then give every (range, predicate) its exact write slice,
+  // so the scatter is reallocation-free, race-free, and produces the same
+  // per-predicate order as a serial append.
+  Stopwatch group_timer;
+  const auto ranges = SplitRanges(
+      triples.size(), pool != nullptr ? static_cast<size_t>(
+                                            options.build_threads) * 4
+                                      : 1);
+  const size_t range_count = ranges.size();
+  std::vector<std::vector<uint64_t>> counts(
+      range_count, std::vector<uint64_t>(predicate_count, 0));
+  struct RangeError {
+    size_t triple_index = SIZE_MAX;
+    Status status = Status::OK();
+  };
+  std::vector<RangeError> range_errors(range_count);
+  RunIndexed(pool, range_count, [&](size_t r) {
+    std::vector<uint64_t>& local = counts[r];
+    for (size_t i = ranges[r].first; i < ranges[r].second; ++i) {
+      const EncodedTriple& t = triples[i];
+      if (t.predicate == kInvalidPredicateId ||
+          t.predicate > predicate_count) {
+        range_errors[r] = RangeError{
+            i, Status::InvalidArgument(
+                   "triple has predicate id " + std::to_string(t.predicate) +
+                   " outside [1, " + std::to_string(predicate_count) + "]")};
+        return;
+      }
+      if (t.subject == kInvalidTermId || t.object == kInvalidTermId ||
+          t.subject > max_id || t.object > max_id) {
+        range_errors[r] = RangeError{
+            i, Status::InvalidArgument(
+                   "triple has resource id outside dictionary")};
+        return;
+      }
+      ++local[t.predicate - 1];
     }
-    if (t.subject == kInvalidTermId || t.object == kInvalidTermId ||
-        t.subject > db.dict_.resource_count() ||
-        t.object > db.dict_.resource_count()) {
-      return Status::InvalidArgument("triple has resource id outside dictionary");
+  });
+  // Deterministic error selection: the bad triple earliest in input order
+  // wins, matching what the old serial sweep reported.
+  {
+    const RangeError* first = nullptr;
+    for (const RangeError& e : range_errors) {
+      if (e.triple_index != SIZE_MAX &&
+          (first == nullptr || e.triple_index < first->triple_index)) {
+        first = &e;
+      }
     }
-    grouped[t.predicate - 1].emplace_back(t.subject, t.object);
+    if (first != nullptr) return first->status;
   }
+
+  // offsets[r][p] = write cursor for range r inside grouped[p].
+  std::vector<std::vector<uint64_t>> offsets(
+      range_count, std::vector<uint64_t>(predicate_count, 0));
+  std::vector<uint64_t> totals(predicate_count, 0);
+  for (size_t p = 0; p < predicate_count; ++p) {
+    uint64_t running = 0;
+    for (size_t r = 0; r < range_count; ++r) {
+      offsets[r][p] = running;
+      running += counts[r][p];
+    }
+    totals[p] = running;
+  }
+  std::vector<std::vector<std::pair<TermId, TermId>>> grouped(predicate_count);
+  RunIndexed(pool, predicate_count, [&](size_t p) {
+    grouped[p].resize(totals[p]);
+  });
+  RunIndexed(pool, range_count, [&](size_t r) {
+    std::vector<uint64_t> cursor = offsets[r];
+    for (size_t i = ranges[r].first; i < ranges[r].second; ++i) {
+      const EncodedTriple& t = triples[i];
+      grouped[t.predicate - 1][cursor[t.predicate - 1]++] =
+          std::make_pair(t.subject, t.object);
+    }
+  });
   triples.clear();
   triples.shrink_to_fit();
+  if (timings != nullptr) timings->group_millis = group_timer.ElapsedMillis();
 
-  const TermId max_id = db.dict_.resource_count();
+  // --- Per-predicate table builds ---------------------------------------
+  Stopwatch tables_timer;
   db.entries_.resize(predicate_count);
+  RunIndexed(pool, predicate_count, [&](size_t p) {
+    db.entries_[p].table = PropertyTable::Build(std::move(grouped[p]));
+  });
   for (size_t p = 0; p < predicate_count; ++p) {
-    PropertyEntry& entry = db.entries_[p];
-    entry.table = PropertyTable::Build(std::move(grouped[p]));
-    db.total_triples_ += entry.table.triple_count();
-    InitReplicaMeta(entry.table.so(), max_id, options, &entry.so_meta);
-    InitReplicaMeta(entry.table.os(), max_id, options, &entry.os_meta);
+    db.total_triples_ += db.entries_[p].table.triple_count();
+  }
+  if (timings != nullptr) {
+    timings->tables_millis = tables_timer.ElapsedMillis();
   }
 
+  // --- Replica metadata (histogram, ID index, default thresholds) -------
+  Stopwatch meta_timer;
+  RunIndexed(pool, predicate_count * 2, [&](size_t slot) {
+    PropertyEntry& entry = db.entries_[slot / 2];
+    const ReplicaKind kind =
+        (slot % 2 == 0) ? ReplicaKind::kSO : ReplicaKind::kOS;
+    InitReplicaMeta(entry.table.replica(kind), max_id, options,
+                    &entry.meta(kind));
+  });
+  if (timings != nullptr) timings->meta_millis = meta_timer.ElapsedMillis();
+
+  // --- Derived statistics -----------------------------------------------
   if (options.precompute_pairwise_stats) {
-    db.ComputePairStats(options.pairwise_max_columns);
+    Stopwatch pair_timer;
+    db.ComputePairStats(options.pairwise_max_columns, pool);
+    if (timings != nullptr) {
+      timings->pair_stats_millis = pair_timer.ElapsedMillis();
+    }
   }
   if (options.build_characteristic_sets) {
+    Stopwatch char_timer;
     db.char_sets_ =
-        CharacteristicSets::Build(db, options.characteristic_max_sets);
+        CharacteristicSets::Build(db, options.characteristic_max_sets, pool);
+    if (timings != nullptr) {
+      timings->char_sets_millis = char_timer.ElapsedMillis();
+    }
   }
   return db;
 }
@@ -106,33 +234,45 @@ uint64_t Database::PairKey(PredicateId p1, Role role1, PredicateId p2,
   return (a << 32) | b;
 }
 
-void Database::ComputePairStats(size_t max_columns) {
+void Database::ComputePairStats(size_t max_columns, server::ThreadPool* pool) {
   const size_t columns = entries_.size() * 2;
   if (columns > max_columns) {
     PARJ_LOG(Info) << "skipping pairwise stats: " << columns
                    << " property columns exceed limit " << max_columns;
     return;
   }
-  for (size_t p1 = 0; p1 < entries_.size(); ++p1) {
-    for (int r1 = 0; r1 < 2; ++r1) {
-      const TableReplica& left =
-          entries_[p1].table.replica(ReplicaForKeyRole(static_cast<Role>(r1)));
-      for (size_t p2 = p1; p2 < entries_.size(); ++p2) {
-        for (int r2 = 0; r2 < 2; ++r2) {
-          // Enumerate each unordered column pair once.
-          const uint64_t col1 = (p1 << 1) | static_cast<size_t>(r1);
-          const uint64_t col2 = (p2 << 1) | static_cast<size_t>(r2);
-          if (col2 < col1) continue;
-          const TableReplica& right = entries_[p2].table.replica(
-              ReplicaForKeyRole(static_cast<Role>(r2)));
-          PairJoinStat stat = IntersectColumns(left, right);
-          pair_stats_.emplace(
-              PairKey(static_cast<PredicateId>(p1 + 1), static_cast<Role>(r1),
-                      static_cast<PredicateId>(p2 + 1), static_cast<Role>(r2)),
-              stat);
-        }
-      }
+  // Enumerate each unordered column pair once (column = (predicate, role)),
+  // compute all intersections in parallel, then insert serially (the map
+  // itself is not thread-safe; insertion is trivial next to the merges).
+  struct ColumnPair {
+    uint32_t col1;
+    uint32_t col2;
+  };
+  std::vector<ColumnPair> pairs;
+  pairs.reserve(columns * (columns + 1) / 2);
+  for (uint32_t c1 = 0; c1 < columns; ++c1) {
+    for (uint32_t c2 = c1; c2 < columns; ++c2) {
+      pairs.push_back(ColumnPair{c1, c2});
     }
+  }
+  std::vector<PairJoinStat> stats(pairs.size());
+  RunIndexed(pool, pairs.size(), [&](size_t i) {
+    const Role r1 = static_cast<Role>(pairs[i].col1 & 1);
+    const Role r2 = static_cast<Role>(pairs[i].col2 & 1);
+    const TableReplica& left =
+        entries_[pairs[i].col1 >> 1].table.replica(ReplicaForKeyRole(r1));
+    const TableReplica& right =
+        entries_[pairs[i].col2 >> 1].table.replica(ReplicaForKeyRole(r2));
+    stats[i] = IntersectColumns(left, right);
+  });
+  pair_stats_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    pair_stats_.emplace(
+        PairKey(static_cast<PredicateId>((pairs[i].col1 >> 1) + 1),
+                static_cast<Role>(pairs[i].col1 & 1),
+                static_cast<PredicateId>((pairs[i].col2 >> 1) + 1),
+                static_cast<Role>(pairs[i].col2 & 1)),
+        stats[i]);
   }
   has_pair_stats_ = true;
 }
@@ -166,25 +306,32 @@ const PropertyEntry* Database::FindEntry(PredicateId pid) const {
 }
 
 void Database::Calibrate(const join::CalibrationOptions& options) {
-  for (PropertyEntry& entry : entries_) {
-    for (ReplicaKind kind : {ReplicaKind::kSO, ReplicaKind::kOS}) {
-      const TableReplica& replica = entry.table.replica(kind);
-      ReplicaMeta& meta = entry.meta(kind);
-      if (replica.key_count() < 64) continue;  // too small to measure
-      join::CalibrationResult binary = join::CalibrateWindow(
-          replica.keys(), join::CalibrationMode::kVersusBinarySearch, nullptr,
-          options);
-      meta.window_binary = binary.window_positions;
-      meta.threshold_binary = binary.threshold_value;
-      if (meta.has_index) {
-        join::CalibrationResult indexed = join::CalibrateWindow(
-            replica.keys(), join::CalibrationMode::kVersusIndexLookup,
-            &meta.id_index, options);
-        meta.window_index = indexed.window_positions;
-        meta.threshold_index = indexed.threshold_value;
-      }
+  // Every (entry, replica) calibration is independent and writes only its
+  // own ReplicaMeta, so the loop parallelizes directly.
+  std::optional<server::ThreadPool> pool_storage;
+  if (options.threads > 1) pool_storage.emplace(options.threads);
+  server::ThreadPool* pool =
+      pool_storage.has_value() ? &*pool_storage : nullptr;
+  RunIndexed(pool, entries_.size() * 2, [&](size_t slot) {
+    PropertyEntry& entry = entries_[slot / 2];
+    const ReplicaKind kind =
+        (slot % 2 == 0) ? ReplicaKind::kSO : ReplicaKind::kOS;
+    const TableReplica& replica = entry.table.replica(kind);
+    ReplicaMeta& meta = entry.meta(kind);
+    if (replica.key_count() < 64) return;  // too small to measure
+    join::CalibrationResult binary = join::CalibrateWindow(
+        replica.keys(), join::CalibrationMode::kVersusBinarySearch, nullptr,
+        options);
+    meta.window_binary = binary.window_positions;
+    meta.threshold_binary = binary.threshold_value;
+    if (meta.has_index) {
+      join::CalibrationResult indexed = join::CalibrateWindow(
+          replica.keys(), join::CalibrationMode::kVersusIndexLookup,
+          &meta.id_index, options);
+      meta.window_index = indexed.window_positions;
+      meta.threshold_index = indexed.threshold_value;
     }
-  }
+  });
 }
 
 size_t Database::TableMemoryUsage() const {

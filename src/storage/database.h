@@ -15,6 +15,10 @@
 #include "storage/histogram.h"
 #include "storage/property_table.h"
 
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
+
 namespace parj::storage {
 
 /// Which column of a property a value comes from.
@@ -104,6 +108,23 @@ struct DatabaseOptions {
   /// estimation (paper §4.3's planned extension; off by default).
   bool build_characteristic_sets = false;
   size_t characteristic_max_sets = 65536;
+  /// Worker threads for store construction: the grouping scatter, the
+  /// per-predicate table + metadata builds, and the pairwise-stat /
+  /// characteristic-set loops. <=1 builds serially (0 is NOT hardware
+  /// concurrency here, to keep the default deterministic-cheap); the
+  /// built store is identical whatever the value (DESIGN.md §10).
+  int build_threads = 1;
+};
+
+/// Wall-clock breakdown of one Database::Build (+ Calibrate), filled when
+/// the caller passes a timings sink. The loader surfaces these as the
+/// "build" and "index" phases of its per-phase load report.
+struct BuildTimings {
+  double group_millis = 0.0;       ///< validate + count + scatter by predicate
+  double tables_millis = 0.0;      ///< PropertyTable::Build over predicates
+  double meta_millis = 0.0;        ///< histograms, ID indexes, thresholds
+  double pair_stats_millis = 0.0;  ///< pairwise join statistics
+  double char_sets_millis = 0.0;   ///< characteristic sets (when enabled)
 };
 
 /// An immutable-after-build, in-memory RDF store: dictionary + vertically
@@ -120,9 +141,13 @@ class Database {
 
   /// Builds from encoded triples. Duplicate triples are collapsed.
   /// Predicate IDs in `triples` must be dense in [1, dict.predicate_count()].
+  /// With options.build_threads > 1 the grouping scatter and per-predicate
+  /// builds run on a private thread pool; the result is bit-identical to a
+  /// serial build. `timings` (optional) receives the phase breakdown.
   static Result<Database> Build(dict::Dictionary dict,
                                 std::vector<EncodedTriple> triples,
-                                const DatabaseOptions& options = {});
+                                const DatabaseOptions& options = {},
+                                BuildTimings* timings = nullptr);
 
   /// Runs Algorithm 2 on every replica large enough to measure, replacing
   /// the default windows/thresholds. Call once after load, before queries
@@ -167,7 +192,7 @@ class Database {
  private:
   static uint64_t PairKey(PredicateId p1, Role role1, PredicateId p2,
                           Role role2);
-  void ComputePairStats(size_t max_columns);
+  void ComputePairStats(size_t max_columns, server::ThreadPool* pool);
 
   dict::Dictionary dict_;
   std::vector<PropertyEntry> entries_;  // index = predicate id - 1

@@ -41,6 +41,25 @@ namespace parj::storage {
 inline constexpr uint32_t kSnapshotVersion = 2;
 inline constexpr uint32_t kSnapshotVersionLegacy = 1;
 
+/// Options for ReadSnapshot/LoadSnapshot beyond the DatabaseOptions that
+/// shape the rebuilt store.
+struct SnapshotLoadOptions {
+  /// Worker threads for snapshot decode: with > 1 (and a v2 snapshot) the
+  /// file is read into memory, a serial structural scan locates section
+  /// and term boundaries, and then CRC verification, term decode, and
+  /// triple decode run in parallel. <= 1 streams serially. v1 snapshots
+  /// always stream serially (no section structure to scan). The loaded
+  /// database is identical either way.
+  int threads = 1;
+};
+
+/// Per-phase wall-clock breakdown of one snapshot load.
+struct SnapshotLoadStats {
+  double read_millis = 0.0;    ///< file -> memory (parallel path only)
+  double decode_millis = 0.0;  ///< scan + CRC + term/triple decode
+  double build_millis = 0.0;   ///< Database::Build on the decoded data
+};
+
 /// Summary of a verified snapshot (also returned by VerifySnapshot).
 struct SnapshotInfo {
   uint32_t version = 0;
@@ -76,13 +95,18 @@ Status SaveSnapshot(const Database& db, const std::string& path);
 
 /// Reads a snapshot and rebuilds a Database with `options`. CRC or
 /// structural failures return kDataLoss/kParseError/kIoError — never a
-/// partially-populated database.
+/// partially-populated database. `load` selects serial streaming vs the
+/// buffered parallel decode; `stats` (optional) receives phase timings.
 Result<Database> ReadSnapshot(std::istream& in,
-                              const DatabaseOptions& options = {});
+                              const DatabaseOptions& options = {},
+                              const SnapshotLoadOptions& load = {},
+                              SnapshotLoadStats* stats = nullptr);
 
 /// Convenience file wrapper.
 Result<Database> LoadSnapshot(const std::string& path,
-                              const DatabaseOptions& options = {});
+                              const DatabaseOptions& options = {},
+                              const SnapshotLoadOptions& load = {},
+                              SnapshotLoadStats* stats = nullptr);
 
 /// Walks and CRC-verifies a snapshot without building the database
 /// (terms and triples are decoded and discarded). Cheap enough to run

@@ -151,6 +151,83 @@ TEST(DatabaseTest, CalibrateUpdatesLargeReplicasOnly) {
   EXPECT_EQ(db.entry(1).so_meta.threshold_binary, before);
 }
 
+TEST(DatabaseTest, ParallelBuildMatchesSerial) {
+  // Larger spec so the parallel build actually splits into ranges.
+  Spec spec;
+  for (int i = 0; i < 500; ++i) {
+    spec.push_back({"s" + std::to_string(i % 37),
+                    "p" + std::to_string(i % 7),
+                    "o" + std::to_string(i % 53)});
+  }
+  Database serial = MakeDatabase(spec);
+  for (int threads : {2, 8}) {
+    DatabaseOptions options;
+    options.build_threads = threads;
+    Database parallel = MakeDatabase(spec, options);
+    ASSERT_EQ(parallel.predicate_count(), serial.predicate_count());
+    ASSERT_EQ(parallel.total_triples(), serial.total_triples());
+    for (PredicateId pid = 1; pid <= serial.predicate_count(); ++pid) {
+      for (ReplicaKind kind : {ReplicaKind::kSO, ReplicaKind::kOS}) {
+        const TableReplica& a = serial.entry(pid).table.replica(kind);
+        const TableReplica& b = parallel.entry(pid).table.replica(kind);
+        ASSERT_EQ(a.key_count(), b.key_count()) << "pid " << pid;
+        for (size_t k = 0; k < a.key_count(); ++k) {
+          EXPECT_EQ(a.KeyAt(k), b.KeyAt(k));
+          ASSERT_EQ(a.RunLength(k), b.RunLength(k));
+          const auto run_a = a.Run(k);
+          const auto run_b = b.Run(k);
+          for (size_t v = 0; v < run_a.size(); ++v) {
+            ASSERT_EQ(run_a[v], run_b[v]) << "pid " << pid << " key " << k;
+          }
+        }
+      }
+    }
+    // Derived statistics agree too.
+    auto stat_a = serial.GetPairStat(1, Role::kSubject, 2, Role::kSubject);
+    auto stat_b = parallel.GetPairStat(1, Role::kSubject, 2, Role::kSubject);
+    ASSERT_EQ(stat_a.has_value(), stat_b.has_value());
+    if (stat_a.has_value()) {
+      EXPECT_EQ(stat_a->intersection, stat_b->intersection);
+      EXPECT_EQ(stat_a->pairs_left, stat_b->pairs_left);
+      EXPECT_EQ(stat_a->pairs_right, stat_b->pairs_right);
+    }
+  }
+}
+
+TEST(DatabaseTest, ParallelBuildValidatesIdsWithSameErrors) {
+  for (int threads : {1, 8}) {
+    DatabaseOptions options;
+    options.build_threads = threads;
+    dict::Dictionary dict;
+    dict.EncodeResource(rdf::Term::Iri("a"));
+    dict.EncodePredicate(rdf::Term::Iri("p"));
+    std::vector<EncodedTriple> bad = {{1, 1, 1}, {1, 2, 1}};  // predicate 2
+    Status status = Database::Build(std::move(dict), std::move(bad), options)
+                        .status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("predicate id 2"), std::string::npos)
+        << threads << " threads: " << status.ToString();
+  }
+}
+
+TEST(DatabaseTest, BuildTimingsReported) {
+  dict::Dictionary dict;
+  std::vector<EncodedTriple> triples;
+  for (int i = 0; i < 100; ++i) {
+    EncodedTriple t;
+    t.subject = dict.EncodeResource(rdf::Term::Iri("s" + std::to_string(i)));
+    t.predicate = dict.EncodePredicate(rdf::Term::Iri("p"));
+    t.object = dict.EncodeResource(rdf::Term::Iri("o" + std::to_string(i)));
+    triples.push_back(t);
+  }
+  BuildTimings timings;
+  auto db = Database::Build(std::move(dict), std::move(triples), {}, &timings);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GE(timings.group_millis, 0.0);
+  EXPECT_GE(timings.tables_millis, 0.0);
+  EXPECT_GE(timings.meta_millis, 0.0);
+}
+
 TEST(DatabaseTest, MemoryUsageAccounting) {
   Database db = MakeDatabase(kTeachesWorksFor);
   EXPECT_GT(db.TableMemoryUsage(), 0u);

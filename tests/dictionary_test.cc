@@ -107,6 +107,49 @@ TEST(DictionaryTest, MemoryUsageGrows) {
   EXPECT_GT(dict.MemoryUsage(), empty);
 }
 
+TEST(DictionaryTest, LookupByPrecomputedKey) {
+  Dictionary dict;
+  dict.EncodeResource(Term::Iri("a"));
+  dict.EncodePredicate(Term::Iri("p"));
+  EXPECT_EQ(dict.LookupResourceByKey(Term::Iri("a").DictionaryKey()), 1u);
+  EXPECT_EQ(dict.LookupResourceByKey(Term::Iri("nope").DictionaryKey()),
+            kInvalidTermId);
+  EXPECT_EQ(dict.LookupPredicateByKey(Term::Iri("p").DictionaryKey()), 1u);
+  EXPECT_EQ(dict.LookupPredicateByKey(Term::Iri("a").DictionaryKey()),
+            kInvalidPredicateId);  // separate ID space
+}
+
+TEST(DictionaryTest, FromTermsAssignsPositionalIds) {
+  auto dict = Dictionary::FromTerms(
+      {Term::Iri("r1"), Term::Literal("r2"), Term::Blank("r3")},
+      {Term::Iri("p1"), Term::Iri("p2")});
+  ASSERT_TRUE(dict.ok()) << dict.status().ToString();
+  EXPECT_EQ(dict->resource_count(), 3u);
+  EXPECT_EQ(dict->predicate_count(), 2u);
+  EXPECT_EQ(dict->LookupResource(Term::Literal("r2")), 2u);
+  EXPECT_EQ(dict->LookupPredicate(Term::Iri("p2")), 2u);
+  EXPECT_EQ(dict->DecodeResource(3), Term::Blank("r3"));
+}
+
+TEST(DictionaryTest, FromTermsRejectsDuplicates) {
+  auto dup_resource = Dictionary::FromTerms(
+      {Term::Iri("same"), Term::Iri("same")}, {Term::Iri("p")});
+  EXPECT_EQ(dup_resource.status().code(), StatusCode::kParseError);
+  auto dup_predicate = Dictionary::FromTerms(
+      {Term::Iri("r")}, {Term::Iri("p"), Term::Iri("p")});
+  EXPECT_EQ(dup_predicate.status().code(), StatusCode::kParseError);
+}
+
+TEST(DictionaryTest, CloneIsDeepAndIndependent) {
+  Dictionary dict;
+  dict.EncodeResource(Term::Iri("a"));
+  Dictionary copy = dict.Clone();
+  copy.EncodeResource(Term::Iri("b"));
+  EXPECT_EQ(dict.resource_count(), 1u);
+  EXPECT_EQ(copy.resource_count(), 2u);
+  EXPECT_EQ(copy.LookupResource(Term::Iri("a")), 1u);
+}
+
 TEST(DictionaryTest, ManyTermsKeepDistinctIds) {
   Dictionary dict;
   for (int i = 0; i < 10000; ++i) {

@@ -1,0 +1,205 @@
+// Sharded dictionary encoding (dict/sharded_encoder.h): chunk-local
+// provisional IDs merged in chunk order must reproduce the serial
+// first-occurrence encoding exactly, for any chunking and thread count.
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dict/sharded_encoder.h"
+#include "server/thread_pool.h"
+
+namespace parj::dict {
+namespace {
+
+using rdf::Term;
+using rdf::Triple;
+
+/// Triples with heavy term overlap across the input, so most chunks see a
+/// mix of base hits, chunk-local repeats, and cross-chunk duplicates.
+std::vector<Triple> MakeTriples(int count) {
+  std::vector<Triple> triples;
+  for (int i = 0; i < count; ++i) {
+    triples.push_back(Triple{
+        Term::Iri("http://example.org/s" + std::to_string(i % 17)),
+        Term::Iri("http://example.org/p" + std::to_string(i % 5)),
+        (i % 3 == 0)
+            ? Term::Literal("value " + std::to_string(i % 11))
+            : Term::Iri("http://example.org/o" + std::to_string(i % 23))});
+  }
+  return triples;
+}
+
+/// Serial reference: one dictionary, first-occurrence order.
+std::pair<Dictionary, std::vector<EncodedTriple>> SerialEncode(
+    const std::vector<Triple>& triples) {
+  Dictionary dict;
+  std::vector<EncodedTriple> encoded;
+  encoded.reserve(triples.size());
+  for (const Triple& t : triples) encoded.push_back(dict.Encode(t));
+  return {std::move(dict), std::move(encoded)};
+}
+
+std::vector<std::span<const Triple>> Chunk(const std::vector<Triple>& triples,
+                                           size_t chunk_size) {
+  std::vector<std::span<const Triple>> chunks;
+  for (size_t i = 0; i < triples.size(); i += chunk_size) {
+    chunks.emplace_back(triples.data() + i,
+                        std::min(chunk_size, triples.size() - i));
+  }
+  return chunks;
+}
+
+void ExpectSameDictionary(const Dictionary& a, const Dictionary& b) {
+  ASSERT_EQ(a.resource_count(), b.resource_count());
+  ASSERT_EQ(a.predicate_count(), b.predicate_count());
+  for (TermId id = 1; id <= a.resource_count(); ++id) {
+    EXPECT_EQ(a.DecodeResource(id), b.DecodeResource(id)) << "resource " << id;
+  }
+  for (PredicateId id = 1; id <= a.predicate_count(); ++id) {
+    EXPECT_EQ(a.DecodePredicate(id), b.DecodePredicate(id))
+        << "predicate " << id;
+  }
+}
+
+bool operator_eq(const EncodedTriple& x, const EncodedTriple& y) {
+  return x.subject == y.subject && x.predicate == y.predicate &&
+         x.object == y.object;
+}
+
+void ExpectSameTriples(const std::vector<EncodedTriple>& a,
+                       const std::vector<EncodedTriple>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(operator_eq(a[i], b[i]))
+        << "triple " << i << ": (" << a[i].subject << "," << a[i].predicate
+        << "," << a[i].object << ") vs (" << b[i].subject << ","
+        << b[i].predicate << "," << b[i].object << ")";
+  }
+}
+
+TEST(ShardedDictTest, MergeReproducesSerialOrderForAnyChunking) {
+  const std::vector<Triple> triples = MakeTriples(400);
+  auto [serial_dict, serial_encoded] = SerialEncode(triples);
+
+  for (size_t chunk_size : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+    Dictionary base;
+    std::vector<EncodedChunk> encoded;
+    for (std::span<const Triple> chunk : Chunk(triples, chunk_size)) {
+      encoded.push_back(EncodeChunk(base, chunk));
+    }
+    auto merged = MergeEncodedChunks(&base, std::move(encoded));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ExpectSameDictionary(base, serial_dict);
+    ExpectSameTriples(*merged, serial_encoded);
+  }
+}
+
+TEST(ShardedDictTest, BaseHitsAreFinalAndAllocateNoDeltas) {
+  Dictionary base;
+  const Triple known{Term::Iri("s"), Term::Iri("p"), Term::Iri("o")};
+  base.Encode(known);
+
+  EncodedChunk chunk = EncodeChunk(base, std::span<const Triple>(&known, 1));
+  ASSERT_EQ(chunk.triples.size(), 1u);
+  EXPECT_TRUE(chunk.delta_resources.empty());
+  EXPECT_TRUE(chunk.delta_predicates.empty());
+  // All IDs final (no provisional tag) and equal to the base's.
+  EXPECT_EQ(chunk.triples[0].subject, base.LookupResource(Term::Iri("s")));
+  EXPECT_EQ(chunk.triples[0].predicate, base.LookupPredicate(Term::Iri("p")));
+  EXPECT_EQ(chunk.triples[0].object, base.LookupResource(Term::Iri("o")));
+  EXPECT_EQ(chunk.triples[0].subject & kDeltaTag, 0u);
+}
+
+TEST(ShardedDictTest, UnknownTermsGetTaggedProvisionalIds) {
+  Dictionary base;
+  const std::vector<Triple> triples = {
+      {Term::Iri("a"), Term::Iri("p"), Term::Iri("b")},
+      {Term::Iri("b"), Term::Iri("p"), Term::Iri("a")},
+  };
+  EncodedChunk chunk =
+      EncodeChunk(base, std::span<const Triple>(triples.data(), 2));
+  // Delta lists hold first occurrences in (s, p, o) scan order.
+  ASSERT_EQ(chunk.delta_resources.size(), 2u);
+  EXPECT_EQ(chunk.delta_resources[0], Term::Iri("a"));
+  EXPECT_EQ(chunk.delta_resources[1], Term::Iri("b"));
+  ASSERT_EQ(chunk.delta_predicates.size(), 1u);
+  // Every ID is provisional: kDeltaTag | delta index.
+  EXPECT_EQ(chunk.triples[0].subject, kDeltaTag | 0u);
+  EXPECT_EQ(chunk.triples[0].object, kDeltaTag | 1u);
+  EXPECT_EQ(chunk.triples[1].subject, kDeltaTag | 1u);
+  EXPECT_EQ(chunk.triples[1].object, kDeltaTag | 0u);
+  EXPECT_EQ(chunk.triples[0].predicate, kDeltaTag | 0u);
+  // The chunk did not touch the frozen base.
+  EXPECT_EQ(base.resource_count(), 0u);
+}
+
+TEST(ShardedDictTest, CrossChunkDuplicatesKeepFirstChunkId) {
+  // "shared" first appears in chunk 0; chunk 1 re-introduces it in its own
+  // delta. The merged ID must be chunk 0's (first occurrence overall).
+  const std::vector<Triple> triples = {
+      {Term::Iri("shared"), Term::Iri("p"), Term::Iri("x")},
+      {Term::Iri("y"), Term::Iri("p"), Term::Iri("shared")},
+  };
+  auto [serial_dict, serial_encoded] = SerialEncode(triples);
+
+  Dictionary base;
+  std::vector<EncodedChunk> encoded;
+  encoded.push_back(
+      EncodeChunk(base, std::span<const Triple>(triples.data(), 1)));
+  encoded.push_back(
+      EncodeChunk(base, std::span<const Triple>(triples.data() + 1, 1)));
+  // Both chunks saw "shared" as a fresh delta term.
+  EXPECT_EQ(encoded[0].delta_resources[0], Term::Iri("shared"));
+  EXPECT_EQ(encoded[1].delta_resources[1], Term::Iri("shared"));
+
+  auto merged = MergeEncodedChunks(&base, std::move(encoded));
+  ASSERT_TRUE(merged.ok());
+  ExpectSameDictionary(base, serial_dict);
+  ExpectSameTriples(*merged, serial_encoded);
+  EXPECT_EQ(base.LookupResource(Term::Iri("shared")), 1u);
+}
+
+TEST(ShardedDictTest, ConcurrentChunkEncodingIsDeterministic) {
+  // Phase 1 runs concurrently against the frozen base (the TSan target);
+  // the merged result must still equal the serial encoding.
+  const std::vector<Triple> triples = MakeTriples(600);
+
+  Dictionary base;  // pre-populate so chunks mix base hits with deltas
+  for (size_t i = 0; i < triples.size(); i += 5) base.Encode(triples[i]);
+  // Serial reference: same pre-pass, then every triple in order.
+  Dictionary serial_dict;
+  for (size_t i = 0; i < triples.size(); i += 5) serial_dict.Encode(triples[i]);
+  for (const Triple& t : triples) serial_dict.Encode(t);
+
+  server::ThreadPool pool(8);
+  const std::vector<std::span<const Triple>> chunks = Chunk(triples, 37);
+  std::vector<EncodedChunk> encoded(chunks.size());
+  pool.ParallelFor(chunks.size(), [&](size_t i) {
+    encoded[i] = EncodeChunk(base, chunks[i]);
+  });
+  auto merged = MergeEncodedChunks(&base, std::move(encoded), &pool);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  ExpectSameDictionary(base, serial_dict);
+  // Triple encodings agree with the serially-built dictionary.
+  std::vector<EncodedTriple> expected;
+  for (const Triple& t : triples) expected.push_back(serial_dict.Encode(t));
+  ExpectSameTriples(*merged, expected);
+}
+
+TEST(ShardedDictTest, EmptyChunksMergeToNothing) {
+  Dictionary base;
+  base.EncodeResource(Term::Iri("existing"));
+  auto merged = MergeEncodedChunks(&base, {});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->empty());
+  EXPECT_EQ(base.resource_count(), 1u);
+}
+
+}  // namespace
+}  // namespace parj::dict

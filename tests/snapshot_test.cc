@@ -249,6 +249,78 @@ TEST(SnapshotTest, CrcMismatchCountsInGlobalStats) {
   EXPECT_GT(GlobalSnapshotStats().crc_mismatches.load(), before);
 }
 
+TEST(SnapshotTest, ParallelLoadMatchesSerialByteForByte) {
+  workload::GeneratedData data =
+      workload::GenerateLubm({.universities = 1, .seed = 3});
+  auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
+                                                std::move(data.triples));
+  ASSERT_TRUE(engine.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(engine->database(), buffer).ok());
+  const std::string bytes = buffer.str();
+
+  auto rewrite = [](const Database& db) {
+    std::stringstream out;
+    PARJ_CHECK(WriteSnapshot(db, out).ok());
+    return out.str();
+  };
+  std::stringstream serial_in(bytes);
+  auto serial = ReadSnapshot(serial_in);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : {2, 8}) {
+    std::stringstream in(bytes);
+    SnapshotLoadOptions load;
+    load.threads = threads;
+    DatabaseOptions db_options;
+    db_options.build_threads = threads;
+    SnapshotLoadStats stats;
+    auto parallel = ReadSnapshot(in, db_options, load, &stats);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(rewrite(*parallel), rewrite(*serial)) << threads << " threads";
+    EXPECT_GE(stats.decode_millis, 0.0);
+  }
+}
+
+TEST(SnapshotTest, ParallelLoadDetectsCorruption) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[30] ^= 0x40;  // inside the first term's text: CRC-only damage
+  SnapshotLoadOptions load;
+  load.threads = 4;
+  std::stringstream corrupted(bytes);
+  Status status = ReadSnapshot(corrupted, {}, load).status();
+  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("dictionary"), std::string::npos);
+}
+
+TEST(SnapshotTest, ParallelLoadRejectsTruncation) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  SnapshotLoadOptions load;
+  load.threads = 4;
+  for (size_t cut : {size_t{4}, size_t{12}, size_t{20}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadSnapshot(truncated, {}, load).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, ParallelLoadFallsBackOnLegacyV1) {
+  Database original = MakeDatabase(kData);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(original, buffer, kSnapshotVersionLegacy).ok());
+  SnapshotLoadOptions load;
+  load.threads = 4;  // v1 has no sections: must fall back to the serial walk
+  auto restored = ReadSnapshot(buffer, {}, load);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->total_triples(), original.total_triples());
+}
+
 TEST(SnapshotTest, SaveIsAtomicUnderRenameFault) {
   Database original = MakeDatabase(kData);
   const std::string path = ::testing::TempDir() + "/parj_atomic_test.bin";

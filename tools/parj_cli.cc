@@ -1,8 +1,15 @@
 // parj_cli: interactive / scriptable shell for the PARJ store.
 //
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
+//            [--load-threads N] [--chunk-mb N]
 //            [--failpoints name=spec,...] [serve | --serve]
 //   parj_cli verify-snapshot FILE
+//
+// `--load-threads N` runs the bulk-load pipeline (chunked parse, sharded
+// dictionary encode, parallel store build, parallel snapshot decode) on N
+// threads; the loaded store is identical at any thread count. `--chunk-mb`
+// sets the parser chunk size. Every load prints a per-phase time breakdown
+// (read/parse/encode/build/index/calibrate).
 //
 // `verify-snapshot FILE` walks FILE section by section, checking every
 // CRC-32C record without building the store, and exits 0 (intact) or 1
@@ -30,6 +37,7 @@
 //   .restore FILE         load a binary snapshot
 //   .verify FILE          CRC-check a snapshot without loading it
 //   .threads N            set worker threads for queries
+//   .load-threads N       set worker threads for loads/restores
 //   .strategy NAME        Binary | AdBinary | Index | AdIndex
 //   .calibrate            run Algorithm 2 on all tables
 //   .explain on|off       print plans before execution
@@ -65,10 +73,36 @@ namespace {
 struct Shell {
   std::optional<engine::ParjEngine> engine;
   int threads = 1;
+  int load_threads = 1;
+  size_t chunk_mb = 16;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveIndex;
   join::Scheduling scheduling = join::Scheduling::kMorsel;
   bool explain = false;
   uint64_t print_limit = 20;
+
+  engine::EngineOptions LoadEngineOptions() const {
+    engine::EngineOptions options;
+    options.load.threads = load_threads;
+    options.load.chunk_bytes = chunk_mb << 20;
+    return options;
+  }
+
+  void PrintLoadStats() const {
+    const engine::LoadStats& ls = engine->load_stats();
+    std::printf(
+        "loaded %s triples in %s ms [%d load thread%s, %llu chunk(s)]\n"
+        "  read %.1f + parse %.1f + encode %.1f + build %.1f + index %.1f "
+        "+ calibrate %.1f ms\n",
+        FormatCount(ls.triples).c_str(), FormatMillis(ls.total_millis).c_str(),
+        ls.threads, ls.threads == 1 ? "" : "s",
+        static_cast<unsigned long long>(ls.chunks), ls.read_millis,
+        ls.parse_millis, ls.encode_millis, ls.build_millis, ls.index_millis,
+        ls.calibrate_millis);
+    if (ls.skipped_lines > 0) {
+      std::printf("  skipped %llu malformed line(s)\n",
+                  static_cast<unsigned long long>(ls.skipped_lines));
+    }
+  }
 
   void PrintStats() const {
     if (!engine.has_value()) {
@@ -146,16 +180,18 @@ struct Shell {
       std::printf(
           ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
           ".restore FILE | .verify FILE | .dump FILE | .threads N |\n"
-          ".strategy NAME | .scheduling static|morsel | .calibrate |\n"
-          ".explain on|off | .limit N | .stats | .quit\n");
+          ".load-threads N | .strategy NAME | .scheduling static|morsel |\n"
+          ".calibrate | .explain on|off | .limit N | .stats | .quit\n");
     } else if (command == ".load") {
       std::string path;
       in >> path;
-      auto loaded = engine::ParjEngine::FromNTriplesFile(path);
+      auto loaded = engine::ParjEngine::FromNTriplesFile(path,
+                                                         LoadEngineOptions());
       if (!loaded.ok()) {
         std::printf("error: %s\n", loaded.status().ToString().c_str());
       } else {
         engine = std::move(loaded).value();
+        PrintLoadStats();
         PrintStats();
       }
     } else if (command == ".gen") {
@@ -171,8 +207,8 @@ struct Shell {
         std::printf("unknown generator '%s' (lubm | watdiv)\n", kind.c_str());
         return true;
       }
-      auto built = engine::ParjEngine::FromEncoded(std::move(data.dict),
-                                                   std::move(data.triples));
+      auto built = engine::ParjEngine::FromEncoded(
+          std::move(data.dict), std::move(data.triples), LoadEngineOptions());
       if (!built.ok()) {
         std::printf("error: %s\n", built.status().ToString().c_str());
       } else {
@@ -191,11 +227,13 @@ struct Shell {
     } else if (command == ".restore") {
       std::string path;
       in >> path;
-      auto db = storage::LoadSnapshot(path);
-      if (!db.ok()) {
-        std::printf("error: %s\n", db.status().ToString().c_str());
+      auto restored =
+          engine::ParjEngine::FromSnapshotFile(path, LoadEngineOptions());
+      if (!restored.ok()) {
+        std::printf("error: %s\n", restored.status().ToString().c_str());
       } else {
-        engine = engine::ParjEngine::FromDatabase(std::move(db).value());
+        engine = std::move(restored).value();
+        PrintLoadStats();
         PrintStats();
       }
     } else if (command == ".verify") {
@@ -226,6 +264,10 @@ struct Shell {
       in >> threads;
       if (threads < 1) threads = 1;
       std::printf("threads = %d\n", threads);
+    } else if (command == ".load-threads") {
+      in >> load_threads;
+      if (load_threads < 1) load_threads = 1;
+      std::printf("load threads = %d\n", load_threads);
     } else if (command == ".scheduling") {
       std::string name;
       in >> name;
@@ -332,11 +374,31 @@ struct Shell {
     // Snapshot integrity counters live in a process-wide registry (loads
     // can happen before the server exists); mirror them into the serving
     // registry so one .metrics dump shows everything.
-    auto dump_metrics = [&srv] {
+    auto dump_metrics = [&srv, this] {
       srv.metrics().snapshot_crc_verified.store(
           storage::GlobalSnapshotStats().crc_sections_verified.load(
               std::memory_order_relaxed),
           std::memory_order_relaxed);
+      // Load-phase gauges come from the engine's LoadStats so the serving
+      // registry reflects how start-up time was spent.
+      const engine::LoadStats& ls = engine->load_stats();
+      const auto micros = [](double millis) {
+        return static_cast<uint64_t>(millis * 1e3);
+      };
+      srv.metrics().load_total_micros.store(micros(ls.total_millis),
+                                            std::memory_order_relaxed);
+      srv.metrics().load_parse_micros.store(micros(ls.parse_millis),
+                                            std::memory_order_relaxed);
+      srv.metrics().load_encode_micros.store(micros(ls.encode_millis),
+                                             std::memory_order_relaxed);
+      srv.metrics().load_build_micros.store(micros(ls.build_millis),
+                                            std::memory_order_relaxed);
+      srv.metrics().load_index_micros.store(micros(ls.index_millis),
+                                            std::memory_order_relaxed);
+      srv.metrics().load_calibrate_micros.store(micros(ls.calibrate_millis),
+                                                std::memory_order_relaxed);
+      srv.metrics().load_threads_used.store(
+          static_cast<uint64_t>(ls.threads), std::memory_order_relaxed);
       std::printf("%s", srv.metrics().Dump().c_str());
     };
 
@@ -438,6 +500,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Two passes: settings first, then data-loading actions, so flag order
+  // on the command line never matters (--load data.nt --load-threads 8
+  // still loads with 8 threads).
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "serve") == 0 ||
         std::strcmp(argv[i], "--serve") == 0) {
@@ -452,7 +517,23 @@ int main(int argc, char** argv) {
       shell.serve_inflight = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".threads ") + argv[++i]);
-    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--load-threads") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".load-threads ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk-mb") == 0 && i + 1 < argc) {
+      shell.chunk_mb = std::max(1, std::atoi(argv[++i]));
+    } else if ((std::strcmp(argv[i], "--load") == 0 ||
+                std::strcmp(argv[i], "--snapshot") == 0 ||
+                std::strcmp(argv[i], "--lubm") == 0 ||
+                std::strcmp(argv[i], "--watdiv") == 0) &&
+               i + 1 < argc) {
+      ++i;  // handled in the second pass
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 1;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".load ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".restore ") + argv[++i]);
@@ -460,9 +541,13 @@ int main(int argc, char** argv) {
       shell.HandleCommand(std::string(".gen lubm ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--watdiv") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".gen watdiv ") + argv[++i]);
-    } else {
-      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
-      return 1;
+    } else if ((std::strcmp(argv[i], "--failpoints") == 0 ||
+                std::strcmp(argv[i], "--inflight") == 0 ||
+                std::strcmp(argv[i], "--threads") == 0 ||
+                std::strcmp(argv[i], "--load-threads") == 0 ||
+                std::strcmp(argv[i], "--chunk-mb") == 0) &&
+               i + 1 < argc) {
+      ++i;  // consumed in the first pass
     }
   }
 
