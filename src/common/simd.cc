@@ -1,0 +1,294 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if PARJ_SIMD_AVX2
+#include <immintrin.h>
+#endif
+
+namespace parj::simd {
+
+namespace {
+
+#if PARJ_SIMD_SSE2
+
+/// Bias to map unsigned 32-bit compares onto x86's signed lane compares.
+inline __m128i Bias128() { return _mm_set1_epi32(INT32_MIN); }
+
+size_t ScanForwardStopSse2(const uint32_t* data, size_t begin, size_t end,
+                           uint32_t value) {
+  const __m128i bias = Bias128();
+  const __m128i vv =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int32_t>(value)), bias);
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    // Lanes where data[i] < value; the first lane NOT set is the stop.
+    const __m128i lt = _mm_cmpgt_epi32(vv, _mm_xor_si128(d, bias));
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(lt)));
+    if (mask != 0xFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~mask & 0xFu));
+    }
+  }
+  for (; i < end; ++i) {
+    if (data[i] >= value) return i;
+  }
+  return end - 1;
+}
+
+size_t ScanBackwardStopSse2(const uint32_t* data, size_t end0,
+                            uint32_t value) {
+  const __m128i bias = Bias128();
+  const __m128i vv =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int32_t>(value)), bias);
+  size_t i = end0;
+  while (i >= 4) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i - 4));
+    // Lanes where data[i] > value; the highest lane NOT set is the stop.
+    const __m128i gt = _mm_cmpgt_epi32(_mm_xor_si128(d, bias), vv);
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(gt)));
+    if (mask != 0xFu) {
+      const unsigned le = ~mask & 0xFu;
+      return (i - 4) + (31 - static_cast<size_t>(__builtin_clz(le)));
+    }
+    i -= 4;
+  }
+  while (i > 0) {
+    --i;
+    if (data[i] <= value) return i;
+  }
+  return 0;
+}
+
+bool ContainsSse2(const uint32_t* data, size_t count, uint32_t value) {
+  const __m128i vv = _mm_set1_epi32(static_cast<int32_t>(value));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(d, vv)) != 0) return true;
+  }
+  for (; i < count; ++i) {
+    if (data[i] == value) return true;
+  }
+  return false;
+}
+
+#endif  // PARJ_SIMD_SSE2
+
+#if PARJ_SIMD_AVX2
+
+__attribute__((target("avx2"))) size_t ScanForwardStopAvx2(
+    const uint32_t* data, size_t begin, size_t end, uint32_t value) {
+  const __m256i bias = _mm256_set1_epi32(INT32_MIN);
+  const __m256i vv =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(value)), bias);
+  size_t i = begin;
+  for (; i + 8 <= end; i += 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i lt = _mm256_cmpgt_epi32(vv, _mm256_xor_si256(d, bias));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+    if (mask != 0xFFu) {
+      return i + static_cast<size_t>(__builtin_ctz(~mask & 0xFFu));
+    }
+  }
+  for (; i < end; ++i) {
+    if (data[i] >= value) return i;
+  }
+  return end - 1;
+}
+
+__attribute__((target("avx2"))) size_t ScanBackwardStopAvx2(
+    const uint32_t* data, size_t end0, uint32_t value) {
+  const __m256i bias = _mm256_set1_epi32(INT32_MIN);
+  const __m256i vv =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(value)), bias);
+  size_t i = end0;
+  while (i >= 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i - 8));
+    const __m256i gt = _mm256_cmpgt_epi32(_mm256_xor_si256(d, bias), vv);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(gt)));
+    if (mask != 0xFFu) {
+      const unsigned le = ~mask & 0xFFu;
+      return (i - 8) + (31 - static_cast<size_t>(__builtin_clz(le)));
+    }
+    i -= 8;
+  }
+  while (i > 0) {
+    --i;
+    if (data[i] <= value) return i;
+  }
+  return 0;
+}
+
+__attribute__((target("avx2"))) bool ContainsAvx2(const uint32_t* data,
+                                                  size_t count,
+                                                  uint32_t value) {
+  const __m256i vv = _mm256_set1_epi32(static_cast<int32_t>(value));
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(d, vv)) != 0) return true;
+  }
+  for (; i < count; ++i) {
+    if (data[i] == value) return true;
+  }
+  return false;
+}
+
+#endif  // PARJ_SIMD_AVX2
+
+size_t ScanForwardStopScalar(const uint32_t* data, size_t begin, size_t end,
+                             uint32_t value) {
+  for (size_t i = begin; i < end; ++i) {
+    if (data[i] >= value) return i;
+  }
+  return end - 1;
+}
+
+size_t ScanBackwardStopScalar(const uint32_t* data, size_t end0,
+                              uint32_t value) {
+  for (size_t i = end0; i > 0; --i) {
+    if (data[i - 1] <= value) return i - 1;
+  }
+  return 0;
+}
+
+bool ContainsScalar(const uint32_t* data, size_t count, uint32_t value) {
+  for (size_t i = 0; i < count; ++i) {
+    if (data[i] == value) return true;
+  }
+  return false;
+}
+
+Level DetectSupportedLevel() {
+#if PARJ_SIMD_AVX2
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#if PARJ_SIMD_SSE2
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level CompiledLevel() {
+#if PARJ_SIMD_AVX2
+  return Level::kAvx2;
+#elif PARJ_SIMD_SSE2
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level SupportedLevel() {
+  static const Level level = DetectSupportedLevel();
+  return level;
+}
+
+bool ParseLevel(const char* text, Level* out) {
+  if (std::strcmp(text, "scalar") == 0 || std::strcmp(text, "off") == 0) {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "sse2") == 0) {
+    *out = Level::kSse2;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *out = Level::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "auto") == 0) {
+    *out = SupportedLevel();
+    return true;
+  }
+  return false;
+}
+
+namespace detail {
+
+Level InitialLevel() {
+  Level level = DetectSupportedLevel();
+  const char* env = std::getenv("PARJ_SIMD");
+  if (env != nullptr && *env != '\0') {
+    Level parsed;
+    if (ParseLevel(env, &parsed) && parsed < level) level = parsed;
+  }
+  return level;
+}
+
+size_t ScanForwardStopBulk(const uint32_t* data, size_t begin, size_t end,
+                           uint32_t value) {
+  switch (ActiveLevel()) {
+#if PARJ_SIMD_AVX2
+    case Level::kAvx2:
+      return ScanForwardStopAvx2(data, begin, end, value);
+#endif
+#if PARJ_SIMD_SSE2
+    case Level::kSse2:
+      return ScanForwardStopSse2(data, begin, end, value);
+#endif
+    default:
+      return ScanForwardStopScalar(data, begin, end, value);
+  }
+}
+
+size_t ScanBackwardStopBulk(const uint32_t* data, size_t end0,
+                            uint32_t value) {
+  switch (ActiveLevel()) {
+#if PARJ_SIMD_AVX2
+    case Level::kAvx2:
+      return ScanBackwardStopAvx2(data, end0, value);
+#endif
+#if PARJ_SIMD_SSE2
+    case Level::kSse2:
+      return ScanBackwardStopSse2(data, end0, value);
+#endif
+    default:
+      return ScanBackwardStopScalar(data, end0, value);
+  }
+}
+
+bool ContainsBulk(const uint32_t* data, size_t count, uint32_t value) {
+  switch (ActiveLevel()) {
+#if PARJ_SIMD_AVX2
+    case Level::kAvx2:
+      return ContainsAvx2(data, count, value);
+#endif
+#if PARJ_SIMD_SSE2
+    case Level::kSse2:
+      return ContainsSse2(data, count, value);
+#endif
+    default:
+      return ContainsScalar(data, count, value);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace parj::simd

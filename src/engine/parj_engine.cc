@@ -90,6 +90,7 @@ Result<engine::QueryResult> ExecuteUnionAst(
     exec.num_threads = options.num_threads;
     exec.strategy = options.strategy;
     exec.scheduling = options.scheduling;
+    exec.batch_probes = options.batch_probes;
     exec.emulate_parallel = options.emulate_parallel;
     exec.mode = join::ResultMode::kMaterialize;
     exec.cancel = options.cancel;
@@ -340,6 +341,7 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
   exec.scheduling = options.scheduling;
+  exec.batch_probes = options.batch_probes;
   exec.emulate_parallel = options.emulate_parallel;
   exec.collect_probe_trace = options.collect_probe_trace;
   exec.cancel = options.cancel;
@@ -415,6 +417,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
   exec.scheduling = options.scheduling;
+  exec.batch_probes = options.batch_probes;
   exec.emulate_parallel = options.emulate_parallel;
   exec.mode = join::ResultMode::kVisit;
   exec.visitor = visitor;

@@ -68,6 +68,10 @@ struct QueryOptions {
   /// Work distribution across shard threads (see join::Scheduling).
   /// kMorsel by default; the paper-replication benches pin kStatic.
   join::Scheduling scheduling = join::Scheduling::kMorsel;
+  /// Batched prefetched probing in the executor's inner value loops
+  /// (see join::ExecOptions::batch_probes). Result-identical; off
+  /// reproduces the strictly serial probe loop.
+  bool batch_probes = true;
   /// kCount reproduces the paper's silent mode; kMaterialize its full
   /// result handling (minus printing).
   join::ResultMode mode = join::ResultMode::kMaterialize;

@@ -13,6 +13,7 @@ IdPositionIndex IdPositionIndex::Build(std::span<const TermId> keys,
   const size_t block_count = (bit_count + kBlockBits - 1) / kBlockBits;
   idx.bits_.assign(block_count * kWordsPerBlock, 0);
   idx.samples_.assign(block_count, 0);
+  idx.word_ranks_.assign(block_count * kWordsPerBlock, 0);
 
   for (TermId key : keys) {
     PARJ_CHECK(key <= max_id) << "key " << key << " beyond universe "
@@ -23,10 +24,13 @@ IdPositionIndex IdPositionIndex::Build(std::span<const TermId> keys,
   uint32_t running = 0;
   for (size_t block = 0; block < block_count; ++block) {
     idx.samples_[block] = running;
+    uint32_t in_block = 0;
     for (size_t w = 0; w < kWordsPerBlock; ++w) {
-      running +=
-          static_cast<uint32_t>(PopCount64(idx.bits_[block * kWordsPerBlock + w]));
+      const size_t word_index = block * kWordsPerBlock + w;
+      idx.word_ranks_[word_index] = static_cast<uint16_t>(in_block);
+      in_block += static_cast<uint32_t>(PopCount64(idx.bits_[word_index]));
     }
+    running += in_block;
   }
   PARJ_CHECK(running == keys.size())
       << "duplicate keys passed to IdPositionIndex::Build";

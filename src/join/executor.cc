@@ -26,6 +26,14 @@ struct StepInfo {
   const TableReplica* replica = nullptr;
   const index::IdPositionIndex* index = nullptr;
   int64_t threshold = 0;
+  /// Gallop-phase cap for the binary kernel, from the replica's
+  /// calibrated window (GallopCapForWindow).
+  size_t gallop_cap = kDefaultGallopCap;
+  /// Linear-interpolation model of this replica's key array
+  /// (position ~= (v - interp_base) * interp_scale), used only to predict
+  /// prefetch addresses for batched probing — never for the search itself.
+  TermId interp_base = 0;
+  double interp_scale = 0.0;
   PatternTerm key;
   PatternTerm value;
   bool key_bound = false;
@@ -45,6 +53,10 @@ constexpr size_t kRowsReserveFloor = 256;
 /// cancel_countdown) never false-share.
 struct alignas(64) ShardContext {
   const std::vector<StepInfo>* steps = nullptr;
+  /// batch_at[d] => the value loop at depth d feeds step d+1's variable
+  /// key and may run through the batched prefetched pipeline (resolved
+  /// once in Execute from the plan shape + ExecOptions::batch_probes).
+  const std::vector<uint8_t>* batch_at = nullptr;
   /// filters_at[d] is checked on entry to Descend(d), i.e. as soon as the
   /// bindings of steps 0..d-1 exist (filter pushdown).
   const std::vector<std::vector<const query::EncodedFilter*>>* filters_at =
@@ -149,7 +161,7 @@ struct alignas(64) ShardContext {
     Trace(depth, key_value);
     size_t pos = AdaptiveSearch(replica.keys(), key_value, &cursors[depth],
                                 step.threshold, strategy, step.index,
-                                &counters);
+                                &counters, step.gallop_cap);
     if (pos == kNotFound) return;
     if (step.key.is_variable()) bindings[step.key.var] = key_value;
     DescendIntoRun(depth, pos, strategy);
@@ -179,10 +191,103 @@ struct alignas(64) ShardContext {
       }
       return;
     }
-    for (TermId v : run) {
-      if (limit_reached) return;
-      bindings[step.value.var] = v;
-      Descend(depth + 1, strategy);
+    RunValues(depth, run, strategy);
+  }
+
+  /// Iterates a value run at `depth`, binding the step's value variable
+  /// and descending into step depth+1 for each element — the innermost
+  /// loop of the pipeline. When batch_at[depth] is set, values are
+  /// processed in groups of kProbeBatchSize through a three-stage
+  /// software pipeline (DESIGN.md §11):
+  ///
+  ///   A  prefetch each probe's predicted first touch (interpolated
+  ///      key-array position, or the rank index's three lines), so the
+  ///      group's independent cache misses are in flight together;
+  ///   B  run the searches serially — Algorithm 1's cursor makes probe
+  ///      k+1's start depend on probe k's result, so the search ORDER is
+  ///      exactly the unbatched one and counters/traces/cursors are
+  ///      byte-identical — prefetching each hit's run area;
+  ///   C  descend into the hits' runs, again in probe order, so Emit
+  ///      order is unchanged.
+  void RunValues(size_t depth, std::span<const TermId> values,
+                 SearchStrategy strategy) {
+    const StepInfo& step = (*steps)[depth];
+    if (!(*batch_at)[depth]) {
+      for (TermId v : values) {
+        if (limit_reached) return;
+        bindings[step.value.var] = v;
+        Descend(depth + 1, strategy);
+      }
+      return;
+    }
+    const size_t next_depth = depth + 1;
+    const StepInfo& next = (*steps)[next_depth];
+    const TableReplica& replica = *next.replica;
+    const std::span<const TermId> keys = replica.keys();
+    const bool use_index = strategy == SearchStrategy::kIndex ||
+                           strategy == SearchStrategy::kAdaptiveIndex;
+    // Per-group hit buffers live on the stack: stage C's descents can
+    // re-enter RunValues at deeper depths.
+    TermId hit_vals[kProbeBatchSize];
+    size_t hit_pos[kProbeBatchSize];
+    size_t i = 0;
+    const size_t n = values.size();
+    while (i < n && !limit_reached) {
+      const size_t group = std::min(kProbeBatchSize, n - i);
+      for (size_t j = 0; j < group; ++j) {
+        const TermId v = values[i + j];
+        if (use_index) {
+          next.index->PrefetchFind(v);
+        } else {
+          double pred = (static_cast<double>(v) -
+                         static_cast<double>(next.interp_base)) *
+                        next.interp_scale;
+          if (pred < 0.0) pred = 0.0;
+          size_t guess = static_cast<size_t>(pred);
+          if (guess >= keys.size()) guess = keys.size() - 1;
+          __builtin_prefetch(&keys[guess], 0, 1);
+        }
+      }
+      size_t hits = 0;
+      for (size_t j = 0; j < group; ++j) {
+        if (limit_reached) break;
+        // Mirrors Descend(next_depth) up to the run descent; batching is
+        // disabled whenever any of Descend's other entry paths (limit,
+        // Emit, empty replica, constant/unbound key) could trigger.
+        if (cancel_enabled && --cancel_countdown <= 0) {
+          cancel_countdown = kCancelCheckInterval;
+          if (cancel.StopRequested()) {
+            limit_reached = true;
+            break;
+          }
+        }
+        const TermId v = values[i + j];
+        bindings[step.value.var] = v;
+        bool pass = true;
+        for (const query::EncodedFilter* filter : (*filters_at)[next_depth]) {
+          if (!PassesFilter(*filter)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        ++step_rows[next_depth - 1];
+        Trace(next_depth, v);
+        const size_t pos = AdaptiveSearch(keys, v, &cursors[next_depth],
+                                          next.threshold, strategy,
+                                          next.index, &counters,
+                                          next.gallop_cap);
+        if (pos == kNotFound) continue;
+        hit_vals[hits] = v;
+        hit_pos[hits] = pos;
+        ++hits;
+        __builtin_prefetch(replica.Run(pos).data(), 0, 1);
+      }
+      for (size_t h = 0; h < hits && !limit_reached; ++h) {
+        bindings[step.value.var] = hit_vals[h];
+        DescendIntoRun(next_depth, hit_pos[h], strategy);
+      }
+      i += group;
     }
   }
 };
@@ -266,10 +371,7 @@ void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
     }
     case WorkSource::Kind::kRunRange: {
       std::span<const TermId> run = replica.Run(src.key_pos);
-      for (size_t i = begin; i < end && !ctx->limit_reached; ++i) {
-        ctx->bindings[first.value.var] = run[i];
-        ctx->Descend(1, strategy);
-      }
+      ctx->RunValues(0, run.subspan(begin, end - begin), strategy);
       return;
     }
     case WorkSource::Kind::kKeyRange: {
@@ -291,12 +393,7 @@ void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
           }
           continue;
         }
-        std::span<const TermId> run = replica.Run(pos);
-        for (TermId v : run) {
-          if (ctx->limit_reached) break;
-          ctx->bindings[first.value.var] = v;
-          ctx->Descend(1, strategy);
-        }
+        ctx->RunValues(0, replica.Run(pos), strategy);
       }
       return;
     }
@@ -389,6 +486,14 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
       info.index = &meta.id_index;
     }
     info.threshold = meta.ThresholdFor(options.strategy);
+    info.gallop_cap = GallopCapForWindow(meta.window_binary);
+    const std::span<const TermId> keys = info.replica->keys();
+    if (keys.size() > 1 && keys.back() > keys.front()) {
+      info.interp_base = keys.front();
+      info.interp_scale =
+          static_cast<double>(keys.size() - 1) /
+          (static_cast<double>(keys.back()) - static_cast<double>(keys.front()));
+    }
     info.key = ps.key;
     info.value = ps.value;
     info.key_bound = ps.key_bound;
@@ -399,6 +504,23 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
   }
   PARJ_CHECK(!steps[0].key_bound || steps[0].key.is_constant())
       << "first plan step cannot have a pre-bound key variable";
+
+  // Batched-probing eligibility per depth: the value loop at depth d may
+  // batch when it feeds exactly the variable key of step d+1 (the common
+  // chain shape), so stage B can mirror Descend(d+1)'s probe path
+  // verbatim. Any limit makes descent order observable mid-stream, so a
+  // per-shard limit disables batching outright.
+  std::vector<uint8_t> batch_at(steps.size(), 0);
+  if (options.batch_probes && options.per_shard_limit == 0) {
+    for (size_t d = 0; d + 1 < steps.size(); ++d) {
+      const StepInfo& cur = steps[d];
+      const StepInfo& nxt = steps[d + 1];
+      batch_at[d] = cur.value.is_variable() && !cur.value_is_key_var &&
+                    !cur.value_bound && nxt.key_bound &&
+                    nxt.key.is_variable() && nxt.key.var == cur.value.var &&
+                    !nxt.replica->empty();
+    }
+  }
 
   // Push every FILTER down to the earliest depth at which its variables
   // are bound; filters_at[d] is evaluated on entry to Descend(d).
@@ -467,6 +589,7 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     ctx.shard_id = shard;
     ctx.visitor = &options.visitor;
     ctx.steps = &steps;
+    ctx.batch_at = &batch_at;
     ctx.filters_at = &filters_at;
     ctx.projection = &plan.projection;
     ctx.mode = options.mode;

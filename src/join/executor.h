@@ -81,6 +81,13 @@ struct ExecOptions {
   /// spawn overhead). Used for the scaling experiments on machines with
   /// fewer cores than the paper's server.
   bool emulate_parallel = false;
+  /// Batched prefetched probing (DESIGN.md §11): value runs feeding a
+  /// variable-key next step are probed in groups of kProbeBatchSize with
+  /// predicted first touches prefetched ahead of the searches, so
+  /// independent cache misses overlap. Produces byte-identical results,
+  /// counters and traces (the per-step search order is unchanged);
+  /// automatically disabled when per_shard_limit != 0.
+  bool batch_probes = true;
   /// Record every probe value per plan step (Table 6 replay input).
   bool collect_probe_trace = false;
   /// Safety cap for trace memory.
@@ -113,6 +120,12 @@ struct ExecOptions {
 /// Tuples processed between cancellation-token checks in a shard loop
 /// (flag-only check; deadline clock reads are equally amortized).
 inline constexpr int kCancelCheckInterval = 2048;
+
+/// Values probed per group by the batched probe loop (ExecOptions::
+/// batch_probes): enough independent prefetches to cover one search's
+/// memory latency, small enough that the group's run starts are still in
+/// cache when stage C descends into them.
+inline constexpr size_t kProbeBatchSize = 16;
 
 /// Probe values observed per plan step, in shard order. Step 0 records the
 /// first step's constant-key lookup (if any); probe steps record one entry

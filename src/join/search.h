@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
+#include "common/bits.h"
 #include "common/memory_policy.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "index/id_position_index.h"
 
@@ -25,7 +28,10 @@ enum class SearchStrategy : uint8_t {
 const char* SearchStrategyName(SearchStrategy strategy);
 
 /// Per-run tallies of the adaptive method's decisions (Table 6 columns
-/// "#Binary" / "#Sequential") plus work metrics.
+/// "#Binary" / "#Sequential") plus work metrics. `sequential_steps` counts
+/// ELEMENTS ADVANCED, never vector iterations — a SIMD scan that examines
+/// 8 lanes to advance 5 elements adds 5, keeping the column comparable
+/// with the paper run whatever kernel tier executed it.
 struct SearchCounters {
   uint64_t binary_searches = 0;
   uint64_t sequential_searches = 0;
@@ -46,13 +52,37 @@ struct SearchCounters {
   }
 };
 
-/// Binary search over the whole sorted array (the paper deliberately does
-/// NOT anchor the range at the cursor: the first probe positions of a
-/// whole-array binary search recur across calls and stay cache-resident).
-/// `*cursor` is updated to the last accessed position on both hit and miss.
+/// Default gallop cap (in key-array positions) for binary searches issued
+/// without replica metadata: 4x the paper's default 200-position window,
+/// rounded to a power of two.
+inline constexpr size_t kDefaultGallopCap = 1024;
+
+/// Bracket width (elements) below which the binary kernel's shrink loop
+/// switches from branchy descent to conditional moves: 16 KiB of keys —
+/// roughly the point where probes stop missing cache and mispredict cost
+/// overtakes memory latency (see the BinarySearchWith Phase 2 comment).
+inline constexpr size_t kCmovRange = 4096;
+
+/// Converts a calibrated window size (positions) into the gallop cap used
+/// by the two-phase binary kernel: the gallop phase abandons its bracket
+/// and restarts on the whole array once the cursor-relative stride exceeds
+/// ~4 windows. Beyond that distance the probe is cache-cold either way,
+/// and a capped gallop wastes at most log2(cap) near-cursor (cache-hot)
+/// probes.
+inline size_t GallopCapForWindow(double window_positions) {
+  double cap = window_positions * 4.0;
+  if (cap < 64.0) cap = 64.0;
+  if (cap > 65536.0) cap = 65536.0;
+  return static_cast<size_t>(NextPowerOfTwo(static_cast<uint64_t>(cap)));
+}
+
+/// The pre-vectorization binary search (whole-array, branchy, early exit
+/// on equality), kept as the calibration/bench baseline and as the
+/// reference for differential tests. `*cursor` is updated to the last
+/// accessed position on both hit and miss.
 template <typename MemoryPolicy>
-size_t BinarySearchWith(std::span<const TermId> array, TermId value,
-                        size_t* cursor, MemoryPolicy& mem) {
+size_t BranchyBinarySearchWith(std::span<const TermId> array, TermId value,
+                               size_t* cursor, MemoryPolicy& mem) {
   size_t lo = 0;
   size_t hi = array.size();
   size_t last = *cursor;
@@ -73,9 +103,145 @@ size_t BinarySearchWith(std::span<const TermId> array, TermId value,
   return kNotFound;
 }
 
+/// The production binary kernel (DESIGN.md §11): a branchless two-phase
+/// lower-bound search.
+///
+/// Phase 1 (bracket): one probe at the gallop-cap edge classifies the
+/// probe. Near probes (value within the cap window of the cursor) gallop
+/// from the cursor at strides 1, 2, 4, ... — correlated probe sequences,
+/// the workload Algorithm 1 exists for, bracket within a few
+/// cache-resident lines. Far probes skip the gallop entirely: the edge
+/// probe alone discharges the window, so an uncorrelated probe costs one
+/// extra load instead of log2(cap) dependent cache misses.
+///
+/// Phase 2 (shrink): a lower-bound halving loop over the bracket, run in
+/// two regimes with an IDENTICAL midpoint sequence (mid is a pure function
+/// of (lo, hi)). While the bracket spans more than kCmovRange elements the
+/// probes are likely cache misses, and the descent stays BRANCHY — the
+/// speculated path keeps issuing the next loads, overlapping misses in a
+/// way a conditional-move data dependency would serialize. Once the
+/// bracket is cache-resident the loop switches to conditional moves, where
+/// mispredicted data-dependent branches (the dominant cost on resident
+/// data) never flush the pipeline. Both regimes also prefetch the two
+/// candidate next-next midpoints. Prefetches bypass the MemoryPolicy
+/// (DirectMemory builds only), so instrumented cache-sim replay observes
+/// the same Load sequence either way.
+///
+/// Returns the position of `value` (its first occurrence, matching
+/// std::lower_bound) or kNotFound. `*cursor` lands on the hit position, or
+/// on the last probed position on a miss — always in bounds. The kernel is
+/// a pure function of (contents, value, incoming cursor, gallop_cap), so
+/// scalar-fallback and SIMD builds follow byte-identical cursor
+/// trajectories.
+template <typename MemoryPolicy>
+size_t BinarySearchWith(std::span<const TermId> array, TermId value,
+                        size_t* cursor, MemoryPolicy& mem,
+                        size_t gallop_cap = kDefaultGallopCap) {
+  const size_t n = array.size();
+  if (n == 0) return kNotFound;
+  const size_t start = *cursor < n ? *cursor : n - 1;
+  size_t last = start;
+  size_t lo = 0;
+  size_t hi = n;
+  const TermId anchor = mem.Load(&array[start]);
+  if (anchor == value) {
+    // Distinct-key arrays hit exactly here; duplicate-key arrays fall
+    // through to the shrink loop below for the std::lower_bound position.
+    if (start == 0 || mem.Load(&array[start - 1]) != value) {
+      *cursor = start;
+      return start;
+    }
+  }
+  if (gallop_cap < 1) gallop_cap = 1;
+  if (anchor < value) {
+    lo = start + 1;
+    const size_t room = n - 1 - start;
+    const size_t edge = start + (gallop_cap < room ? gallop_cap : room);
+    if (edge > start) {
+      last = edge;
+      if (mem.Load(&array[edge]) < value) {
+        lo = edge + 1;  // far probe: the whole window is below value
+      } else {
+        hi = edge;  // near probe: gallop brackets inside the window
+        size_t stride = 1;
+        while (start + stride < edge) {
+          const size_t pos = start + stride;
+          last = pos;
+          if (mem.Load(&array[pos]) >= value) {
+            hi = pos;
+            break;
+          }
+          lo = pos + 1;
+          stride <<= 1;
+        }
+      }
+    }
+  } else {
+    hi = start;
+    const size_t edge = start - (gallop_cap < start ? gallop_cap : start);
+    if (edge < start) {
+      last = edge;
+      if (mem.Load(&array[edge]) >= value) {
+        hi = edge;  // far probe: the lower bound is at or before the edge
+      } else {
+        lo = edge + 1;  // near probe: gallop brackets inside the window
+        size_t stride = 1;
+        while (stride < start - edge) {
+          const size_t pos = start - stride;
+          last = pos;
+          if (mem.Load(&array[pos]) < value) {
+            lo = pos + 1;
+            break;
+          }
+          hi = pos;
+          stride <<= 1;
+        }
+      }
+    }
+  }
+  while (hi - lo > kCmovRange) {
+    const size_t half = (hi - lo) / 2;
+    const size_t mid = lo + half;
+    if constexpr (std::is_same_v<MemoryPolicy, DirectMemory>) {
+      __builtin_prefetch(&array[lo + half / 2]);
+      __builtin_prefetch(&array[mid + half / 2]);
+    }
+    last = mid;
+    if (mem.Load(&array[mid]) < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  while (lo < hi) {
+    const size_t half = (hi - lo) / 2;
+    const size_t mid = lo + half;
+    if constexpr (std::is_same_v<MemoryPolicy, DirectMemory>) {
+      if (half >= 32) {
+        __builtin_prefetch(&array[lo + half / 2]);
+        __builtin_prefetch(&array[mid + half / 2]);
+      }
+    }
+    last = mid;
+    const TermId probe = mem.Load(&array[mid]);
+    const bool lt = probe < value;
+    lo = lt ? mid + 1 : lo;
+    hi = lt ? hi : mid;
+  }
+  if (lo < n && mem.Load(&array[lo]) == value) {
+    *cursor = lo;
+    return lo;
+  }
+  *cursor = last;
+  return kNotFound;
+}
+
 /// Directional sequential search continuing from `*cursor` (merge-join-like
 /// behaviour). Scans toward `value` in whichever direction it lies;
 /// `*cursor` ends at the last accessed position on both hit and miss.
+/// This is the scalar reference; the DirectMemory overload below runs the
+/// same scan through the SIMD primitives with identical stop positions and
+/// step counts.
 template <typename MemoryPolicy>
 size_t SequentialSearchWith(std::span<const TermId> array, TermId value,
                             size_t* cursor, MemoryPolicy& mem,
@@ -103,6 +269,80 @@ size_t SequentialSearchWith(std::span<const TermId> array, TermId value,
   return current == value ? pos : kNotFound;
 }
 
+/// Elements the DirectMemory sequential overload steps with a plain
+/// scalar loop before handing the remainder to the vector scan: a scan
+/// that stops within a few elements of the cursor is pure overhead for a
+/// 4/8-lane kernel (lane setup costs more than the scan), and most
+/// Algorithm 1 scans stop inside one or two cache lines.
+inline constexpr size_t kScanPrologue = 12;
+
+namespace detail {
+
+/// Out-of-line continuations (search.cc) for scans that outrun the scalar
+/// prologue: they run the remainder through the vector kernels and finish
+/// the cursor/steps bookkeeping. Split out so the overload below stays a
+/// LEAF function — tail-calling these keeps its short-scan path free of a
+/// stack frame, which is most of the cost of an 8-element cache-resident
+/// scan. noinline keeps same-TU builds from folding them back in. Callers
+/// guarantee the prologue was exhausted: forward requires
+/// start + kScanPrologue + 1 < n, backward requires start > kScanPrologue.
+[[gnu::noinline]] size_t SequentialVecForward(const TermId* data, size_t n,
+                                              size_t start, TermId value,
+                                              size_t* cursor,
+                                              uint64_t* steps_out);
+[[gnu::noinline]] size_t SequentialVecBackward(const TermId* data,
+                                               size_t start, TermId value,
+                                               size_t* cursor,
+                                               uint64_t* steps_out);
+
+}  // namespace detail
+
+/// Vectorized fast path for the production (DirectMemory) policy: the scan
+/// compares 4/8 keys per instruction but stops at EXACTLY the scalar stop
+/// position, and `steps_out` accumulates elements advanced
+/// (|stop - start|), never vector iterations.
+inline size_t SequentialSearchWith(std::span<const TermId> array, TermId value,
+                                   size_t* cursor, DirectMemory&,
+                                   uint64_t* steps_out) {
+  if (array.empty()) return kNotFound;
+  const size_t n = array.size();
+  const size_t start = *cursor < n ? *cursor : n - 1;
+  const TermId* data = array.data();
+  size_t stop = start;
+  if (data[start] < value) {
+    const size_t last = n - 1;
+    const size_t pro =
+        last - start > kScanPrologue ? start + kScanPrologue : last;
+    size_t i = start;
+    while (i < pro && data[i + 1] < value) ++i;
+    if (i < pro) {
+      stop = i + 1;  // the scalar steps found the stop (data[i + 1] >= value)
+    } else if (pro == last) {
+      stop = last;  // exhausted the array without reaching value
+    } else {
+      return detail::SequentialVecForward(data, n, start, value, cursor,
+                                          steps_out);
+    }
+  } else if (data[start] > value) {
+    const size_t pro = start > kScanPrologue ? start - kScanPrologue : 0;
+    size_t i = start;
+    while (i > pro && data[i - 1] > value) --i;
+    if (i > pro) {
+      stop = i - 1;  // the scalar steps found the stop (data[i - 1] <= value)
+    } else if (pro == 0) {
+      stop = 0;  // exhausted the array without reaching value
+    } else {
+      return detail::SequentialVecBackward(data, start, value, cursor,
+                                           steps_out);
+    }
+  }
+  if (steps_out != nullptr) {
+    *steps_out += stop >= start ? stop - start : start - stop;
+  }
+  *cursor = stop;
+  return data[stop] == value ? stop : kNotFound;
+}
+
 /// ID-to-Position lookup. Updates `*cursor` on hit (the found position is
 /// the natural continuation point for subsequent sequential scans).
 template <typename MemoryPolicy>
@@ -119,7 +359,8 @@ size_t IndexSearchWith(std::span<const TermId> array, TermId value,
 /// distance between the element under the cursor and the probe value is at
 /// most `threshold` (a per-table value distance derived from the calibrated
 /// window size), otherwise falls back to `fallback` (binary search or
-/// ID-to-Position lookup).
+/// ID-to-Position lookup). `gallop_cap` bounds the binary kernel's gallop
+/// phase (GallopCapForWindow of the same calibrated window).
 ///
 /// `index` may be null unless the strategy is kIndex / kAdaptiveIndex.
 template <typename MemoryPolicy>
@@ -127,12 +368,13 @@ size_t AdaptiveSearchWith(std::span<const TermId> array, TermId value,
                           size_t* cursor, int64_t threshold,
                           SearchStrategy strategy,
                           const index::IdPositionIndex* index,
-                          SearchCounters* counters, MemoryPolicy& mem) {
+                          SearchCounters* counters, MemoryPolicy& mem,
+                          size_t gallop_cap = kDefaultGallopCap) {
   if (array.empty()) return kNotFound;
   switch (strategy) {
     case SearchStrategy::kBinary:
       if (counters != nullptr) ++counters->binary_searches;
-      return BinarySearchWith(array, value, cursor, mem);
+      return BinarySearchWith(array, value, cursor, mem, gallop_cap);
     case SearchStrategy::kIndex:
       if (counters != nullptr) ++counters->index_lookups;
       return IndexSearchWith(array, value, cursor, *index, mem);
@@ -150,7 +392,7 @@ size_t AdaptiveSearchWith(std::span<const TermId> array, TermId value,
       }
       if (strategy == SearchStrategy::kAdaptiveBinary) {
         if (counters != nullptr) ++counters->binary_searches;
-        return BinarySearchWith(array, value, cursor, mem);
+        return BinarySearchWith(array, value, cursor, mem, gallop_cap);
       }
       if (counters != nullptr) ++counters->index_lookups;
       return IndexSearchWith(array, value, cursor, *index, mem);
@@ -161,17 +403,25 @@ size_t AdaptiveSearchWith(std::span<const TermId> array, TermId value,
 
 /// Convenience non-instrumented wrappers.
 size_t BinarySearch(std::span<const TermId> array, TermId value,
-                    size_t* cursor);
+                    size_t* cursor, size_t gallop_cap = kDefaultGallopCap);
+size_t BranchyBinarySearch(std::span<const TermId> array, TermId value,
+                           size_t* cursor);
 size_t SequentialSearch(std::span<const TermId> array, TermId value,
                         size_t* cursor, uint64_t* steps_out = nullptr);
+/// The scalar reference scan, bypassing the SIMD dispatch (benches and
+/// differential tests).
+size_t SequentialSearchScalar(std::span<const TermId> array, TermId value,
+                              size_t* cursor, uint64_t* steps_out = nullptr);
 size_t AdaptiveSearch(std::span<const TermId> array, TermId value,
                       size_t* cursor, int64_t threshold,
                       SearchStrategy strategy,
                       const index::IdPositionIndex* index,
-                      SearchCounters* counters);
+                      SearchCounters* counters,
+                      size_t gallop_cap = kDefaultGallopCap);
 
-/// Plain membership binary search inside a (typically short) sorted value
-/// run; no cursor.
+/// Plain membership check inside a (typically short) sorted value run; no
+/// cursor. Short runs use a vectorized equality scan, long runs a binary
+/// search — the boolean is identical either way.
 bool RunContains(std::span<const TermId> run, TermId value);
 
 }  // namespace parj::join

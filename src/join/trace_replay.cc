@@ -41,11 +41,12 @@ Result<ReplayStats> ReplaySearchTrace(const storage::Database& db,
     // Paper §5.2.2: the binary-search threshold is used for both replay
     // strategies so the adaptive decisions coincide.
     const int64_t threshold = meta.threshold_binary;
+    const size_t gallop_cap = GallopCapForWindow(meta.window_binary);
 
     size_t cursor = 0;
     for (TermId value : values) {
       AdaptiveSearchWith(replica.keys(), value, &cursor, threshold, strategy,
-                         index, &stats.counters, mem);
+                         index, &stats.counters, mem, gallop_cap);
     }
   }
   stats.cache = cache.stats();

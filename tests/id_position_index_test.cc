@@ -68,13 +68,17 @@ TEST(IdPositionIndexTest, DenseUniverse) {
 }
 
 TEST(IdPositionIndexTest, MemoryMatchesPaperFormula) {
-  // Paper: N/8 bytes of bits plus (N/A)*M bytes of samples.
+  // Paper: N/8 bytes of bits plus (N/A)*M bytes of samples; the popcount-
+  // block layout adds 2 bytes of word rank per 64-bit word (N/32).
   const TermId n = 1 << 20;
   std::vector<TermId> keys = {0, n};
   IdPositionIndex idx = IdPositionIndex::Build(keys, n);
-  const size_t expected_bits_bytes = (n + 1 + 511) / 512 * 64;
-  const size_t expected_samples_bytes = (n + 1 + 511) / 512 * 4;
-  EXPECT_EQ(idx.MemoryUsage(), expected_bits_bytes + expected_samples_bytes);
+  const size_t blocks = (n + 1 + 511) / 512;
+  const size_t expected_bits_bytes = blocks * 64;
+  const size_t expected_samples_bytes = blocks * 4;
+  const size_t expected_rank_bytes = blocks * 8 * 2;
+  EXPECT_EQ(idx.MemoryUsage(), expected_bits_bytes + expected_samples_bytes +
+                                   expected_rank_bytes);
   // The index must be far smaller than the 4*N bytes of the simple layout.
   EXPECT_LT(idx.MemoryUsage(), static_cast<size_t>(n) * 4 / 7);
 }
@@ -110,6 +114,73 @@ INSTANTIATE_TEST_SUITE_P(
     DensitySweep, RandomIndexTest,
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(0.01, 0.1, 0.5, 0.9)));
+
+/// The popcount-block rank lookup (FindWith) and the legacy sample-walk
+/// (FindWithWalk) must agree on every ID, including absent ones — probed
+/// here on adversarial bit patterns chosen to stress the word-rank array:
+/// fully dense blocks, single-bit words, empty middle words, IDs hugging
+/// word and block boundaries, and the top of the universe.
+void ExpectRankMatchesWalk(const std::vector<TermId>& keys, TermId universe) {
+  IdPositionIndex idx = IdPositionIndex::Build(keys, universe);
+  DirectMemory mem;
+  for (TermId id = 0; id <= universe; ++id) {
+    EXPECT_EQ(idx.FindWith(id, mem), idx.FindWithWalk(id, mem)) << "id " << id;
+  }
+  EXPECT_EQ(idx.FindWith(universe + 1, mem), IdPositionIndex::kNotFound);
+  EXPECT_EQ(idx.FindWithWalk(universe + 1, mem), IdPositionIndex::kNotFound);
+}
+
+TEST(IdPositionIndexTest, RankMatchesWalkOnAdversarialPatterns) {
+  // Every bit of three full blocks set.
+  {
+    std::vector<TermId> keys;
+    for (TermId i = 0; i < 3 * 512; ++i) keys.push_back(i);
+    ExpectRankMatchesWalk(keys, 3 * 512 - 1);
+  }
+  // One bit per 64-bit word, at alternating ends of the word.
+  {
+    std::vector<TermId> keys;
+    for (TermId w = 0; w < 40; ++w) keys.push_back(w * 64 + (w % 2 ? 63 : 0));
+    ExpectRankMatchesWalk(keys, 40 * 64);
+  }
+  // All keys in the LAST word of each block (maximum walk length for the
+  // legacy path, maximum word rank for the new one).
+  {
+    std::vector<TermId> keys;
+    for (TermId b = 0; b < 5; ++b) {
+      for (TermId i = 0; i < 64; ++i) keys.push_back(b * 512 + 448 + i);
+    }
+    ExpectRankMatchesWalk(keys, 5 * 512);
+  }
+  // Sparse: first and last ID of a multi-block universe only.
+  ExpectRankMatchesWalk({0, 4095}, 4095);
+  // Block-boundary straddlers.
+  ExpectRankMatchesWalk({510, 511, 512, 513, 1023, 1024, 1025}, 2048);
+}
+
+TEST(IdPositionIndexTest, RankMatchesWalkOnRandomPatterns) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const TermId universe = 64 + static_cast<TermId>(rng.Uniform(3000));
+    std::set<TermId> key_set;
+    const size_t target = 1 + rng.Uniform(universe);
+    while (key_set.size() < target) {
+      key_set.insert(static_cast<TermId>(rng.Uniform(universe + 1)));
+    }
+    ExpectRankMatchesWalk({key_set.begin(), key_set.end()}, universe);
+  }
+}
+
+TEST(IdPositionIndexTest, PrefetchFindIsSideEffectFree) {
+  std::vector<TermId> keys = {5, 7, 513};
+  IdPositionIndex idx = IdPositionIndex::Build(keys, 1000);
+  idx.PrefetchFind(5);     // present
+  idx.PrefetchFind(6);     // absent
+  idx.PrefetchFind(9999);  // beyond the universe: must not touch memory
+  EXPECT_EQ(idx.Find(5), 0u);
+  EXPECT_EQ(idx.Find(7), 1u);
+  EXPECT_EQ(idx.Find(513), 2u);
+}
 
 }  // namespace
 }  // namespace parj::index

@@ -245,6 +245,229 @@ INSTANTIATE_TEST_SUITE_P(
                                          SearchStrategy::kAdaptiveIndex),
                        ::testing::Values(101, 202, 303)));
 
+/// Saves the process-wide SIMD dispatch level and restores it on scope
+/// exit, so kernel-variant tests cannot leak a forced level into later
+/// tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level)
+      : saved_(simd::ActiveLevel()) {
+    simd::SetActiveLevel(level);
+  }
+  ~ScopedSimdLevel() { simd::SetActiveLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+std::vector<simd::Level> AvailableLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::SupportedLevel() >= simd::Level::kSse2) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (simd::SupportedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// A fuzzed sorted array: sizes are biased small (vector-prologue edge
+/// cases), values may repeat, and extreme keys (0, UINT32_MAX) appear.
+std::vector<TermId> FuzzArray(Rng* rng) {
+  const uint64_t shape = rng->Uniform(100);
+  size_t n;
+  if (shape < 10) {
+    n = rng->Uniform(3);  // empty / 1-element
+  } else if (shape < 70) {
+    n = 1 + rng->Uniform(64);
+  } else {
+    n = 1 + rng->Uniform(1024);
+  }
+  std::vector<TermId> a(n);
+  if (shape % 7 == 0) {
+    // All-equal array (duplicates everywhere).
+    const TermId v = static_cast<TermId>(rng->Next());
+    for (auto& x : a) x = v;
+    return a;
+  }
+  for (auto& x : a) {
+    const uint64_t kind = rng->Uniform(20);
+    if (kind == 0) {
+      x = 0;
+    } else if (kind == 1) {
+      x = UINT32_MAX;
+    } else if (kind < 10) {
+      x = static_cast<TermId>(rng->Uniform(256));  // dense duplicates
+    } else {
+      x = static_cast<TermId>(rng->Next());
+    }
+  }
+  std::sort(a.begin(), a.end());
+  return a;
+}
+
+TermId FuzzProbe(Rng* rng, const std::vector<TermId>& a) {
+  const uint64_t kind = rng->Uniform(5);
+  if (!a.empty() && kind == 0) return a[rng->Uniform(a.size())];
+  if (!a.empty() && kind == 1) return a[rng->Uniform(a.size())] + 1;
+  if (kind == 2) return rng->Uniform(2) ? 0 : UINT32_MAX;
+  return static_cast<TermId>(rng->Next());
+}
+
+size_t ReferenceLowerBound(const std::vector<TermId>& a, TermId v) {
+  auto it = std::lower_bound(a.begin(), a.end(), v);
+  if (it == a.end() || *it != v) return kNotFound;
+  return static_cast<size_t>(it - a.begin());
+}
+
+/// Satellite: 10k fuzzed arrays — the branchless two-phase binary kernel
+/// must return exactly std::lower_bound's position (first occurrence on
+/// duplicates) for every cursor and gallop cap, with the cursor always in
+/// bounds afterwards, and must agree with the legacy branchy kernel on
+/// hit/miss.
+TEST(BinarySearchTest, DifferentialFuzzAgainstLowerBound) {
+  Rng rng(20260807);
+  for (int round = 0; round < 10000; ++round) {
+    const std::vector<TermId> a = FuzzArray(&rng);
+    const TermId v = FuzzProbe(&rng, a);
+    size_t cursor = a.empty() ? 0 : rng.Uniform(a.size() + 2);
+    const size_t gallop_cap = size_t{1} << rng.Uniform(17);
+    const size_t got = BinarySearch(a, v, &cursor, gallop_cap);
+    ASSERT_EQ(got, ReferenceLowerBound(a, v))
+        << "round " << round << " n=" << a.size() << " v=" << v;
+    if (!a.empty()) {
+      ASSERT_LT(cursor, a.size()) << "round " << round;
+      if (got != kNotFound) {
+        ASSERT_EQ(cursor, got);
+      }
+    }
+    size_t branchy_cursor = 0;
+    const size_t branchy = BranchyBinarySearch(a, v, &branchy_cursor);
+    ASSERT_EQ(branchy == kNotFound, got == kNotFound) << "round " << round;
+  }
+}
+
+/// Satellite: the SIMD sequential kernel must stop at exactly the scalar
+/// reference's position with exactly its step count, at every dispatch
+/// level, across fuzzed arrays/cursors — including empty, 1-element,
+/// all-equal and UINT32_MAX-key arrays.
+TEST(SequentialSearchTest, SimdMatchesScalarAtEveryLevel) {
+  for (simd::Level level : AvailableLevels()) {
+    ScopedSimdLevel scoped(level);
+    Rng rng(4242);
+    for (int round = 0; round < 3000; ++round) {
+      const std::vector<TermId> a = FuzzArray(&rng);
+      const TermId v = FuzzProbe(&rng, a);
+      const size_t start = a.empty() ? 0 : rng.Uniform(a.size() + 2);
+      size_t cursor = start;
+      uint64_t steps = 0;
+      const size_t got = SequentialSearch(a, v, &cursor, &steps);
+      size_t ref_cursor = start;
+      uint64_t ref_steps = 0;
+      const size_t ref = SequentialSearchScalar(a, v, &ref_cursor, &ref_steps);
+      ASSERT_EQ(got, ref) << simd::LevelName(level) << " round " << round
+                          << " n=" << a.size() << " v=" << v;
+      ASSERT_EQ(cursor, ref_cursor)
+          << simd::LevelName(level) << " round " << round;
+      ASSERT_EQ(steps, ref_steps)
+          << simd::LevelName(level) << " round " << round;
+    }
+  }
+}
+
+/// Satellite: sequential_steps counts ELEMENTS ADVANCED — a scan over k
+/// elements adds exactly k whatever the vector width.
+TEST(SequentialSearchTest, StepsCountElementsNotVectorIterations) {
+  std::vector<TermId> a(1000);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<TermId>(i * 2);
+  for (simd::Level level : AvailableLevels()) {
+    ScopedSimdLevel scoped(level);
+    size_t cursor = 0;
+    uint64_t steps = 0;
+    EXPECT_EQ(SequentialSearch(a, 666, &cursor, &steps), 333u)
+        << simd::LevelName(level);
+    EXPECT_EQ(steps, 333u) << simd::LevelName(level);
+    steps = 0;
+    EXPECT_EQ(SequentialSearch(a, 100, &cursor, &steps), 50u)
+        << simd::LevelName(level);
+    EXPECT_EQ(steps, 283u) << simd::LevelName(level);  // backward 333 -> 50
+  }
+}
+
+/// Regression gate: a fixed adaptive probe workload must produce BYTE-
+/// IDENTICAL SearchCounters at every dispatch level (the Table 5/6
+/// accounting must not depend on the kernel tier).
+TEST(SearchCountersTest, PinnedAcrossKernelVariants) {
+  Rng setup(9);
+  std::vector<TermId> a = SortedDistinct(&setup, 4000, 200000);
+  index::IdPositionIndex idx = index::IdPositionIndex::Build(a, 200000);
+
+  auto run_workload = [&](SearchStrategy strategy) {
+    SearchCounters counters;
+    Rng rng(31);
+    size_t cursor = 0;
+    for (int probe = 0; probe < 20000; ++probe) {
+      TermId v = rng.Uniform(4) == 0
+                     ? static_cast<TermId>(rng.Uniform(210000))
+                     : a[rng.Uniform(a.size())] + rng.Uniform(3);
+      AdaptiveSearch(a, v, &cursor, /*threshold=*/400, strategy, &idx,
+                     &counters, /*gallop_cap=*/512);
+    }
+    return counters;
+  };
+
+  for (SearchStrategy strategy :
+       {SearchStrategy::kAdaptiveBinary, SearchStrategy::kAdaptiveIndex}) {
+    std::vector<SearchCounters> per_level;
+    for (simd::Level level : AvailableLevels()) {
+      ScopedSimdLevel scoped(level);
+      per_level.push_back(run_workload(strategy));
+    }
+    for (size_t i = 1; i < per_level.size(); ++i) {
+      EXPECT_EQ(per_level[i].binary_searches, per_level[0].binary_searches);
+      EXPECT_EQ(per_level[i].sequential_searches,
+                per_level[0].sequential_searches);
+      EXPECT_EQ(per_level[i].sequential_steps, per_level[0].sequential_steps);
+      EXPECT_EQ(per_level[i].index_lookups, per_level[0].index_lookups);
+    }
+    EXPECT_GT(per_level[0].sequential_searches, 0u);
+  }
+}
+
+/// RunContains must agree with std::binary_search on both sides of the
+/// linear/binary crossover, at every dispatch level.
+TEST(RunContainsTest, DifferentialAcrossSizesAndLevels) {
+  Rng rng(55);
+  for (simd::Level level : AvailableLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (size_t n : {0u, 1u, 3u, 8u, 9u, 16u, 63u, 64u, 65u, 200u}) {
+      std::set<TermId> s;
+      while (s.size() < n) s.insert(static_cast<TermId>(rng.Next()));
+      std::vector<TermId> run(s.begin(), s.end());
+      for (int probe = 0; probe < 200; ++probe) {
+        const TermId v = probe % 2 == 0 && !run.empty()
+                             ? run[rng.Uniform(run.size())]
+                             : static_cast<TermId>(rng.Next());
+        EXPECT_EQ(RunContains(run, v),
+                  std::binary_search(run.begin(), run.end(), v))
+            << simd::LevelName(level) << " n=" << n << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(GallopCapTest, TracksWindowWithinBounds) {
+  EXPECT_EQ(GallopCapForWindow(0.0), 64u);
+  EXPECT_EQ(GallopCapForWindow(200.0), 1024u);  // kDefaultGallopCap regime
+  EXPECT_EQ(GallopCapForWindow(1e9), 65536u);
+  for (double w : {1.0, 17.0, 200.0, 3000.0}) {
+    const size_t cap = GallopCapForWindow(w);
+    EXPECT_EQ(cap & (cap - 1), 0u) << w;  // power of two
+    EXPECT_GE(cap, 64u);
+    EXPECT_LE(cap, 65536u);
+  }
+}
+
 /// Property test: sorted ascending probes drive the adaptive method to
 /// sequential search almost always (the paper's merge-join behaviour).
 TEST(AdaptiveSearchTest, SortedProbesMostlySequential) {

@@ -1,7 +1,7 @@
 // parj_cli: interactive / scriptable shell for the PARJ store.
 //
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
-//            [--load-threads N] [--chunk-mb N]
+//            [--load-threads N] [--chunk-mb N] [--simd LEVEL] [--no-batch]
 //            [--failpoints name=spec,...] [serve | --serve]
 //   parj_cli verify-snapshot FILE
 //
@@ -39,6 +39,8 @@
 //   .threads N            set worker threads for queries
 //   .load-threads N       set worker threads for loads/restores
 //   .strategy NAME        Binary | AdBinary | Index | AdIndex
+//   .simd LEVEL           scalar | sse2 | avx2 | auto (probe kernel tier)
+//   .batch on|off         batched prefetched probing (default on)
 //   .calibrate            run Algorithm 2 on all tables
 //   .explain on|off       print plans before execution
 //   .limit N              cap printed rows (default 20)
@@ -59,6 +61,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "engine/parj_engine.h"
 #include "server/server.h"
@@ -77,6 +80,7 @@ struct Shell {
   size_t chunk_mb = 16;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveIndex;
   join::Scheduling scheduling = join::Scheduling::kMorsel;
+  bool batch_probes = true;
   bool explain = false;
   uint64_t print_limit = 20;
 
@@ -133,6 +137,7 @@ struct Shell {
     opts.num_threads = threads;
     opts.strategy = strategy;
     opts.scheduling = scheduling;
+    opts.batch_probes = batch_probes;
     auto result = engine->Execute(sparql, opts);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -181,6 +186,7 @@ struct Shell {
           ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
           ".restore FILE | .verify FILE | .dump FILE | .threads N |\n"
           ".load-threads N | .strategy NAME | .scheduling static|morsel |\n"
+          ".simd scalar|sse2|avx2|auto | .batch on|off |\n"
           ".calibrate | .explain on|off | .limit N | .stats | .quit\n");
     } else if (command == ".load") {
       std::string path;
@@ -280,6 +286,32 @@ struct Shell {
         return true;
       }
       std::printf("scheduling = %s\n", join::SchedulingName(scheduling));
+    } else if (command == ".simd") {
+      std::string name;
+      in >> name;
+      simd::Level level;
+      if (!name.empty() && simd::ParseLevel(name.c_str(), &level)) {
+        simd::SetActiveLevel(level);
+      } else if (!name.empty()) {
+        std::printf("unknown simd level (scalar|sse2|avx2|auto)\n");
+        return true;
+      }
+      std::printf("simd = %s (compiled %s, cpu supports %s)\n",
+                  simd::LevelName(simd::ActiveLevel()),
+                  simd::LevelName(simd::CompiledLevel()),
+                  simd::LevelName(simd::SupportedLevel()));
+    } else if (command == ".batch") {
+      std::string name;
+      in >> name;
+      if (name == "on") {
+        batch_probes = true;
+      } else if (name == "off") {
+        batch_probes = false;
+      } else if (!name.empty()) {
+        std::printf("usage: .batch on|off\n");
+        return true;
+      }
+      std::printf("batch probes = %s\n", batch_probes ? "on" : "off");
     } else if (command == ".strategy") {
       std::string name;
       in >> name;
@@ -364,6 +396,7 @@ struct Shell {
     options.scheduler.max_in_flight = serve_inflight;
     options.query_defaults.num_threads = threads;
     options.query_defaults.scheduling = scheduling;
+    options.query_defaults.batch_probes = batch_probes;
     options.query_defaults.strategy = strategy;
     options.query_defaults.mode = join::ResultMode::kCount;
     server::QueryServer srv(&*engine, options);
@@ -517,6 +550,10 @@ int main(int argc, char** argv) {
       shell.serve_inflight = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".threads ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".simd ") + argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      shell.HandleCommand(".batch off");
     } else if (std::strcmp(argv[i], "--load-threads") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".load-threads ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--chunk-mb") == 0 && i + 1 < argc) {
@@ -544,6 +581,7 @@ int main(int argc, char** argv) {
     } else if ((std::strcmp(argv[i], "--failpoints") == 0 ||
                 std::strcmp(argv[i], "--inflight") == 0 ||
                 std::strcmp(argv[i], "--threads") == 0 ||
+                std::strcmp(argv[i], "--simd") == 0 ||
                 std::strcmp(argv[i], "--load-threads") == 0 ||
                 std::strcmp(argv[i], "--chunk-mb") == 0) &&
                i + 1 < argc) {
