@@ -1,0 +1,319 @@
+// Serving-under-ingest harness (DESIGN.md §12; not a paper table — the
+// paper's store is read-only, this measures the live-mutability subsystem
+// layered on top).
+//
+// Three phases over the same LUBM engine and query mix:
+//
+//   baseline        read-only serving (the paper's regime)
+//   ingest          a background writer streams insert/remove batches
+//   ingest+compact  the writer keeps streaming while the background
+//                   Compactor folds the delta into rebuilt CSR replicas
+//
+// Each phase reports p50/p99 query latency and QPS. After every mutating
+// phase the harness re-runs the whole mix, compacts, re-runs again, and
+// ABORTS unless the row sets are identical — delta-merged cursors vs the
+// rebuilt store is exactly the equivalence the MVCC design promises, so
+// this smoke doubles as a correctness gate. Latency is reported in
+// BENCH_ingest.json (p99_ratio vs baseline); set PARJ_INGEST_GATE_P99=1
+// to also fail the run when the ingest+compact p99 exceeds 2x baseline
+// (off by default: wall-clock ratios on shared CI runners are noisy).
+//
+// Environment overrides (see bench_util.h): PARJ_LUBM_UNIV, PARJ_THREADS,
+// PARJ_INGEST_ROUNDS (mix repetitions per phase, default 4).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "mutable/compactor.h"
+#include "mutable/delta_store.h"
+#include "server/metrics.h"
+#include "server/thread_pool.h"
+#include "workload/lubm.h"
+
+namespace parj::bench {
+namespace {
+
+int IngestRounds() { return EnvInt("PARJ_INGEST_ROUNDS", 4); }
+
+/// The writer's own predicate: a growing chain of fresh terms, plus
+/// removals of earlier links. Keeps the LUBM base untouched while still
+/// forcing overlay allocation and delete-aware merged cursors.
+constexpr const char* kIngestPredicate = "http://parj.bench/ingestEdge";
+
+rdf::Triple ChainLink(int i) {
+  return rdf::Triple{rdf::Term::Iri("http://parj.bench/w" + std::to_string(i)),
+                     rdf::Term::Iri(kIngestPredicate),
+                     rdf::Term::Iri("http://parj.bench/w" +
+                                    std::to_string(i + 1))};
+}
+
+struct PhaseResult {
+  std::string name;
+  uint64_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Runs `rounds` repetitions of the query mix, one timed Execute per
+/// query, and folds latencies into a fresh histogram.
+PhaseResult RunPhase(const engine::ParjEngine& engine,
+                     const std::vector<workload::NamedQuery>& mix,
+                     const std::string& name, int rounds, int threads) {
+  engine::QueryOptions options;
+  options.mode = join::ResultMode::kCount;
+  options.num_threads = threads;
+  server::LatencyHistogram latencies;
+  Stopwatch wall;
+  uint64_t queries = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& q : mix) {
+      Stopwatch timer;
+      auto result = engine.Execute(q.sparql, options);
+      PARJ_CHECK(result.ok()) << q.name << ": " << result.status().ToString();
+      latencies.Record(timer.ElapsedMillis());
+      ++queries;
+    }
+  }
+  PhaseResult out;
+  out.name = name;
+  out.queries = queries;
+  out.wall_seconds = wall.ElapsedSeconds();
+  out.qps = out.wall_seconds > 0
+                ? static_cast<double>(queries) / out.wall_seconds
+                : 0.0;
+  out.mean = latencies.mean_millis();
+  out.p50 = latencies.PercentileMillis(0.5);
+  out.p99 = latencies.PercentileMillis(0.99);
+  return out;
+}
+
+/// Materializes and sorts every row of every mix query — the row-set
+/// fingerprint the equivalence gate compares across a compaction.
+std::vector<std::vector<std::vector<TermId>>> Fingerprint(
+    const engine::ParjEngine& engine,
+    const std::vector<workload::NamedQuery>& mix, int threads) {
+  engine::QueryOptions options;
+  options.num_threads = threads;
+  std::vector<std::vector<std::vector<TermId>>> out;
+  for (const auto& q : mix) {
+    auto result = engine.Execute(q.sparql, options);
+    PARJ_CHECK(result.ok()) << q.name << ": " << result.status().ToString();
+    std::vector<std::vector<TermId>> rows;
+    const size_t width = result->column_count;
+    if (width > 0) {
+      for (size_t i = 0; i + width <= result->rows.size(); i += width) {
+        rows.emplace_back(result->rows.begin() + i,
+                          result->rows.begin() + i + width);
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    out.push_back(std::move(rows));
+  }
+  return out;
+}
+
+/// The hard gate: queries over (base ∪ delta) must be row-identical to
+/// the store after the delta is folded in. Aborts the bench on mismatch.
+void GateRowEquivalence(engine::ParjEngine& engine,
+                        const std::vector<workload::NamedQuery>& mix,
+                        int threads, const std::string& phase) {
+  const auto merged = Fingerprint(engine, mix, threads);
+  Status compacted = engine.Compact();
+  PARJ_CHECK(compacted.ok()) << phase << ": " << compacted.ToString();
+  const auto rebuilt = Fingerprint(engine, mix, threads);
+  for (size_t q = 0; q < mix.size(); ++q) {
+    PARJ_CHECK(merged[q] == rebuilt[q])
+        << "row-equivalence violation after phase '" << phase << "': query "
+        << mix[q].name << " returned " << merged[q].size()
+        << " rows over base+delta but " << rebuilt[q].size()
+        << " after compaction";
+  }
+  std::printf("  equivalence gate [%s]: %zu queries row-identical across "
+              "compaction\n",
+              phase.c_str(), mix.size());
+}
+
+class Writer {
+ public:
+  explicit Writer(engine::ParjEngine* engine, mut::Compactor* compactor)
+      : engine_(engine), compactor_(compactor) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~Writer() { Stop(); }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::vector<mut::Mutation> batch;
+      batch.reserve(64);
+      for (int i = 0; i < 48; ++i) {
+        batch.push_back({ChainLink(next_++), false});
+      }
+      // Remove a slice of older links: keeps del-aware cursors hot and
+      // the delta from growing without bound.
+      for (int i = 0; i < 16 && removed_ + 8 < next_; ++i) {
+        batch.push_back({ChainLink(removed_++), true});
+      }
+      const Status s = engine_->ApplyBatch(batch);
+      PARJ_CHECK(s.ok()) << s.ToString();
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      if (compactor_ != nullptr) compactor_->MaybeTrigger();
+      std::this_thread::yield();
+    }
+  }
+
+  engine::ParjEngine* engine_;
+  mut::Compactor* compactor_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> batches_{0};
+  int next_ = 0;
+  int removed_ = 0;
+};
+
+int Main() {
+  const int universities = LubmUniversities();
+  const int threads = BenchThreads();
+  const int rounds = IngestRounds();
+  PrintHeader("Serving under live ingest (DeltaStore + MVCC + Compactor)",
+              "LUBM " + std::to_string(universities) + " universities, " +
+                  std::to_string(threads) + " shard thread(s)/query, " +
+                  std::to_string(rounds) + " mix rounds per phase");
+
+  engine::ParjEngine engine = BuildEngine(
+      workload::GenerateLubm({.universities = universities, .seed = 42}));
+
+  // The mix: the LUBM queries plus one query over the writer's own
+  // predicate, so at least one query always runs the delta-merged path.
+  std::vector<workload::NamedQuery> mix = workload::LubmQueries();
+  mix.push_back({"ingest-chain",
+                 "SELECT ?a ?b ?c WHERE { ?a <" +
+                     std::string(kIngestPredicate) + "> ?b . ?b <" +
+                     std::string(kIngestPredicate) + "> ?c }"});
+
+  std::vector<PhaseResult> phases;
+
+  // Phase 1: read-only baseline.
+  phases.push_back(RunPhase(engine, mix, "baseline", rounds, threads));
+
+  // Phase 2: background writer, no compaction.
+  uint64_t ingest_batches = 0;
+  {
+    Writer writer(&engine, nullptr);
+    phases.push_back(RunPhase(engine, mix, "ingest", rounds, threads));
+    writer.Stop();
+    ingest_batches = writer.batches();
+  }
+  GateRowEquivalence(engine, mix, threads, "ingest");
+
+  // Phase 3: writer + background compactor on a shared pool.
+  uint64_t compact_batches = 0;
+  {
+    server::ThreadPool pool(2);
+    mut::CompactorOptions compactor_options;
+    compactor_options.auto_compact_delta_triples = 2048;
+    mut::Compactor compactor(engine.delta_store(), &pool, compactor_options);
+    Writer writer(&engine, &compactor);
+    phases.push_back(
+        RunPhase(engine, mix, "ingest+compact", rounds, threads));
+    writer.Stop();
+    compactor.Wait();
+    compact_batches = writer.batches();
+    PARJ_CHECK(compactor.last_status().ok() || compactor.runs() == 0)
+        << compactor.last_status().ToString();
+  }
+  GateRowEquivalence(engine, mix, threads, "ingest+compact");
+
+  const mut::MutationStats stats = engine.mutation_stats();
+
+  TablePrinter table({"phase", "queries", "wall s", "qps", "mean ms",
+                      "p50<= ms", "p99<= ms"});
+  char buf[160];
+  for (const PhaseResult& phase : phases) {
+    std::vector<std::string> row;
+    row.push_back(phase.name);
+    row.push_back(std::to_string(phase.queries));
+    std::snprintf(buf, sizeof(buf), "%.2f", phase.wall_seconds);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", phase.qps);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", phase.mean);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", phase.p50);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", phase.p99);
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  const double p99_ratio =
+      phases[0].p99 > 0 ? phases[2].p99 / phases[0].p99 : 0.0;
+  std::printf("\nwriter batches: %llu (ingest), %llu (ingest+compact); "
+              "compactions: %llu (%.1f ms total)\n",
+              static_cast<unsigned long long>(ingest_batches),
+              static_cast<unsigned long long>(compact_batches),
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<double>(stats.compaction_micros) / 1e3);
+  std::printf("p99 under ingest+compact / baseline p99: %.2fx\n", p99_ratio);
+
+  std::string json = "{\n  \"bench\": \"ingest\",\n";
+  json += "  \"universities\": " + std::to_string(universities) + ",\n";
+  json += "  \"threads_per_query\": " + std::to_string(threads) + ",\n";
+  json += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& phase = phases[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"queries\": %llu, \"qps\": %.2f, "
+                  "\"mean_millis\": %.3f, \"p50_millis\": %.3f, "
+                  "\"p99_millis\": %.3f}",
+                  phase.name.c_str(),
+                  static_cast<unsigned long long>(phase.queries), phase.qps,
+                  phase.mean, phase.p50, phase.p99);
+    json += buf;
+    json += (i + 1 < phases.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"compactions\": %llu,\n  \"compaction_millis\": %.3f,\n"
+                "  \"p99_ratio_vs_baseline\": %.3f,\n"
+                "  \"row_equivalence\": \"ok\"\n",
+                static_cast<unsigned long long>(stats.compactions),
+                static_cast<double>(stats.compaction_micros) / 1e3, p99_ratio);
+  json += buf;
+  json += "}\n";
+  WriteBenchJson("BENCH_ingest.json", json);
+
+  // Optional hard latency gate (acceptance: p99 during compaction within
+  // 2x of the read-only baseline). Opt-in because shared runners jitter.
+  if (EnvInt("PARJ_INGEST_GATE_P99", 0) != 0 && p99_ratio > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: ingest+compact p99 %.3f ms is %.2fx baseline "
+                 "(gate: 2x)\n",
+                 phases[2].p99, p99_ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Main(); }

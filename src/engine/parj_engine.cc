@@ -49,8 +49,9 @@ void DeduplicateRows(std::vector<TermId>* rows, size_t width,
 /// numberings still align column-wise); rows are bag-unioned, then
 /// DISTINCT / LIMIT apply to the whole union, per SPARQL semantics.
 Result<engine::QueryResult> ExecuteUnionAst(
-    const storage::Database& db, const query::SelectQueryAst& ast,
-    const engine::QueryOptions& options, double parse_millis) {
+    const storage::Database& db, const mut::DeltaView& delta,
+    const query::SelectQueryAst& ast, const engine::QueryOptions& options,
+    double parse_millis) {
   using engine::QueryResult;
   if (ast.select_all) {
     return Status::Unsupported(
@@ -76,13 +77,14 @@ Result<engine::QueryResult> ExecuteUnionAst(
     }
   }
 
-  join::Executor executor(&db);
+  join::Executor executor(&db, &delta);
   for (const query::SelectQueryAst& arm : arms) {
     PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
-                          query::EncodeQuery(arm, db));
+                          query::EncodeQuery(arm, db, &delta.overlay()));
     Stopwatch optimize_timer;
-    PARJ_ASSIGN_OR_RETURN(query::Plan plan,
-                          query::Optimize(encoded, db, options.optimizer));
+    PARJ_ASSIGN_OR_RETURN(
+        query::Plan plan,
+        query::Optimize(encoded, db, options.optimizer, &delta));
     result.optimize_millis += optimize_timer.ElapsedMillis();
     if (plan.known_empty) continue;
 
@@ -146,7 +148,7 @@ Result<ParjEngine> ParjEngine::FinishLoad(dict::Dictionary dict,
   stats.build_millis += timings.group_millis + timings.tables_millis;
   stats.index_millis += timings.meta_millis + timings.pair_stats_millis +
                         timings.char_sets_millis;
-  ParjEngine engine(std::move(db), effective.calibration);
+  ParjEngine engine(std::move(db), effective.calibration, effective.database);
   if (effective.calibrate) {
     Stopwatch calibrate_timer;
     engine.Calibrate();
@@ -296,7 +298,7 @@ Result<ParjEngine> ParjEngine::FromSnapshotFile(const std::string& path,
   stats.build_millis = snapshot_stats.build_millis;
   stats.triples = db.total_triples();
   stats.threads = std::max(1, effective.load.threads);
-  ParjEngine engine(std::move(db), effective.calibration);
+  ParjEngine engine(std::move(db), effective.calibration, effective.database);
   if (effective.calibrate) {
     Stopwatch calibrate_timer;
     engine.Calibrate();
@@ -310,10 +312,13 @@ Result<ParjEngine> ParjEngine::FromSnapshotFile(const std::string& path,
 
 Result<query::Plan> ParjEngine::Explain(
     std::string_view sparql, const query::OptimizerOptions& options) const {
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
   PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
   PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
-                        query::EncodeQuery(ast, db_));
-  return query::Optimize(encoded, db_, options);
+                        query::EncodeQuery(ast, db, &delta.overlay()));
+  return query::Optimize(encoded, db, options, &delta);
 }
 
 Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
@@ -323,18 +328,27 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   // token) returns its cancellation Status without parsing or executing.
   if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
+  // Pin the current epoch: the whole query — encode, plan, execute —
+  // sees one immutable (base, delta) pair however many writes or
+  // compactions land meanwhile.
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
+
   Stopwatch parse_timer;
   PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
   if (!ast.union_arms.empty()) {
-    return ExecuteUnionAst(db_, ast, options, parse_timer.ElapsedMillis());
+    return ExecuteUnionAst(db, delta, ast, options,
+                           parse_timer.ElapsedMillis());
   }
   PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
-                        query::EncodeQuery(ast, db_));
+                        query::EncodeQuery(ast, db, &delta.overlay()));
   result.parse_millis = parse_timer.ElapsedMillis();
 
   Stopwatch optimize_timer;
-  PARJ_ASSIGN_OR_RETURN(query::Plan plan,
-                        query::Optimize(encoded, db_, options.optimizer));
+  PARJ_ASSIGN_OR_RETURN(
+      query::Plan plan,
+      query::Optimize(encoded, db, options.optimizer, &delta));
   result.optimize_millis = optimize_timer.ElapsedMillis();
 
   join::ExecOptions exec;
@@ -357,7 +371,7 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
     exec.per_shard_limit = options.max_rows;
   }
 
-  join::Executor executor(&db_);
+  join::Executor executor(&db, &delta);
   PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
                         executor.Execute(plan, exec));
 
@@ -398,10 +412,14 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   QueryResult result;
   if (options.cancel.StopRequested()) return options.cancel.ToStatus();
 
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
+
   Stopwatch parse_timer;
   PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
   PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
-                        query::EncodeQuery(ast, db_));
+                        query::EncodeQuery(ast, db, &delta.overlay()));
   result.parse_millis = parse_timer.ElapsedMillis();
   if (encoded.distinct) {
     return Status::Unsupported(
@@ -409,8 +427,9 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   }
 
   Stopwatch optimize_timer;
-  PARJ_ASSIGN_OR_RETURN(query::Plan plan,
-                        query::Optimize(encoded, db_, options.optimizer));
+  PARJ_ASSIGN_OR_RETURN(
+      query::Plan plan,
+      query::Optimize(encoded, db, options.optimizer, &delta));
   result.optimize_millis = optimize_timer.ElapsedMillis();
 
   join::ExecOptions exec;
@@ -428,7 +447,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
     exec.per_shard_limit = options.max_rows;
   }
 
-  join::Executor executor(&db_);
+  join::Executor executor(&db, &delta);
   PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
                         executor.Execute(plan, exec));
   result.row_count = exec_result.row_count;
@@ -446,11 +465,24 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
 
 std::vector<std::string> ParjEngine::DecodeRow(const QueryResult& result,
                                                size_t row) const {
+  // IDs are stable across epochs (compaction folds overlay terms into the
+  // next base dictionary in allocation order), so decoding against the
+  // CURRENT snapshot is correct even for results produced at an earlier
+  // epoch: an old overlay ID is by now either still in the overlay or
+  // absorbed into the base at the same ID.
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const dict::Dictionary& dict = snap.base().dictionary();
+  const mut::TermOverlay& overlay = snap.delta().overlay();
   std::vector<std::string> out;
   out.reserve(result.column_count);
   for (size_t c = 0; c < result.column_count; ++c) {
     TermId id = result.rows[row * result.column_count + c];
-    out.push_back(db_.dictionary().DecodeResource(id).ToNTriples());
+    if (id <= dict.resource_count()) {
+      out.push_back(dict.DecodeResource(id).ToNTriples());
+    } else {
+      const rdf::Term* term = overlay.DecodeResource(id);
+      out.push_back(term != nullptr ? term->ToNTriples() : std::string("?"));
+    }
   }
   return out;
 }

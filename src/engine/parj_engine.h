@@ -1,12 +1,15 @@
 #ifndef PARJ_ENGINE_PARJ_ENGINE_H_
 #define PARJ_ENGINE_PARJ_ENGINE_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "join/executor.h"
+#include "mutable/delta_store.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
 #include "storage/database.h"
@@ -190,10 +193,47 @@ class ParjEngine {
   Result<query::Plan> Explain(std::string_view sparql,
                               const query::OptimizerOptions& options = {}) const;
 
-  /// Runs Algorithm 2 on all replicas (idempotent; repeatable).
-  void Calibrate() { db_.Calibrate(calibration_options_); }
+  /// Runs Algorithm 2 on all replicas (idempotent; repeatable). Must not
+  /// race with queries — a load-time / maintenance-window operation.
+  void Calibrate() { store_->CalibrateBase(calibration_options_); }
 
-  const storage::Database& database() const { return db_; }
+  // ---- Live mutability (DESIGN.md §12) ---------------------------------
+  // The engine serves queries over an MVCC store: every Execute pins an
+  // epoch snapshot (base CSR store + pending-write delta), so readers are
+  // never blocked by writers or compaction and always see a transaction-
+  // consistent view.
+
+  /// Inserts one triple (no-op if already present). Unseen terms get IDs
+  /// past the base dictionary, stable across compactions.
+  Status Insert(const rdf::Triple& triple) { return store_->Insert(triple); }
+
+  /// Removes one triple (no-op if absent).
+  Status Remove(const rdf::Triple& triple) { return store_->Remove(triple); }
+
+  /// Applies a batch atomically: queries see none or all of it.
+  Status ApplyBatch(std::span<const mut::Mutation> mutations) {
+    return store_->Apply(mutations);
+  }
+
+  /// Synchronously folds the pending delta into a rebuilt base (parallel
+  /// build path) and bumps the epoch. AlreadyExists when a compaction is
+  /// already in flight; on any failure the serving snapshot is untouched.
+  Status Compact() { return store_->Compact(); }
+
+  /// Pins the current epoch's read view.
+  mut::MvccSnapshot snapshot() const { return store_->snapshot(); }
+
+  /// Serving gauges: delta sizes, compaction counters, live epochs.
+  mut::MutationStats mutation_stats() const { return store_->stats(); }
+
+  /// The underlying MVCC store, for wiring a background mut::Compactor.
+  mut::DeltaStore* delta_store() { return store_.get(); }
+  const mut::DeltaStore* delta_store() const { return store_.get(); }
+
+  /// The current epoch's base database (no pending writes). Valid until
+  /// the next successful Compact(); callers that run queries should pin
+  /// snapshot() instead.
+  const storage::Database& database() const { return store_->base(); }
 
   /// Phase breakdown of the load that produced this engine (zeroed for
   /// FromDatabase-wrapped instances).
@@ -204,9 +244,14 @@ class ParjEngine {
                                      size_t row) const;
 
  private:
-  explicit ParjEngine(storage::Database db,
-                      join::CalibrationOptions calibration)
-      : db_(std::move(db)), calibration_options_(calibration) {}
+  explicit ParjEngine(storage::Database db, join::CalibrationOptions calibration,
+                      storage::DatabaseOptions database_options = {})
+      : calibration_options_(calibration) {
+    mut::DeltaStoreOptions store_options;
+    store_options.database = database_options;
+    store_options.calibration = calibration;
+    store_ = std::make_unique<mut::DeltaStore>(std::move(db), store_options);
+  }
 
   /// Shared tail of every load path: build the store (threaded per
   /// `options`), calibrate if asked, and finalize `stats`.
@@ -215,7 +260,10 @@ class ParjEngine {
                                        const EngineOptions& options,
                                        LoadStats stats);
 
-  storage::Database db_;
+  /// The MVCC store: immutable base + pending-write delta behind epoch
+  /// snapshots. unique_ptr keeps the engine movable (DeltaStore holds
+  /// mutexes).
+  std::unique_ptr<mut::DeltaStore> store_;
   join::CalibrationOptions calibration_options_;
   LoadStats load_stats_;
 };

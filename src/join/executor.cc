@@ -9,6 +9,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "mutable/delta_view.h"
 #include "server/thread_pool.h"
 
 namespace parj::join {
@@ -39,7 +40,59 @@ struct StepInfo {
   bool key_bound = false;
   bool value_bound = false;
   bool value_is_key_var = false;
+  /// Pending-write replicas for this step's predicate (same ReplicaKind as
+  /// `replica`), from the execution's mut::DeltaView; null/empty on a
+  /// clean step. Invariants (see mut::PropertyDelta): ins ∩ base = ∅ and
+  /// del ⊆ base, so merged membership is (base ∧ ¬del) ∨ ins.
+  const TableReplica* ins = nullptr;
+  const TableReplica* del = nullptr;
+  /// True when ins or del is non-empty — the one flag every hot path
+  /// checks before leaving the read-only code.
+  bool dirty = false;
 };
+
+/// The value run of `key` in `replica`, or an empty span when the replica
+/// is null/empty or lacks the key.
+std::span<const TermId> LookupRun(const TableReplica* replica, TermId key) {
+  if (replica == nullptr || replica->empty()) return {};
+  const size_t pos = replica->FindKey(key);
+  if (pos == SIZE_MAX) return {};
+  return replica->Run(pos);
+}
+
+/// Merges (base_run ∖ del_run) ∪ ins_run into `out`, ascending. All three
+/// inputs are sorted; ins is disjoint from base and del ⊆ base, so the
+/// result is exactly the run a store rebuilt from the merged triple set
+/// would hold — which is what makes delta-merged query results
+/// bit-identical to a rebuilt store's.
+void MergeDeltaRun(std::span<const TermId> base_run,
+                   std::span<const TermId> ins_run,
+                   std::span<const TermId> del_run,
+                   std::vector<TermId>* out) {
+  out->clear();
+  out->reserve(base_run.size() + ins_run.size());
+  size_t ii = 0;
+  size_t di = 0;
+  for (const TermId b : base_run) {
+    while (ii < ins_run.size() && ins_run[ii] < b) {
+      out->push_back(ins_run[ii++]);
+    }
+    while (di < del_run.size() && del_run[di] < b) ++di;
+    if (di < del_run.size() && del_run[di] == b) continue;
+    out->push_back(b);
+  }
+  while (ii < ins_run.size()) out->push_back(ins_run[ii++]);
+}
+
+/// Delete-aware membership in (base_run ∖ del_run) ∪ ins_run.
+bool MergedRunContains(std::span<const TermId> base_run,
+                       std::span<const TermId> ins_run,
+                       std::span<const TermId> del_run, TermId value) {
+  if (RunContains(base_run, value)) {
+    return del_run.empty() || !RunContains(del_run, value);
+  }
+  return !ins_run.empty() && RunContains(ins_run, value);
+}
 
 /// Floor (in rows) for the first materialization buffer reservation, so
 /// result-heavy shards skip the pathological small-capacity doublings.
@@ -72,6 +125,10 @@ struct alignas(64) ShardContext {
 
   std::vector<TermId> bindings;
   std::vector<size_t> cursors;
+  /// Per-depth scratch for materialized merged runs (dirty steps only).
+  /// Safe without further care: recursion depth is strictly increasing,
+  /// so at most one live frame uses merged_runs[d].
+  std::vector<std::vector<TermId>> merged_runs;
   std::vector<uint64_t> step_rows;  // index d-1: tuples entering Descend(d)
   SearchCounters counters;
   uint64_t row_count = 0;
@@ -143,9 +200,13 @@ struct alignas(64) ShardContext {
     }
     const StepInfo& step = (*steps)[depth];
     const TableReplica& replica = *step.replica;
-    if (replica.empty()) return;
+    if (replica.empty() && !step.dirty) return;
 
     if (!step.key_bound) {
+      if (step.dirty) {
+        ScanMergedKeys(depth, strategy);
+        return;
+      }
       // Cartesian continuation (or a forced odd plan): scan every key.
       const size_t key_count = replica.key_count();
       for (size_t pos = 0; pos < key_count && !limit_reached; ++pos) {
@@ -159,12 +220,95 @@ struct alignas(64) ShardContext {
                                  ? step.key.constant
                                  : bindings[step.key.var];
     Trace(depth, key_value);
-    size_t pos = AdaptiveSearch(replica.keys(), key_value, &cursors[depth],
-                                step.threshold, strategy, step.index,
-                                &counters, step.gallop_cap);
-    if (pos == kNotFound) return;
+    size_t pos = kNotFound;
+    if (!replica.empty()) {
+      pos = AdaptiveSearch(replica.keys(), key_value, &cursors[depth],
+                           step.threshold, strategy, step.index,
+                           &counters, step.gallop_cap);
+    }
+    if (!step.dirty) {
+      if (pos == kNotFound) return;
+      if (step.key.is_variable()) bindings[step.key.var] = key_value;
+      DescendIntoRun(depth, pos, strategy);
+      return;
+    }
+    // Dirty step: a base miss can still hit a pending insert, and a base
+    // hit may be partially or fully deleted.
+    const std::span<const TermId> base_run =
+        pos == kNotFound ? std::span<const TermId>() : replica.Run(pos);
+    const std::span<const TermId> ins_run = LookupRun(step.ins, key_value);
+    if (base_run.empty() && ins_run.empty()) return;
+    const std::span<const TermId> del_run =
+        base_run.empty() ? std::span<const TermId>()
+                         : LookupRun(step.del, key_value);
     if (step.key.is_variable()) bindings[step.key.var] = key_value;
-    DescendIntoRun(depth, pos, strategy);
+    DescendMergedRun(depth, base_run, ins_run, del_run, strategy);
+  }
+
+  /// Dirty-step counterpart of DescendIntoRun: descends into the merged
+  /// (base ∖ del) ∪ ins run of the key the caller just bound.
+  void DescendMergedRun(size_t depth, std::span<const TermId> base_run,
+                        std::span<const TermId> ins_run,
+                        std::span<const TermId> del_run,
+                        SearchStrategy strategy) {
+    const StepInfo& step = (*steps)[depth];
+    if (step.value.is_constant() || step.value_is_key_var ||
+        step.value_bound) {
+      const TermId value = step.value.is_constant() ? step.value.constant
+                           : step.value_is_key_var ? bindings[step.key.var]
+                                                   : bindings[step.value.var];
+      ++counters.run_probes;
+      if (MergedRunContains(base_run, ins_run, del_run, value)) {
+        Descend(depth + 1, strategy);
+      }
+      return;
+    }
+    // Unbound value: iterate the merged run. The two trivial cases keep
+    // the original zero-copy spans; only a genuinely mixed key pays for
+    // the scratch merge.
+    if (ins_run.empty() && del_run.empty()) {
+      RunValues(depth, base_run, strategy);
+      return;
+    }
+    if (base_run.empty()) {
+      RunValues(depth, ins_run, strategy);
+      return;
+    }
+    MergeDeltaRun(base_run, ins_run, del_run, &merged_runs[depth]);
+    RunValues(depth, merged_runs[depth], strategy);
+  }
+
+  /// Dirty-step counterpart of the cartesian key scan: iterates the
+  /// merged (base ∪ ins) key set in ascending order, so emit order stays
+  /// exactly what a rebuilt store would produce.
+  void ScanMergedKeys(size_t depth, SearchStrategy strategy) {
+    const StepInfo& step = (*steps)[depth];
+    const TableReplica& base = *step.replica;
+    const TableReplica* ins = step.ins;
+    const size_t base_count = base.key_count();
+    const size_t ins_count = ins == nullptr ? 0 : ins->key_count();
+    size_t bi = 0;
+    size_t ii = 0;
+    while ((bi < base_count || ii < ins_count) && !limit_reached) {
+      const bool take_ins =
+          bi >= base_count ||
+          (ii < ins_count && ins->KeyAt(ii) < base.KeyAt(bi));
+      if (take_ins) {
+        // Delta-only key: no base run, and del ⊆ base means no deletes.
+        bindings[step.key.var] = ins->KeyAt(ii);
+        DescendMergedRun(depth, {}, ins->Run(ii), {}, strategy);
+        ++ii;
+        continue;
+      }
+      const TermId key = base.KeyAt(bi);
+      const bool merged = ii < ins_count && ins->KeyAt(ii) == key;
+      bindings[step.key.var] = key;
+      DescendMergedRun(depth, base.Run(bi),
+                       merged ? ins->Run(ii) : std::span<const TermId>(),
+                       LookupRun(step.del, key), strategy);
+      if (merged) ++ii;
+      ++bi;
+    }
   }
 
   void DescendIntoRun(size_t depth, size_t key_pos, SearchStrategy strategy) {
@@ -303,28 +447,62 @@ struct WorkSource {
   Kind kind = Kind::kEmpty;
   size_t size = 0;
   size_t key_pos = 0;  ///< for kRunRange / kSingle
+  /// Dirty-first-step fields. base_key_present: key_pos is a valid base
+  /// position (kRunRange / kSingle). keys_from_delta: the base replica is
+  /// empty and kKeyRange iterates the delta-insert key array instead.
+  /// merged_run: materialized (base ∖ del) ∪ ins run for a constant dirty
+  /// first key, sliced by shards exactly like a base run.
+  bool base_key_present = false;
+  bool keys_from_delta = false;
+  bool use_merged_run = false;
+  std::vector<TermId> merged_run;
 };
 
 WorkSource ResolveWorkSource(const StepInfo& first) {
   WorkSource src;
   const TableReplica& replica = *first.replica;
-  if (replica.empty()) return src;
+  if (replica.empty() && !first.dirty) return src;
   if (first.key.is_constant()) {
-    const size_t pos = replica.FindKey(first.key.constant);
-    if (pos == SIZE_MAX) return src;
-    src.key_pos = pos;
+    const size_t pos =
+        replica.empty() ? SIZE_MAX : replica.FindKey(first.key.constant);
+    src.base_key_present = pos != SIZE_MAX;
+    if (src.base_key_present) src.key_pos = pos;
+    const std::span<const TermId> ins_run =
+        first.dirty ? LookupRun(first.ins, first.key.constant)
+                    : std::span<const TermId>();
+    if (!src.base_key_present && ins_run.empty()) return src;
     if (first.value.is_constant() || first.value_is_key_var) {
       src.kind = WorkSource::Kind::kSingle;
       src.size = 1;
-    } else {
+      return src;
+    }
+    const std::span<const TermId> del_run =
+        src.base_key_present ? LookupRun(first.del, first.key.constant)
+                             : std::span<const TermId>();
+    if (ins_run.empty() && del_run.empty()) {
+      // Clean key (even under a dirty step): slice the base run in place.
       src.kind = WorkSource::Kind::kRunRange;
       src.size = replica.RunLength(pos);
+      return src;
     }
+    const std::span<const TermId> base_run =
+        src.base_key_present ? replica.Run(pos) : std::span<const TermId>();
+    MergeDeltaRun(base_run, ins_run, del_run, &src.merged_run);
+    if (src.merged_run.empty()) return src;
+    src.use_merged_run = true;
+    src.kind = WorkSource::Kind::kRunRange;
+    src.size = src.merged_run.size();
     return src;
   }
-  // Variable (unbound) first key: shard the key array.
+  // Variable (unbound) first key: shard the key array. With a dirty step
+  // whose base is empty, the delta-insert keys are the work range.
   src.kind = WorkSource::Kind::kKeyRange;
-  src.size = replica.key_count();
+  if (replica.empty()) {
+    src.keys_from_delta = true;
+    src.size = first.ins->key_count();
+  } else {
+    src.size = replica.key_count();
+  }
   return src;
 }
 
@@ -345,10 +523,72 @@ size_t MorselTarget(size_t workers, size_t items, uint64_t cost) {
   return std::clamp<size_t>(target, 1, std::max<size_t>(1, items));
 }
 
+/// Dirty first step with a variable key: merged scan of the base key
+/// range [begin, end) with delta-insert keys interleaved in ascending
+/// order. Shard ownership of delta-only keys is positional: the shard
+/// processing base key position p owns ins keys strictly between
+/// keys[p-1] and keys[p], and the shard ending at the last base key also
+/// owns the tail past it. Cuts are monotone, so exactly one non-empty
+/// shard has begin == 0 and one has end == key_count — every delta-only
+/// key runs exactly once, whatever the shard/morsel cuts, and each
+/// shard's emit order is the merged ascending key order (what a rebuilt
+/// store's key array would give).
+void RunMergedKeyRange(const StepInfo& first, const WorkSource& src,
+                       size_t begin, size_t end, SearchStrategy strategy,
+                       ShardContext* ctx) {
+  const TableReplica& replica = *first.replica;
+  if (src.keys_from_delta) {
+    // Base replica empty: every key is delta-only (del ⊆ base is empty).
+    const TableReplica& ins = *first.ins;
+    for (size_t pos = begin; pos < end && !ctx->limit_reached; ++pos) {
+      ctx->bindings[first.key.var] = ins.KeyAt(pos);
+      ctx->DescendMergedRun(0, {}, ins.Run(pos), {}, strategy);
+    }
+    return;
+  }
+  const TableReplica* ins = first.ins;
+  const size_t ins_count = ins == nullptr ? 0 : ins->key_count();
+  size_t ii = 0;
+  if (begin > 0 && ins_count > 0) {
+    const std::span<const TermId> ins_keys = ins->keys();
+    ii = static_cast<size_t>(
+        std::upper_bound(ins_keys.begin(), ins_keys.end(),
+                         replica.KeyAt(begin - 1)) -
+        ins_keys.begin());
+  }
+  for (size_t pos = begin; pos < end && !ctx->limit_reached; ++pos) {
+    const TermId key = replica.KeyAt(pos);
+    while (ii < ins_count && ins->KeyAt(ii) < key && !ctx->limit_reached) {
+      ctx->bindings[first.key.var] = ins->KeyAt(ii);
+      ctx->DescendMergedRun(0, {}, ins->Run(ii), {}, strategy);
+      ++ii;
+    }
+    if (ctx->limit_reached) return;
+    const bool merged = ii < ins_count && ins->KeyAt(ii) == key;
+    ctx->bindings[first.key.var] = key;
+    ctx->DescendMergedRun(0, replica.Run(pos),
+                          merged ? ins->Run(ii) : std::span<const TermId>(),
+                          LookupRun(first.del, key), strategy);
+    if (merged) ++ii;
+  }
+  if (end == replica.key_count() && begin < end) {
+    while (ii < ins_count && !ctx->limit_reached) {
+      ctx->bindings[first.key.var] = ins->KeyAt(ii);
+      ctx->DescendMergedRun(0, {}, ins->Run(ii), {}, strategy);
+      ++ii;
+    }
+  }
+}
+
 /// Executes one shard [begin, end) of the work source.
 void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
               size_t begin, size_t end, SearchStrategy strategy,
               ShardContext* ctx) {
+  // Reset the per-depth search cursors so adaptive sequential-vs-binary
+  // decisions depend only on this shard's content, never on which worker
+  // ran the previous morsel — SearchCounters stay deterministic under
+  // work stealing (the equivalence gates compare them across runs).
+  std::fill(ctx->cursors.begin(), ctx->cursors.end(), 0);
   const StepInfo& first = steps[0];
   const TableReplica& replica = *first.replica;
   switch (src.kind) {
@@ -356,10 +596,25 @@ void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
       return;
     case WorkSource::Kind::kSingle: {
       // Fully bound first pattern: existence check of (key, value).
-      std::span<const TermId> run = replica.Run(src.key_pos);
       const TermId value = first.value.is_constant()
                                ? first.value.constant
                                : first.key.constant;  // ?x==?x impossible here
+      if (first.dirty) {
+        const std::span<const TermId> base_run =
+            src.base_key_present ? replica.Run(src.key_pos)
+                                 : std::span<const TermId>();
+        const std::span<const TermId> ins_run =
+            LookupRun(first.ins, first.key.constant);
+        const std::span<const TermId> del_run =
+            base_run.empty() ? std::span<const TermId>()
+                             : LookupRun(first.del, first.key.constant);
+        ++ctx->counters.run_probes;
+        if (MergedRunContains(base_run, ins_run, del_run, value)) {
+          ctx->Descend(1, strategy);
+        }
+        return;
+      }
+      std::span<const TermId> run = replica.Run(src.key_pos);
       ++ctx->counters.run_probes;
       if (RunContains(run, value)) {
         if (first.key.is_variable()) {
@@ -370,11 +625,17 @@ void RunShard(const std::vector<StepInfo>& steps, const WorkSource& src,
       return;
     }
     case WorkSource::Kind::kRunRange: {
-      std::span<const TermId> run = replica.Run(src.key_pos);
+      std::span<const TermId> run =
+          src.use_merged_run ? std::span<const TermId>(src.merged_run)
+                             : replica.Run(src.key_pos);
       ctx->RunValues(0, run.subspan(begin, end - begin), strategy);
       return;
     }
     case WorkSource::Kind::kKeyRange: {
+      if (first.dirty) {
+        RunMergedKeyRange(first, src, begin, end, strategy, ctx);
+        return;
+      }
       for (size_t pos = begin; pos < end && !ctx->limit_reached; ++pos) {
         const TermId key = replica.KeyAt(pos);
         if (first.value_is_key_var) {
@@ -465,18 +726,28 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
   const bool needs_index = options.strategy == SearchStrategy::kIndex ||
                            options.strategy == SearchStrategy::kAdaptiveIndex;
 
-  // Resolve step info against the database.
+  // Resolve step info against the database and (when present) the
+  // pending-write delta view. A predicate that only exists in the delta
+  // (allocated after the base was built) gets an empty base replica with
+  // default thresholds — every probe then falls through to the delta
+  // merge paths.
+  static const TableReplica kEmptyReplica;
+  static const ReplicaMeta kEmptyMeta;
   std::vector<StepInfo> steps;
   steps.reserve(plan.steps.size());
   for (const PlanStep& ps : plan.steps) {
     const storage::PropertyEntry* entry = db_->FindEntry(ps.predicate);
-    if (entry == nullptr) {
+    const mut::PropertyDelta* pending =
+        delta_ != nullptr ? delta_->Find(ps.predicate) : nullptr;
+    if (entry == nullptr && pending == nullptr) {
       return Status::InvalidArgument("plan references unknown predicate " +
                                      std::to_string(ps.predicate));
     }
     StepInfo info;
-    info.replica = &entry->table.replica(ps.replica);
-    const ReplicaMeta& meta = entry->meta(ps.replica);
+    info.replica =
+        entry != nullptr ? &entry->table.replica(ps.replica) : &kEmptyReplica;
+    const ReplicaMeta& meta =
+        entry != nullptr ? entry->meta(ps.replica) : kEmptyMeta;
     if (needs_index) {
       if (!meta.has_index && !info.replica->empty()) {
         return Status::InvalidArgument(
@@ -493,6 +764,13 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
       info.interp_scale =
           static_cast<double>(keys.size() - 1) /
           (static_cast<double>(keys.back()) - static_cast<double>(keys.front()));
+    }
+    if (pending != nullptr) {
+      info.ins = &pending->inserts.replica(ps.replica);
+      info.del = &pending->deletes.replica(ps.replica);
+      if (info.ins->empty()) info.ins = nullptr;
+      if (info.del->empty()) info.del = nullptr;
+      info.dirty = info.ins != nullptr || info.del != nullptr;
     }
     info.key = ps.key;
     info.value = ps.value;
@@ -515,10 +793,13 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     for (size_t d = 0; d + 1 < steps.size(); ++d) {
       const StepInfo& cur = steps[d];
       const StepInfo& nxt = steps[d + 1];
+      // A dirty next step is excluded: stage B mirrors Descend's clean
+      // probe path, which a pending-write step must not take (its base
+      // misses can still hit delta inserts and its hits may be deleted).
       batch_at[d] = cur.value.is_variable() && !cur.value_is_key_var &&
                     !cur.value_bound && nxt.key_bound &&
                     nxt.key.is_variable() && nxt.key.var == cur.value.var &&
-                    !nxt.replica->empty();
+                    !nxt.replica->empty() && !nxt.dirty;
     }
   }
 
@@ -597,6 +878,7 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     ctx.bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
     ctx.emit_row.assign(plan.projection.size(), 0);
     ctx.cursors.assign(steps.size(), 0);
+    ctx.merged_runs.resize(steps.size());
     ctx.step_rows.assign(steps.size(), 0);
     ctx.tracing = options.collect_probe_trace;
     if (ctx.tracing) {
@@ -628,7 +910,11 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     // constant key's value run, every item costs one descent, so an
     // equal-count cut is already cost-balanced.
     std::vector<Morsel> morsels;
-    const storage::TableReplica& first = *steps[0].replica;
+    // Delta-only key ranges cut on the insert replica's CSR; the merged
+    // scan's positional ownership rule keeps any cut correct either way.
+    const storage::TableReplica& first = src.keys_from_delta
+                                             ? *steps[0].ins
+                                             : *steps[0].replica;
     if (src.kind == WorkSource::Kind::kKeyRange) {
       const uint64_t cost = first.RangeCost(worker_begin, worker_end);
       morsels = MorselScheduler::MorselsFromCuts(first.CostBalancedSplit(

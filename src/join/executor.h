@@ -18,6 +18,10 @@ namespace parj::server {
 class ThreadPool;
 }  // namespace parj::server
 
+namespace parj::mut {
+class DeltaView;
+}  // namespace parj::mut
+
 namespace parj::join {
 
 /// What the executor does with result tuples.
@@ -170,13 +174,22 @@ struct ExecResult {
 /// on skewed data (DESIGN.md §8).
 class Executor {
  public:
-  explicit Executor(const storage::Database* db) : db_(db) {}
+  /// `delta` (optional) is an immutable pending-write view over `db`
+  /// (mut::DeltaView): steps whose predicate has pending inserts/deletes
+  /// run through merge cursors — base CSR ∪ delta inserts, minus delta
+  /// deletes — while untouched predicates keep the exact read-only code
+  /// paths. Both pointers must outlive the Executor; pinning an
+  /// mut::MvccSnapshot for the duration is the intended way to get that.
+  explicit Executor(const storage::Database* db,
+                    const mut::DeltaView* delta = nullptr)
+      : db_(db), delta_(delta) {}
 
   Result<ExecResult> Execute(const query::Plan& plan,
                              const ExecOptions& options = {}) const;
 
  private:
   const storage::Database* db_;
+  const mut::DeltaView* delta_;
 };
 
 }  // namespace parj::join

@@ -1,0 +1,76 @@
+#ifndef PARJ_MUTABLE_COMPACTOR_H_
+#define PARJ_MUTABLE_COMPACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/status.h"
+#include "mutable/delta_store.h"
+
+namespace parj::server {
+class ThreadPool;
+}  // namespace parj::server
+
+namespace parj::mut {
+
+struct CompactorOptions {
+  /// Trigger a background compaction when the delta reaches this many
+  /// pending triples (inserts + deletes). 0 disables auto-triggering;
+  /// the operator compacts manually (CLI `.compact`).
+  uint64_t auto_compact_delta_triples = 0;
+};
+
+/// Background compaction driver: schedules DeltaStore::Compact() as a
+/// task on the serving ThreadPool so ingest keeps flowing while the CSR
+/// replicas are rebuilt, and exposes the trigger policy the engine's
+/// write path consults after every batch. At most one compaction task is
+/// in flight; the DeltaStore's own guard makes a racing manual Compact()
+/// harmless.
+class Compactor {
+ public:
+  Compactor(DeltaStore* store, server::ThreadPool* pool,
+            CompactorOptions options = {});
+
+  /// Blocks until any in-flight background compaction finishes.
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Schedules a background compaction unless one is already scheduled or
+  /// running. Returns true when a new task was scheduled.
+  bool Trigger();
+
+  /// Trigger() iff the store's pending-delta size crossed the
+  /// auto-compaction threshold. Called by the engine after each write
+  /// batch; cheap when below threshold.
+  void MaybeTrigger();
+
+  /// Waits for the in-flight compaction (if any) to finish.
+  void Wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Status of the most recently finished background compaction.
+  Status last_status() const;
+
+  uint64_t runs() const { return runs_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunOnce();
+
+  DeltaStore* const store_;
+  server::ThreadPool* const pool_;
+  const CompactorOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> runs_{0};
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  Status last_status_;
+};
+
+}  // namespace parj::mut
+
+#endif  // PARJ_MUTABLE_COMPACTOR_H_

@@ -1,0 +1,356 @@
+#include "mutable/delta_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace parj::mut {
+
+namespace {
+
+uint64_t Pack(TermId s, TermId o) {
+  return (static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(o);
+}
+
+std::vector<std::pair<TermId, TermId>> Unpack(
+    const std::unordered_set<uint64_t>& packed) {
+  std::vector<std::pair<TermId, TermId>> pairs;
+  pairs.reserve(packed.size());
+  for (uint64_t p : packed) {
+    pairs.emplace_back(static_cast<TermId>(p >> 32),
+                       static_cast<TermId>(p & 0xFFFFFFFFu));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Version::Version(std::shared_ptr<const storage::Database> base,
+                 std::shared_ptr<const DeltaView> delta, uint64_t epoch,
+                 std::shared_ptr<std::atomic<int64_t>> live_counter)
+    : base_(std::move(base)),
+      delta_(std::move(delta)),
+      epoch_(epoch),
+      live_counter_(std::move(live_counter)) {
+  live_counter_->fetch_add(1, std::memory_order_relaxed);
+}
+
+Version::~Version() {
+  live_counter_->fetch_sub(1, std::memory_order_relaxed);
+}
+
+DeltaStore::DeltaStore(storage::Database base, DeltaStoreOptions options)
+    : options_(std::move(options)),
+      live_versions_(std::make_shared<std::atomic<int64_t>>(0)) {
+  base_ = std::make_shared<const storage::Database>(std::move(base));
+  const dict::Dictionary& dict = base_->dictionary();
+  working_overlay_ = std::make_unique<TermOverlay>(dict.resource_count(),
+                                                   dict.predicate_count());
+  overlay_ = std::make_shared<const TermOverlay>(*working_overlay_);
+  builders_.resize(base_->predicate_count());
+  published_.assign(base_->predicate_count(), nullptr);
+  auto view = std::make_shared<const DeltaView>(published_, overlay_,
+                                                /*sequence=*/0);
+  current_ =
+      std::make_shared<const Version>(base_, view, /*epoch=*/0, live_versions_);
+}
+
+std::shared_ptr<const Version> DeltaStore::CurrentVersion() const {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  return current_;
+}
+
+void DeltaStore::InstallVersion(std::shared_ptr<const Version> version) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  current_ = std::move(version);
+}
+
+MvccSnapshot DeltaStore::snapshot() const {
+  return MvccSnapshot(CurrentVersion());
+}
+
+const storage::Database& DeltaStore::base() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return *base_;
+}
+
+uint64_t DeltaStore::epoch() const { return CurrentVersion()->epoch(); }
+
+EncodedTriple DeltaStore::EncodeTriple(const rdf::Triple& triple,
+                                       bool allocate) {
+  const dict::Dictionary& dict = base_->dictionary();
+  EncodedTriple t;
+  t.subject = dict.LookupResource(triple.subject);
+  if (t.subject == kInvalidTermId) {
+    t.subject = allocate ? working_overlay_->AddResource(triple.subject)
+                         : working_overlay_->LookupResource(triple.subject);
+  }
+  t.predicate = dict.LookupPredicate(triple.predicate);
+  if (t.predicate == kInvalidPredicateId) {
+    t.predicate = allocate
+                      ? working_overlay_->AddPredicate(triple.predicate)
+                      : working_overlay_->LookupPredicate(triple.predicate);
+  }
+  t.object = dict.LookupResource(triple.object);
+  if (t.object == kInvalidTermId) {
+    t.object = allocate ? working_overlay_->AddResource(triple.object)
+                        : working_overlay_->LookupResource(triple.object);
+  }
+  return t;
+}
+
+bool DeltaStore::BaseContains(const storage::Database& base, PredicateId pid,
+                              TermId s, TermId o) const {
+  const storage::PropertyEntry* entry = base.FindEntry(pid);
+  if (entry == nullptr) return false;
+  const storage::TableReplica& so = entry->table.so();
+  const size_t pos = so.FindKey(s);
+  if (pos == SIZE_MAX) return false;
+  const std::span<const TermId> run = so.Run(pos);
+  return std::binary_search(run.begin(), run.end(), o);
+}
+
+void DeltaStore::ApplyToBuilders(const storage::Database& base,
+                                 std::span<const Mutation> mutations,
+                                 bool* overlay_grew) {
+  const TermId res_before = working_overlay_->resource_count();
+  const PredicateId pred_before = working_overlay_->predicate_count();
+  for (const Mutation& m : mutations) {
+    if (!m.remove) {
+      const EncodedTriple t = EncodeTriple(m.triple, /*allocate=*/true);
+      if (builders_.size() < t.predicate) builders_.resize(t.predicate);
+      PidBuilder& b = builders_[t.predicate - 1];
+      const uint64_t packed = Pack(t.subject, t.object);
+      if (b.del.erase(packed) > 0) {
+        // Un-delete: the triple is back to its base state.
+        b.dirty = true;
+        continue;
+      }
+      if (BaseContains(base, t.predicate, t.subject, t.object)) continue;
+      if (b.ins.insert(packed).second) b.dirty = true;
+    } else {
+      // Removal never allocates terms: a triple with an unseen term
+      // cannot be present anywhere.
+      const EncodedTriple t = EncodeTriple(m.triple, /*allocate=*/false);
+      if (t.subject == kInvalidTermId || t.predicate == kInvalidPredicateId ||
+          t.object == kInvalidTermId) {
+        continue;
+      }
+      if (builders_.size() < t.predicate) builders_.resize(t.predicate);
+      PidBuilder& b = builders_[t.predicate - 1];
+      const uint64_t packed = Pack(t.subject, t.object);
+      if (b.ins.erase(packed) > 0) {
+        b.dirty = true;
+        continue;
+      }
+      if (BaseContains(base, t.predicate, t.subject, t.object)) {
+        if (b.del.insert(packed).second) b.dirty = true;
+      }
+    }
+  }
+  *overlay_grew = working_overlay_->resource_count() != res_before ||
+                  working_overlay_->predicate_count() != pred_before;
+}
+
+void DeltaStore::Publish(bool overlay_grew, uint64_t epoch) {
+  if (overlay_grew) {
+    overlay_ = std::make_shared<const TermOverlay>(*working_overlay_);
+  }
+  if (published_.size() < builders_.size()) {
+    published_.resize(builders_.size());
+  }
+  for (size_t i = 0; i < builders_.size(); ++i) {
+    PidBuilder& b = builders_[i];
+    if (!b.dirty) continue;
+    b.dirty = false;
+    if (b.ins.empty() && b.del.empty()) {
+      published_[i] = nullptr;
+      continue;
+    }
+    auto d = std::make_shared<PropertyDelta>();
+    d->inserts = storage::PropertyTable::Build(Unpack(b.ins));
+    d->deletes = storage::PropertyTable::Build(Unpack(b.del));
+    published_[i] = std::move(d);
+  }
+  auto view =
+      std::make_shared<const DeltaView>(published_, overlay_, sequence_);
+  InstallVersion(std::make_shared<const Version>(base_, std::move(view),
+                                                 epoch, live_versions_));
+}
+
+Status DeltaStore::Insert(const rdf::Triple& triple) {
+  const Mutation m{triple, /*remove=*/false};
+  return Apply(std::span<const Mutation>(&m, 1));
+}
+
+Status DeltaStore::Remove(const rdf::Triple& triple) {
+  const Mutation m{triple, /*remove=*/true};
+  return Apply(std::span<const Mutation>(&m, 1));
+}
+
+Status DeltaStore::Apply(std::span<const Mutation> mutations) {
+  if (mutations.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Injected before any state changes, so a failed apply is a no-op and
+  // queries keep seeing the pre-batch view (batch atomicity).
+  PARJ_FAILPOINT("delta.apply");
+  bool overlay_grew = false;
+  ApplyToBuilders(*base_, mutations, &overlay_grew);
+  log_.insert(log_.end(), mutations.begin(), mutations.end());
+  ++sequence_;
+  Publish(overlay_grew, CurrentVersion()->epoch());
+  return Status::OK();
+}
+
+Status DeltaStore::Compact() {
+  bool expected = false;
+  if (!compacting_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return Status::AlreadyExists("compaction already running");
+  }
+  Stopwatch timer;
+  const Status status = [&]() -> Status {
+    // Phase 1 — capture: pin the version to rebuild from and remember how
+    // much of the mutation log it covers. Writers continue after this.
+    std::shared_ptr<const Version> pinned;
+    size_t log_prefix = 0;
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      pinned = current_;  // version_mu_ unnecessary: writers hold write_mu_
+      log_prefix = log_.size();
+    }
+
+    // Phase 2 — rebuild (no locks held): fold the pinned delta into a new
+    // base Database via the parallel build path. Term IDs are preserved
+    // exactly: the new dictionary is the old one plus the overlay terms
+    // appended in allocation order.
+    PARJ_FAILPOINT("compactor.build");
+    const storage::Database& old_base = pinned->base();
+    const DeltaView& view = pinned->delta();
+    const TermOverlay& overlay = view.overlay();
+
+    dict::Dictionary dict = old_base.dictionary().Clone();
+    for (const rdf::Term& term : overlay.resources()) {
+      const TermId id = dict.EncodeResource(term);
+      PARJ_CHECK(id == dict.resource_count())
+          << "overlay resource folded to an unexpected ID";
+    }
+    for (const rdf::Term& term : overlay.predicates()) {
+      const PredicateId id = dict.EncodePredicate(term);
+      PARJ_CHECK(id == dict.predicate_count())
+          << "overlay predicate folded to an unexpected ID";
+    }
+
+    std::vector<EncodedTriple> triples;
+    triples.reserve(old_base.total_triples() + view.insert_triples());
+    const PredicateId max_pid = dict.predicate_count();
+    for (PredicateId pid = 1; pid <= max_pid; ++pid) {
+      const storage::PropertyEntry* entry = old_base.FindEntry(pid);
+      const PropertyDelta* d = view.Find(pid);
+      if (entry != nullptr) {
+        const storage::TableReplica& so = entry->table.so();
+        const storage::TableReplica* del =
+            d != nullptr ? &d->deletes.so() : nullptr;
+        for (size_t k = 0; k < so.key_count(); ++k) {
+          const TermId s = so.KeyAt(k);
+          std::span<const TermId> del_run;
+          if (del != nullptr && !del->empty()) {
+            const size_t dpos = del->FindKey(s);
+            if (dpos != SIZE_MAX) del_run = del->Run(dpos);
+          }
+          for (const TermId o : so.Run(k)) {
+            if (!del_run.empty() &&
+                std::binary_search(del_run.begin(), del_run.end(), o)) {
+              continue;
+            }
+            triples.push_back(EncodedTriple{s, pid, o});
+          }
+        }
+      }
+      if (d != nullptr) {
+        const storage::TableReplica& ins = d->inserts.so();
+        for (size_t k = 0; k < ins.key_count(); ++k) {
+          const TermId s = ins.KeyAt(k);
+          for (const TermId o : ins.Run(k)) {
+            triples.push_back(EncodedTriple{s, pid, o});
+          }
+        }
+      }
+    }
+
+    Result<storage::Database> rebuilt = storage::Database::Build(
+        std::move(dict), std::move(triples), options_.database);
+    if (!rebuilt.ok()) return rebuilt.status();
+    storage::Database new_db = std::move(rebuilt).value();
+    if (options_.calibrate_on_compact) {
+      new_db.Calibrate(options_.calibration);
+    }
+
+    // Phase 3 — swap under the writer lock: rebase mutations that raced
+    // with the rebuild onto the new base (replaying them re-derives the
+    // ins/del invariants and re-allocates byte-identical overlay IDs,
+    // because the new dictionary ends exactly where the pinned overlay
+    // ended), then install the new epoch. A failure before the install
+    // leaves the old version serving and the writer state untouched.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    PARJ_FAILPOINT("compactor.swap");
+    const TermId expected_resources = working_overlay_->resource_count();
+    const PredicateId expected_predicates =
+        working_overlay_->predicate_count();
+    std::vector<Mutation> tail(log_.begin() + log_prefix, log_.end());
+
+    base_ = std::make_shared<const storage::Database>(std::move(new_db));
+    const dict::Dictionary& new_dict = base_->dictionary();
+    builders_.assign(base_->predicate_count(), PidBuilder{});
+    working_overlay_ = std::make_unique<TermOverlay>(
+        new_dict.resource_count(), new_dict.predicate_count());
+    published_.assign(base_->predicate_count(), nullptr);
+    log_.clear();
+    bool overlay_grew = false;
+    if (!tail.empty()) {
+      ApplyToBuilders(*base_, tail, &overlay_grew);
+      log_ = std::move(tail);
+    }
+    PARJ_CHECK(working_overlay_->resource_count() == expected_resources &&
+               working_overlay_->predicate_count() == expected_predicates)
+        << "compaction rebase changed term IDs";
+    overlay_ = std::make_shared<const TermOverlay>(*working_overlay_);
+    Publish(/*overlay_grew=*/false, pinned->epoch() + 1);
+    return Status::OK();
+  }();
+
+  compaction_micros_.fetch_add(
+      static_cast<uint64_t>(timer.ElapsedNanos() / 1000),
+      std::memory_order_relaxed);
+  if (status.ok()) compactions_.fetch_add(1, std::memory_order_relaxed);
+  compacting_.store(false, std::memory_order_release);
+  return status;
+}
+
+void DeltaStore::CalibrateBase(const join::CalibrationOptions& options) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Calibration is the one sanctioned mutation of a published base: it
+  // tunes per-replica search windows in place and is only legal while no
+  // queries are running (the same contract the read-only engine had).
+  const_cast<storage::Database*>(base_.get())->Calibrate(options);
+}
+
+MutationStats DeltaStore::stats() const {
+  MutationStats out;
+  const std::shared_ptr<const Version> v = CurrentVersion();
+  out.delta_insert_triples = v->delta().insert_triples();
+  out.delta_delete_triples = v->delta().delete_triples();
+  out.delta_bytes = v->delta().DeltaBytes();
+  out.epoch = v->epoch();
+  out.sequence = v->delta().sequence();
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  out.compaction_micros = compaction_micros_.load(std::memory_order_relaxed);
+  const int64_t live = live_versions_->load(std::memory_order_relaxed);
+  out.active_epochs = live < 0 ? 0 : static_cast<uint64_t>(live);
+  return out;
+}
+
+}  // namespace parj::mut

@@ -1,0 +1,85 @@
+#include "mutable/delta_view.h"
+
+namespace parj::mut {
+
+namespace {
+
+/// Canonical dictionary key for `term` in the per-thread reuse buffer
+/// (same keying as dict::Dictionary, so base and overlay agree on term
+/// identity).
+std::string_view KeyFor(const rdf::Term& term) {
+  std::string& buf = dict::internal::TlsKeyBuffer();
+  buf.clear();
+  term.AppendDictionaryKey(&buf);
+  return buf;
+}
+
+}  // namespace
+
+TermId TermOverlay::AddResource(const rdf::Term& term) {
+  const std::string_view key = KeyFor(term);
+  auto it = resource_ids_.find(key);
+  if (it != resource_ids_.end()) return it->second;
+  resources_.push_back(term);
+  const TermId id = base_resources_ + static_cast<TermId>(resources_.size());
+  resource_ids_.emplace(std::string(key), id);
+  return id;
+}
+
+PredicateId TermOverlay::AddPredicate(const rdf::Term& term) {
+  const std::string_view key = KeyFor(term);
+  auto it = predicate_ids_.find(key);
+  if (it != predicate_ids_.end()) return it->second;
+  predicates_.push_back(term);
+  const PredicateId id =
+      base_predicates_ + static_cast<PredicateId>(predicates_.size());
+  predicate_ids_.emplace(std::string(key), id);
+  return id;
+}
+
+TermId TermOverlay::LookupResource(const rdf::Term& term) const {
+  auto it = resource_ids_.find(KeyFor(term));
+  return it == resource_ids_.end() ? kInvalidTermId : it->second;
+}
+
+PredicateId TermOverlay::LookupPredicate(const rdf::Term& term) const {
+  auto it = predicate_ids_.find(KeyFor(term));
+  return it == predicate_ids_.end() ? kInvalidPredicateId : it->second;
+}
+
+const rdf::Term* TermOverlay::DecodeResource(TermId id) const {
+  if (id <= base_resources_ || id > resource_count()) return nullptr;
+  return &resources_[id - base_resources_ - 1];
+}
+
+const rdf::Term* TermOverlay::DecodePredicate(PredicateId id) const {
+  if (id <= base_predicates_ || id > predicate_count()) return nullptr;
+  return &predicates_[id - base_predicates_ - 1];
+}
+
+size_t TermOverlay::MemoryUsage() const {
+  size_t bytes = resources_.capacity() * sizeof(rdf::Term) +
+                 predicates_.capacity() * sizeof(rdf::Term);
+  for (const rdf::Term& t : resources_) bytes += t.lexical().capacity();
+  for (const rdf::Term& t : predicates_) bytes += t.lexical().capacity();
+  bytes += resource_ids_.size() * (sizeof(void*) * 4);
+  bytes += predicate_ids_.size() * (sizeof(void*) * 4);
+  return bytes;
+}
+
+DeltaView::DeltaView(std::vector<std::shared_ptr<const PropertyDelta>> props,
+                     std::shared_ptr<const TermOverlay> overlay,
+                     uint64_t sequence)
+    : props_(std::move(props)),
+      overlay_(std::move(overlay)),
+      sequence_(sequence) {
+  delta_bytes_ = overlay_->MemoryUsage();
+  for (const auto& d : props_) {
+    if (d == nullptr) continue;
+    insert_triples_ += d->inserts.triple_count();
+    delete_triples_ += d->deletes.triple_count();
+    delta_bytes_ += d->MemoryUsage();
+  }
+}
+
+}  // namespace parj::mut

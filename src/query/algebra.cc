@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "mutable/delta_view.h"
+
 namespace parj::query {
 
 const char* FilterOpName(FilterOp op) {
@@ -73,7 +75,8 @@ FilterOp FlipOp(FilterOp op) {
 }  // namespace
 
 Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
-                                 const storage::Database& db) {
+                                 const storage::Database& db,
+                                 const mut::TermOverlay* overlay) {
   if (ast.patterns.empty()) {
     return Status::InvalidArgument("query has no triple patterns");
   }
@@ -97,6 +100,18 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
   };
 
   const dict::Dictionary& dict = db.dictionary();
+  // Base dictionary first, pending-write overlay second: IDs agree with
+  // what the delta-merged executor binds.
+  auto lookup_resource = [&](const rdf::Term& term) -> TermId {
+    const TermId id = dict.LookupResource(term);
+    if (id != kInvalidTermId || overlay == nullptr) return id;
+    return overlay->LookupResource(term);
+  };
+  auto lookup_predicate = [&](const rdf::Term& term) -> PredicateId {
+    const PredicateId id = dict.LookupPredicate(term);
+    if (id != kInvalidPredicateId || overlay == nullptr) return id;
+    return overlay->LookupPredicate(term);
+  };
   for (const TriplePatternAst& p : ast.patterns) {
     EncodedPattern enc;
     if (p.predicate.is_variable) {
@@ -104,12 +119,12 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
           "variable predicates are not supported (pattern with ?" +
           p.predicate.var + ")");
     }
-    enc.predicate = dict.LookupPredicate(p.predicate.term);
+    enc.predicate = lookup_predicate(p.predicate.term);
     if (enc.predicate == kInvalidPredicateId) out.known_empty = true;
 
     auto encode_slot = [&](const TermOrVar& t) -> PatternTerm {
       if (t.is_variable) return PatternTerm::Variable(intern_var(t.var));
-      TermId id = dict.LookupResource(t.term);
+      TermId id = lookup_resource(t.term);
       if (id == kInvalidTermId) out.known_empty = true;
       return PatternTerm::Constant(id);
     };
@@ -184,11 +199,18 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
         return Status::Unsupported(
             "ordering FILTER requires a numeric constant");
       }
+      // The bitmap spans base + overlay IDs: a dirty step can bind an
+      // overlay ID, which must index `passing` in range.
+      const TermId max_id = overlay != nullptr ? overlay->resource_count()
+                                               : dict.resource_count();
       auto passing = std::make_shared<std::vector<bool>>(
-          static_cast<size_t>(dict.resource_count()) + 1, false);
-      for (TermId id = 1; id <= dict.resource_count(); ++id) {
+          static_cast<size_t>(max_id) + 1, false);
+      for (TermId id = 1; id <= max_id; ++id) {
+        const rdf::Term* term = id <= dict.resource_count()
+                                    ? &dict.DecodeResource(id)
+                                    : overlay->DecodeResource(id);
         double value;
-        if (TryNumericValue(dict.DecodeResource(id), &value) &&
+        if (term != nullptr && TryNumericValue(*term, &value) &&
             CompareDoubles(value, filter.op, bound)) {
           (*passing)[id] = true;
         }
@@ -200,7 +222,7 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
     }
 
     // Equality / inequality against a constant term.
-    TermId rhs_id = dict.LookupResource(filter.rhs.term);
+    TermId rhs_id = lookup_resource(filter.rhs.term);
     if (rhs_id == kInvalidTermId) {
       // No term equals a value absent from the data: '=' can never hold,
       // '!=' always holds.

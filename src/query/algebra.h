@@ -10,6 +10,10 @@
 #include "rdf/term.h"
 #include "storage/database.h"
 
+namespace parj::mut {
+class TermOverlay;
+}  // namespace parj::mut
+
 namespace parj::query {
 
 /// A triple-pattern slot at the string level: either a variable or a
@@ -163,8 +167,15 @@ inline bool EvaluateFilter(const EncodedFilter& filter,
 /// the query `known_empty` rather than failing. Returns InvalidArgument for
 /// unsupported shapes (variable predicate, projection of an unused
 /// variable, no patterns).
+///
+/// `overlay` (optional) holds terms allocated by pending writes past the
+/// base dictionary (mut::TermOverlay): constants missing from `db` are
+/// then also probed there before marking the query known_empty, and
+/// ordering-FILTER passing bitmaps are sized and populated over base +
+/// overlay IDs so overlay bindings index them safely.
 Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
-                                 const storage::Database& db);
+                                 const storage::Database& db,
+                                 const mut::TermOverlay* overlay = nullptr);
 
 }  // namespace parj::query
 

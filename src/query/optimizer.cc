@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "mutable/delta_view.h"
 
 namespace parj::query {
 
@@ -70,8 +71,8 @@ struct StepOutcome {
 class PlannerContext {
  public:
   PlannerContext(const EncodedQuery& query, const Database& db,
-                 const OptimizerOptions& options)
-      : query_(query), db_(db), options_(options) {}
+                 const OptimizerOptions& options, const mut::DeltaView* delta)
+      : query_(query), db_(db), options_(options), delta_(delta) {}
 
   /// Evaluates appending `pattern_idx` with `kind` to `state`.
   StepOutcome EvaluateStep(const PlanState& state, int pattern_idx,
@@ -79,9 +80,18 @@ class PlannerContext {
     StepOutcome out;
     const EncodedPattern& pat = query_.patterns[pattern_idx];
     const PropertyEntry* entry = db_.FindEntry(pat.predicate);
-    if (entry == nullptr) return out;  // absent predicate: planner skips
-    const TableReplica& replica = entry->table.replica(kind);
-    const TableReplica& other = entry->table.replica(OtherReplica(kind));
+    const storage::PropertyTable* table =
+        entry != nullptr ? &entry->table : nullptr;
+    if (table == nullptr && delta_ != nullptr) {
+      // Delta-only predicate: plan over the pending inserts. Exact, not an
+      // approximation — a predicate absent from the base cannot have
+      // deletes (del ⊆ base), so the insert table IS the merged table.
+      const mut::PropertyDelta* pending = delta_->Find(pat.predicate);
+      if (pending != nullptr) table = &pending->inserts;
+    }
+    if (table == nullptr) return out;  // absent predicate: planner skips
+    const TableReplica& replica = table->replica(kind);
+    const TableReplica& other = table->replica(OtherReplica(kind));
 
     const PatternTerm& key = pat.slot(KeyRole(kind));
     const PatternTerm& value = pat.slot(ValueRole(kind));
@@ -345,6 +355,7 @@ class PlannerContext {
   const EncodedQuery& query_;
   const Database& db_;
   const OptimizerOptions& options_;
+  const mut::DeltaView* delta_;
 };
 
 Result<Plan> OptimizeForced(const PlannerContext& ctx,
@@ -446,7 +457,8 @@ Result<Plan> OptimizeDp(const PlannerContext& ctx, const EncodedQuery& query) {
 }  // namespace
 
 Result<Plan> Optimize(const EncodedQuery& query, const Database& db,
-                      const OptimizerOptions& options) {
+                      const OptimizerOptions& options,
+                      const mut::DeltaView* delta) {
   if (query.patterns.empty()) {
     return Status::InvalidArgument("cannot plan a query with no patterns");
   }
@@ -466,7 +478,7 @@ Result<Plan> Optimize(const EncodedQuery& query, const Database& db,
     plan.limit = query.limit;
     return plan;
   }
-  PlannerContext ctx(query, db, options);
+  PlannerContext ctx(query, db, options, delta);
   if (!options.forced_order.empty()) {
     return OptimizeForced(ctx, query, options.forced_order);
   }

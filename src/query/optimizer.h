@@ -8,6 +8,10 @@
 #include "query/plan.h"
 #include "storage/database.h"
 
+namespace parj::mut {
+class DeltaView;
+}  // namespace parj::mut
+
 namespace parj::query {
 
 struct OptimizerOptions {
@@ -31,8 +35,16 @@ struct OptimizerOptions {
 /// deliberately ignored — the paper assumes a fixed speedup factor for
 /// every order), per-step replica selection, selectivity from equi-depth
 /// histograms plus pairwise join cardinalities.
+///
+/// `delta` (optional) is the pending-write view the executor will merge
+/// with `db`: predicates absent from the base but present in the delta
+/// plan against the delta's insert table (exact — a delta-only predicate
+/// can have no deletes), instead of being costed as empty. Estimates for
+/// predicates that exist in the base deliberately ignore their pending
+/// writes; deltas are small next to the base by construction.
 Result<Plan> Optimize(const EncodedQuery& query, const storage::Database& db,
-                      const OptimizerOptions& options = {});
+                      const OptimizerOptions& options = {},
+                      const mut::DeltaView* delta = nullptr);
 
 }  // namespace parj::query
 

@@ -22,6 +22,12 @@ struct DegradationOptions {
   /// steal traffic, trading tail balance for lower coordination cost,
   /// which is the right trade when every core is already saturated.
   bool downgrade_scheduling = true;
+  /// Ingest pressure: a pending delta of this many triples counts as full
+  /// load (0 = ignore writes). The fraction handed to Admit() becomes
+  /// max(query load, delta_triples / max_delta_triples), so a write-heavy
+  /// server starts shedding before merge cursors drown every probe —
+  /// the operator's cue to compact.
+  uint64_t max_delta_triples = 0;
 };
 
 /// Decision returned by Admit() for one query.

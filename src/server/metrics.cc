@@ -104,6 +104,17 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "load_index_micros", load_index_micros);
   AppendCounter(&out, "load_calibrate_micros", load_calibrate_micros);
   AppendCounter(&out, "load_threads_used", load_threads_used);
+  AppendCounter(&out, "delta_triples", delta_triples);
+  AppendCounter(&out, "delta_bytes", delta_bytes);
+  AppendCounter(&out, "compactions", compactions);
+  {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-20s %.3f\n", "compaction_ms",
+                  static_cast<double>(compaction_micros.load(
+                      std::memory_order_relaxed)) / 1e3);
+    out += line;
+  }
+  AppendCounter(&out, "active_epochs", active_epochs);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -132,6 +143,11 @@ void MetricsRegistry::Reset() {
   load_index_micros.store(0, std::memory_order_relaxed);
   load_calibrate_micros.store(0, std::memory_order_relaxed);
   load_threads_used.store(0, std::memory_order_relaxed);
+  delta_triples.store(0, std::memory_order_relaxed);
+  delta_bytes.store(0, std::memory_order_relaxed);
+  compactions.store(0, std::memory_order_relaxed);
+  compaction_micros.store(0, std::memory_order_relaxed);
+  active_epochs.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

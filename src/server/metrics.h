@@ -82,6 +82,15 @@ struct MetricsRegistry {
   std::atomic<uint64_t> load_calibrate_micros{0};
   std::atomic<uint64_t> load_threads_used{0};
 
+  // Live-mutability gauges (DESIGN.md §12), refreshed from
+  // mut::MutationStats by QueryServer on every submission and by the
+  // serving CLI before each `.metrics` dump.
+  std::atomic<uint64_t> delta_triples{0};     ///< pending inserts + deletes
+  std::atomic<uint64_t> delta_bytes{0};       ///< delta tables + overlay heap
+  std::atomic<uint64_t> compactions{0};       ///< completed compactions
+  std::atomic<uint64_t> compaction_micros{0}; ///< cumulative compaction wall
+  std::atomic<uint64_t> active_epochs{0};     ///< live pinned versions
+
   LatencyHistogram queue_wait;  ///< submit -> job start
   LatencyHistogram execution;   ///< engine Execute wall time
   LatencyHistogram total;       ///< submit -> result ready

@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 #include <new>
@@ -35,6 +36,17 @@ QueryServer::~QueryServer() {
   // down watchdog_ and metrics_ while scheduler_'s destructor is still
   // draining jobs that use them. Drain first so nothing is running.
   scheduler_.Drain();
+}
+
+void QueryServer::RefreshMutationGauges() {
+  const mut::MutationStats s = engine_->mutation_stats();
+  metrics_.delta_triples.store(s.delta_insert_triples + s.delta_delete_triples,
+                               std::memory_order_relaxed);
+  metrics_.delta_bytes.store(s.delta_bytes, std::memory_order_relaxed);
+  metrics_.compactions.store(s.compactions, std::memory_order_relaxed);
+  metrics_.compaction_micros.store(s.compaction_micros,
+                                   std::memory_order_relaxed);
+  metrics_.active_epochs.store(s.active_epochs, std::memory_order_relaxed);
 }
 
 void QueryServer::CountTermination(const CancellationToken& token) {
@@ -74,15 +86,24 @@ SubmittedQuery QueryServer::Submit(std::string sparql, SubmitOptions options) {
   query_options.cancel = token;
 
   // Graceful degradation: under sustained load, shed low-priority queries
-  // and fall back to static scheduling for the rest.
+  // and fall back to static scheduling for the rest. Ingest pressure
+  // (pending-delta size against the configured cap) counts as load too.
+  RefreshMutationGauges();
   const double capacity =
       static_cast<double>(options_.scheduler.max_in_flight) +
       static_cast<double>(options_.scheduler.max_queue);
-  const double load_fraction =
+  double load_fraction =
       capacity > 0
           ? (static_cast<double>(scheduler_.in_flight()) +
              static_cast<double>(scheduler_.queued())) / capacity
           : 0.0;
+  if (options_.degradation.max_delta_triples > 0) {
+    const double ingest_fraction =
+        static_cast<double>(
+            metrics_.delta_triples.load(std::memory_order_relaxed)) /
+        static_cast<double>(options_.degradation.max_delta_triples);
+    load_fraction = std::max(load_fraction, ingest_fraction);
+  }
   const DegradationDecision degraded =
       degradation_.Admit(options.priority, load_fraction);
   if (degraded.shed) {

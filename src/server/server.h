@@ -103,6 +103,12 @@ class QueryServer {
   /// Blocks until every admitted query has finished.
   void Drain() { scheduler_.Drain(); }
 
+  /// Copies the engine's live-mutability counters (delta sizes,
+  /// compactions, active epochs) into the metrics registry. Runs on every
+  /// submission; the serving CLI also calls it before each `.metrics`
+  /// dump so gauges are fresh even on an idle server.
+  void RefreshMutationGauges();
+
   const MetricsRegistry& metrics() const { return metrics_; }
   MetricsRegistry& metrics() { return metrics_; }
   const QueryScheduler& scheduler() const { return scheduler_; }

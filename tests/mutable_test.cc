@@ -1,0 +1,501 @@
+// Live-mutability subsystem tests (DESIGN.md §12): DeltaStore write
+// semantics and invariants, MVCC snapshot pinning, compaction (epoch
+// bump, ID stability, crash safety under injected faults), the
+// background Compactor, and the serving-layer wiring (mutation gauges,
+// ingest-pressure degradation).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "engine/parj_engine.h"
+#include "join/executor.h"
+#include "mutable/compactor.h"
+#include "mutable/delta_store.h"
+#include "mutable/delta_view.h"
+#include "query/optimizer.h"
+#include "server/server.h"
+#include "server/thread_pool.h"
+#include "test_util.h"
+
+namespace parj::mut {
+namespace {
+
+using test::Spec;
+using test::ToSortedRows;
+
+rdf::Triple T(const std::string& s, const std::string& p,
+              const std::string& o) {
+  return rdf::Triple{rdf::Term::Iri(s), rdf::Term::Iri(p), rdf::Term::Iri(o)};
+}
+
+Spec BaseSpec() {
+  return {{"a", "knows", "b"}, {"a", "knows", "c"}, {"b", "knows", "c"},
+          {"b", "likes", "d"}, {"c", "likes", "d"}};
+}
+
+engine::ParjEngine MakeMutableEngine(const Spec& spec = BaseSpec()) {
+  return test::MakeEngine(spec);
+}
+
+/// Executes and decodes every row, sorted — the order-insensitive
+/// string-level result a store rebuilt from the merged triples would
+/// also produce.
+std::vector<std::vector<std::string>> DecodedRows(
+    const engine::ParjEngine& engine, const std::string& sparql,
+    const engine::QueryOptions& options = {}) {
+  auto result = engine.Execute(sparql, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < result->row_count; ++r) {
+    rows.push_back(engine.DecodeRow(*result, r));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+constexpr const char* kKnowsQuery =
+    "SELECT ?x ?y WHERE { ?x <knows> ?y }";
+constexpr const char* kChain =
+    "SELECT ?x ?y ?z WHERE { ?x <knows> ?y . ?y <likes> ?z }";
+
+// ---- TermOverlay -----------------------------------------------------
+
+TEST(TermOverlayTest, AllocatesPastBaseAndDecodes) {
+  TermOverlay overlay(/*base_resources=*/10, /*base_predicates=*/3);
+  const TermId r1 = overlay.AddResource(rdf::Term::Iri("new1"));
+  const TermId r2 = overlay.AddResource(rdf::Term::Iri("new2"));
+  EXPECT_EQ(r1, 11u);
+  EXPECT_EQ(r2, 12u);
+  // Re-adding returns the existing ID (append-only, no reassignment).
+  EXPECT_EQ(overlay.AddResource(rdf::Term::Iri("new1")), r1);
+  EXPECT_EQ(overlay.resource_count(), 12u);
+
+  EXPECT_EQ(overlay.LookupResource(rdf::Term::Iri("new2")), r2);
+  EXPECT_EQ(overlay.LookupResource(rdf::Term::Iri("absent")), kInvalidTermId);
+
+  ASSERT_NE(overlay.DecodeResource(r1), nullptr);
+  EXPECT_EQ(overlay.DecodeResource(r1)->ToNTriples(), "<new1>");
+  // Base-range and out-of-range IDs are not the overlay's to decode.
+  EXPECT_EQ(overlay.DecodeResource(10), nullptr);
+  EXPECT_EQ(overlay.DecodeResource(13), nullptr);
+
+  const PredicateId p1 = overlay.AddPredicate(rdf::Term::Iri("newp"));
+  EXPECT_EQ(p1, 4u);
+  EXPECT_EQ(overlay.LookupPredicate(rdf::Term::Iri("newp")), p1);
+}
+
+// ---- Write semantics -------------------------------------------------
+
+TEST(DeltaStoreTest, InsertBecomesVisibleAndDecodes) {
+  auto engine = MakeMutableEngine();
+  const auto before = DecodedRows(engine, kKnowsQuery);
+  ASSERT_EQ(before.size(), 3u);
+
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  const auto after = DecodedRows(engine, kKnowsQuery);
+  ASSERT_EQ(after.size(), 4u);
+  // The overlay-allocated term decodes through the normal row decode.
+  EXPECT_NE(std::find(after.begin(), after.end(),
+                      std::vector<std::string>{"<c>", "<e>"}),
+            after.end());
+  EXPECT_EQ(engine.mutation_stats().delta_insert_triples, 1u);
+}
+
+TEST(DeltaStoreTest, InsertPresentTripleIsNoOp) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("a", "knows", "b")).ok());
+  const MutationStats s = engine.mutation_stats();
+  EXPECT_EQ(s.delta_insert_triples, 0u);
+  EXPECT_EQ(s.delta_delete_triples, 0u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+}
+
+TEST(DeltaStoreTest, RemoveHidesBaseTriple) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  const auto rows = DecodedRows(engine, kKnowsQuery);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(std::find(rows.begin(), rows.end(),
+                      std::vector<std::string>{"<a>", "<b>"}),
+            rows.end());
+  EXPECT_EQ(engine.mutation_stats().delta_delete_triples, 1u);
+}
+
+TEST(DeltaStoreTest, RemoveAbsentTripleIsNoOp) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "z")).ok());
+  ASSERT_TRUE(engine.Remove(T("a", "nopred", "b")).ok());
+  const MutationStats s = engine.mutation_stats();
+  EXPECT_EQ(s.delta_delete_triples, 0u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+}
+
+TEST(DeltaStoreTest, RemovePendingInsertDropsIt) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Remove(T("c", "knows", "e")).ok());
+  const MutationStats s = engine.mutation_stats();
+  EXPECT_EQ(s.delta_insert_triples, 0u);
+  EXPECT_EQ(s.delta_delete_triples, 0u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+}
+
+TEST(DeltaStoreTest, ReinsertingDeletedBaseTripleResurrects) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  ASSERT_TRUE(engine.Insert(T("a", "knows", "b")).ok());
+  // ins ∩ base = ∅ must hold: the resurrect cancels the delete instead of
+  // recording an insert of a base-present triple.
+  const MutationStats s = engine.mutation_stats();
+  EXPECT_EQ(s.delta_insert_triples, 0u);
+  EXPECT_EQ(s.delta_delete_triples, 0u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+}
+
+TEST(DeltaStoreTest, BatchAppliesAtomically) {
+  auto engine = MakeMutableEngine();
+  const MvccSnapshot before = engine.snapshot();
+  std::vector<Mutation> batch = {
+      {T("e", "knows", "f"), false},
+      {T("a", "knows", "b"), true},
+      {T("f", "likes", "d"), false},
+  };
+  ASSERT_TRUE(engine.ApplyBatch(batch).ok());
+  // One publish per batch: the pre-batch snapshot still reflects the old
+  // sequence, the new one every mutation at once.
+  EXPECT_EQ(before.delta().delta_triples(), 0u);
+  const MvccSnapshot after = engine.snapshot();
+  EXPECT_EQ(after.delta().insert_triples(), 2u);
+  EXPECT_EQ(after.delta().delete_triples(), 1u);
+  EXPECT_EQ(after.delta().sequence(), before.delta().sequence() + 1);
+
+  const auto chain = DecodedRows(engine, kChain);
+  EXPECT_NE(std::find(chain.begin(), chain.end(),
+                      std::vector<std::string>{"<e>", "<f>", "<d>"}),
+            chain.end());
+}
+
+// ---- Snapshot pinning ------------------------------------------------
+
+TEST(MvccSnapshotTest, PinnedSnapshotIgnoresLaterWrites) {
+  auto engine = MakeMutableEngine();
+  const MvccSnapshot snap = engine.snapshot();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+
+  // The pinned view still answers with the pre-write result.
+  auto encoded = test::Encode(kKnowsQuery, snap.base());
+  auto plan = query::Optimize(encoded, snap.base(), {}, &snap.delta());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  join::Executor exec(&snap.base(), &snap.delta());
+  auto result = exec.Execute(*plan, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count, 3u);
+
+  // The live engine sees both writes.
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+  EXPECT_EQ(engine.mutation_stats().delta_insert_triples, 1u);
+}
+
+TEST(MvccSnapshotTest, ActiveEpochsCountsPinnedVersions) {
+  auto engine = MakeMutableEngine();
+  EXPECT_EQ(engine.mutation_stats().active_epochs, 1u);
+  {
+    const MvccSnapshot pinned = engine.snapshot();
+    ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+    // The write published a fresh Version; the pinned one is still live.
+    EXPECT_EQ(engine.mutation_stats().active_epochs, 2u);
+    (void)pinned;
+  }
+  // Dropping the pin reclaims the old version (shared_ptr refcount — no
+  // grace period to wait out).
+  EXPECT_EQ(engine.mutation_stats().active_epochs, 1u);
+}
+
+// ---- Compaction ------------------------------------------------------
+
+TEST(CompactionTest, FoldsDeltaAndBumpsEpoch) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Insert(T("e", "likes", "d")).ok());
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  const auto before = DecodedRows(engine, kChain);
+  const uint64_t base_triples = engine.database().total_triples();
+
+  ASSERT_TRUE(engine.Compact().ok());
+
+  const MutationStats s = engine.mutation_stats();
+  EXPECT_EQ(s.epoch, 1u);
+  EXPECT_EQ(s.compactions, 1u);
+  EXPECT_EQ(s.delta_insert_triples, 0u);
+  EXPECT_EQ(s.delta_delete_triples, 0u);
+  EXPECT_EQ(engine.database().total_triples(), base_triples + 1);
+  // Same logical store, now all in the base CSR.
+  EXPECT_EQ(DecodedRows(engine, kChain), before);
+  // Compaction is idempotent on an empty delta.
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(DecodedRows(engine, kChain), before);
+}
+
+TEST(CompactionTest, TermIdsStayStableAcrossCompaction) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "zz1")).ok());
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "zz2")).ok());
+
+  auto result = engine.Execute(kKnowsQuery);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "zz3")).ok());
+  ASSERT_TRUE(engine.Compact().ok());
+
+  // Rows materialized before both compactions decode identically against
+  // the current snapshot: overlay IDs were folded into the new base
+  // dictionaries in allocation order, so no ID ever moved.
+  std::vector<std::vector<std::string>> old_rows;
+  for (size_t r = 0; r < result->row_count; ++r) {
+    old_rows.push_back(engine.DecodeRow(*result, r));
+  }
+  std::sort(old_rows.begin(), old_rows.end());
+  auto fresh = DecodedRows(engine, kKnowsQuery);
+  // The re-run adds zz3; every old row must appear verbatim.
+  for (const auto& row : old_rows) {
+    EXPECT_NE(std::find(fresh.begin(), fresh.end(), row), fresh.end())
+        << row[0] << " " << row[1];
+  }
+  EXPECT_NE(std::find(old_rows.begin(), old_rows.end(),
+                      std::vector<std::string>{"<c>", "<zz2>"}),
+            old_rows.end());
+}
+
+TEST(CompactionTest, DeltaOnlyPredicateServesAndCompacts) {
+  auto engine = MakeMutableEngine();
+  // A predicate the base store has never seen: planner and executor must
+  // serve it from the insert table alone (empty base replica).
+  ASSERT_TRUE(engine.Insert(T("a", "worksAt", "w1")).ok());
+  ASSERT_TRUE(engine.Insert(T("b", "worksAt", "w1")).ok());
+  ASSERT_TRUE(engine.Insert(T("c", "worksAt", "w2")).ok());
+
+  const std::string q = "SELECT ?x ?w WHERE { ?x <worksAt> ?w }";
+  EXPECT_EQ(DecodedRows(engine, q).size(), 3u);
+  // Bound-key and join shapes over the delta-only predicate.
+  EXPECT_EQ(DecodedRows(engine,
+                        "SELECT ?w WHERE { <a> <worksAt> ?w }").size(),
+            1u);
+  EXPECT_EQ(
+      DecodedRows(engine,
+                  "SELECT ?x ?y ?w WHERE { ?x <knows> ?y . ?y <worksAt> ?w }")
+          .size(),
+      3u);
+
+  engine::QueryOptions threaded;
+  threaded.num_threads = 4;
+  EXPECT_EQ(DecodedRows(engine, q, threaded).size(), 3u);
+
+  const auto before = DecodedRows(engine, q);
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(DecodedRows(engine, q), before);
+  EXPECT_EQ(DecodedRows(engine, q, threaded), before);
+}
+
+// ---- Fault injection -------------------------------------------------
+
+class MutableFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(MutableFailpointTest, ApplyFaultLeavesStoreUnchanged) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(failpoint::Arm("delta.apply", "io:1").ok());
+  const Status s = engine.Insert(T("c", "knows", "e"));
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(engine.mutation_stats().delta_insert_triples, 0u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 3u);
+  // The budgeted fault is spent; the retry lands.
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 4u);
+}
+
+TEST_F(MutableFailpointTest, BuildFaultLeavesServingSnapshotUntouched) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  const auto before = DecodedRows(engine, kKnowsQuery);
+
+  ASSERT_TRUE(failpoint::Arm("compactor.build", "error:1").ok());
+  const Status s = engine.Compact();
+  EXPECT_FALSE(s.ok());
+  // Failed compaction: same epoch, delta intact, identical results.
+  const MutationStats stats = engine.mutation_stats();
+  EXPECT_EQ(stats.epoch, 0u);
+  EXPECT_EQ(stats.compactions, 0u);
+  EXPECT_EQ(stats.delta_insert_triples, 1u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery), before);
+
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.mutation_stats().epoch, 1u);
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery), before);
+}
+
+TEST_F(MutableFailpointTest, SwapFaultLeavesServingSnapshotUntouched) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Remove(T("b", "likes", "d")).ok());
+  const auto before = DecodedRows(engine, kChain);
+
+  // Fault injected after the rebuild, inside the swap critical section —
+  // the already-built replacement must be discarded, not half-installed.
+  ASSERT_TRUE(failpoint::Arm("compactor.swap", "dataloss:1").ok());
+  const Status s = engine.Compact();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(engine.mutation_stats().epoch, 0u);
+  EXPECT_EQ(DecodedRows(engine, kChain), before);
+
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.mutation_stats().epoch, 1u);
+  EXPECT_EQ(DecodedRows(engine, kChain), before);
+}
+
+TEST_F(MutableFailpointTest, ConcurrentCompactReturnsAlreadyExists) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  // Stretch the rebuild phase so the second Compact reliably overlaps.
+  ASSERT_TRUE(failpoint::Arm("compactor.build", "sleep-100:1").ok());
+  std::thread background([&] { EXPECT_TRUE(engine.Compact().ok()); });
+  while (!engine.delta_store()->compacting()) {
+    std::this_thread::yield();
+  }
+  const Status s = engine.Compact();
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  background.join();
+  EXPECT_EQ(engine.mutation_stats().compactions, 1u);
+}
+
+TEST_F(MutableFailpointTest, WritesLandDuringCompactionRebuild) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(failpoint::Arm("compactor.build", "sleep-50:1").ok());
+  std::thread background([&] { EXPECT_TRUE(engine.Compact().ok()); });
+  while (!engine.delta_store()->compacting()) {
+    std::this_thread::yield();
+  }
+  // This write races the rebuild; the swap phase must rebase it onto the
+  // new epoch via the mutation log instead of losing it.
+  ASSERT_TRUE(engine.Insert(T("e", "knows", "f")).ok());
+  background.join();
+  EXPECT_EQ(engine.mutation_stats().epoch, 1u);
+  const auto rows = DecodedRows(engine, kKnowsQuery);
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_NE(std::find(rows.begin(), rows.end(),
+                      std::vector<std::string>{"<e>", "<f>"}),
+            rows.end());
+}
+
+// ---- Background Compactor -------------------------------------------
+
+TEST(CompactorTest, TriggerRunsOnThreadPool) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  server::ThreadPool pool(2);
+  Compactor compactor(engine.delta_store(), &pool);
+  EXPECT_TRUE(compactor.Trigger());
+  compactor.Wait();
+  EXPECT_EQ(compactor.runs(), 1u);
+  EXPECT_TRUE(compactor.last_status().ok());
+  EXPECT_EQ(engine.mutation_stats().epoch, 1u);
+  EXPECT_EQ(engine.mutation_stats().delta_insert_triples, 0u);
+}
+
+TEST(CompactorTest, MaybeTriggerHonorsThreshold) {
+  auto engine = MakeMutableEngine();
+  server::ThreadPool pool(2);
+  CompactorOptions options;
+  options.auto_compact_delta_triples = 3;
+  Compactor compactor(engine.delta_store(), &pool, options);
+
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  compactor.MaybeTrigger();
+  compactor.Wait();
+  EXPECT_EQ(compactor.runs(), 0u);  // below threshold: no compaction
+
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "f")).ok());
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  compactor.MaybeTrigger();
+  compactor.Wait();
+  EXPECT_EQ(compactor.runs(), 1u);
+  EXPECT_EQ(engine.mutation_stats().epoch, 1u);
+}
+
+// ---- Serving-layer wiring -------------------------------------------
+
+TEST(ServingTest, MutationGaugesFlowIntoMetrics) {
+  auto engine = MakeMutableEngine();
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  ASSERT_TRUE(engine.Insert(T("e", "knows", "f")).ok());
+
+  server::QueryServer server(&engine, {});
+  server.RefreshMutationGauges();
+  const server::MetricsRegistry& m = server.metrics();
+  EXPECT_EQ(m.delta_triples.load(), 1u);
+  EXPECT_GT(m.delta_bytes.load(), 0u);
+  EXPECT_EQ(m.compactions.load(), 1u);
+  EXPECT_GT(m.compaction_micros.load(), 0u);
+  EXPECT_GE(m.active_epochs.load(), 1u);
+
+  const std::string dump = m.Dump();
+  EXPECT_NE(dump.find("delta_triples"), std::string::npos);
+  EXPECT_NE(dump.find("compaction_ms"), std::string::npos);
+  EXPECT_NE(dump.find("active_epochs"), std::string::npos);
+}
+
+TEST(ServingTest, IngestPressureShedsLowPriorityQueries) {
+  auto engine = MakeMutableEngine();
+  server::ServerOptions options;
+  options.degradation.enabled = true;
+  options.degradation.min_priority = 1;
+  options.degradation.max_delta_triples = 2;
+  server::QueryServer server(&engine, options);
+
+  // Below the cap: low-priority queries pass.
+  auto ok = server.Submit(kKnowsQuery, [&]{ server::SubmitOptions so; so.priority = 0; return so; }());
+  EXPECT_TRUE(ok.result.get().ok());
+
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "f")).ok());
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "g")).ok());
+  // Pending delta over the cap counts as full load: the server degrades
+  // and sheds below-cutoff priorities, while higher priorities still run.
+  auto shed = server.Submit(kKnowsQuery, [&]{ server::SubmitOptions so; so.priority = 0; return so; }());
+  const auto shed_result = shed.result.get();
+  ASSERT_FALSE(shed_result.ok());
+  EXPECT_EQ(shed_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(server.degraded());
+  auto high = server.Submit(kKnowsQuery, [&]{ server::SubmitOptions so; so.priority = 5; return so; }());
+  EXPECT_TRUE(high.result.get().ok());
+
+  // Compacting drains the pressure; low priority recovers.
+  ASSERT_TRUE(engine.Compact().ok());
+  auto recovered = server.Submit(kKnowsQuery, [&]{ server::SubmitOptions so; so.priority = 0; return so; }());
+  EXPECT_TRUE(recovered.result.get().ok());
+  EXPECT_FALSE(server.degraded());
+}
+
+TEST(ServingTest, CalibrateAppliesToLiveBase) {
+  auto engine = MakeMutableEngine();
+  const auto before = DecodedRows(engine, kChain);
+  engine.Calibrate();
+  EXPECT_EQ(DecodedRows(engine, kChain), before);
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  engine.Calibrate();  // recalibrate the rebuilt base
+  EXPECT_EQ(DecodedRows(engine, kKnowsQuery).size(), 4u);
+}
+
+}  // namespace
+}  // namespace parj::mut

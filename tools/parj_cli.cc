@@ -21,7 +21,9 @@
 // after loading: queries stream through the admission-controlled
 // QueryServer instead of executing one at a time, results are printed as
 // they complete, and `.metrics` dumps the serving metrics registry. Serve
-// commands: .metrics | .timeout MS | .priority N | .wait | .quit.
+// commands: .metrics | .timeout MS | .priority N | .wait | .quit, plus the
+// live-write commands .insert / .remove / .compact / .delta — writes land
+// while queries are in flight; every query sees a consistent epoch.
 // `--inflight N` caps concurrently executing queries; `--threads N` sets
 // shard threads per query.
 //
@@ -32,6 +34,10 @@
 //   .load FILE            load an N-Triples file (replaces the store)
 //   .gen lubm N           generate LUBM data at N universities
 //   .gen watdiv N         generate WatDiv data at scale N
+//   .insert <s> <p> <o> . insert one triple into the live store
+//   .remove <s> <p> <o> . remove one triple from the live store
+//   .compact              fold the pending delta into a rebuilt base
+//   .delta                print pending-delta / epoch statistics
 //   .save FILE            write a binary snapshot
 //   .dump FILE            export the store as N-Triples
 //   .restore FILE         load a binary snapshot
@@ -63,7 +69,9 @@
 #include "common/failpoint.h"
 #include "common/simd.h"
 #include "common/strings.h"
+#include "common/timer.h"
 #include "engine/parj_engine.h"
+#include "rdf/ntriples.h"
 #include "server/server.h"
 #include "storage/export.h"
 #include "storage/snapshot.h"
@@ -122,6 +130,78 @@ struct Shell {
                 FormatCount(db.TableMemoryUsage()).c_str());
     std::printf("dict bytes:  %s\n",
                 FormatCount(db.DictionaryMemoryUsage()).c_str());
+  }
+
+  /// Shared by shell and serve mode: applies one `.insert`/`.remove` line.
+  /// `rest` is everything after the command word, in N-Triples syntax (the
+  /// terminating '.' may be omitted).
+  void Mutate(std::string rest, bool remove) {
+    if (!engine.has_value()) {
+      std::printf("no data loaded — use .load/.gen/.restore first\n");
+      return;
+    }
+    std::string trimmed(TrimWhitespace(rest));
+    if (trimmed.empty()) {
+      std::printf("usage: .%s <s> <p> <o> .\n", remove ? "remove" : "insert");
+      return;
+    }
+    if (trimmed.back() != '.') trimmed += " .";
+    auto triple = rdf::ParseStatementLine(trimmed);
+    if (!triple.ok()) {
+      std::printf("error: %s\n", triple.status().ToString().c_str());
+      return;
+    }
+    const Status st = remove ? engine->Remove(*triple)
+                             : engine->Insert(*triple);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    const mut::MutationStats s = engine->mutation_stats();
+    std::printf("%s; delta now %llu insert(s), %llu delete(s)\n",
+                remove ? "removed" : "inserted",
+                static_cast<unsigned long long>(s.delta_insert_triples),
+                static_cast<unsigned long long>(s.delta_delete_triples));
+  }
+
+  void Compact() {
+    if (!engine.has_value()) {
+      std::printf("no data loaded\n");
+      return;
+    }
+    Stopwatch timer;
+    const Status st = engine->Compact();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    const mut::MutationStats s = engine->mutation_stats();
+    std::printf("compacted in %s ms (epoch %llu, %s triples in base)\n",
+                FormatMillis(timer.ElapsedMillis()).c_str(),
+                static_cast<unsigned long long>(s.epoch),
+                FormatCount(engine->database().total_triples()).c_str());
+  }
+
+  void PrintDeltaStats() const {
+    if (!engine.has_value()) {
+      std::printf("no data loaded\n");
+      return;
+    }
+    const mut::MutationStats s = engine->mutation_stats();
+    std::printf(
+        "epoch:         %llu\n"
+        "delta inserts: %llu\n"
+        "delta deletes: %llu\n"
+        "delta bytes:   %s\n"
+        "compactions:   %llu (%.3f ms total)\n"
+        "active epochs: %llu\n",
+        static_cast<unsigned long long>(s.epoch),
+        static_cast<unsigned long long>(s.delta_insert_triples),
+        static_cast<unsigned long long>(s.delta_delete_triples),
+        FormatCount(s.delta_bytes).c_str(),
+        static_cast<unsigned long long>(s.compactions),
+        static_cast<double>(s.compaction_micros) / 1e3,
+        static_cast<unsigned long long>(s.active_epochs));
   }
 
   void RunQuery(const std::string& sparql) {
@@ -187,7 +267,9 @@ struct Shell {
           ".restore FILE | .verify FILE | .dump FILE | .threads N |\n"
           ".load-threads N | .strategy NAME | .scheduling static|morsel |\n"
           ".simd scalar|sse2|avx2|auto | .batch on|off |\n"
-          ".calibrate | .explain on|off | .limit N | .stats | .quit\n");
+          ".insert <s> <p> <o> . | .remove <s> <p> <o> . | .compact |\n"
+          ".delta | .calibrate | .explain on|off | .limit N | .stats | "
+          ".quit\n");
     } else if (command == ".load") {
       std::string path;
       in >> path;
@@ -266,6 +348,14 @@ struct Shell {
         Status st = storage::ExportNTriplesFile(engine->database(), path);
         std::printf("%s\n", st.ok() ? "dumped" : st.ToString().c_str());
       }
+    } else if (command == ".insert" || command == ".remove") {
+      std::string rest;
+      std::getline(in, rest);
+      Mutate(std::move(rest), command == ".remove");
+    } else if (command == ".compact") {
+      Compact();
+    } else if (command == ".delta") {
+      PrintDeltaStats();
     } else if (command == ".threads") {
       in >> threads;
       if (threads < 1) threads = 1;
@@ -432,6 +522,9 @@ struct Shell {
                                                 std::memory_order_relaxed);
       srv.metrics().load_threads_used.store(
           static_cast<uint64_t>(ls.threads), std::memory_order_relaxed);
+      // Live-mutability gauges refresh on each submission; refresh again
+      // here so an idle server still dumps current delta/epoch state.
+      srv.RefreshMutationGauges();
       std::printf("%s", srv.metrics().Dump().c_str());
     };
 
@@ -468,6 +561,16 @@ struct Shell {
         if (command == ".quit" || command == ".exit") break;
         if (command == ".metrics") {
           dump_metrics();
+        } else if (command == ".insert" || command == ".remove") {
+          // Live writes while queries are in flight: MVCC snapshots keep
+          // every running query on its pinned epoch.
+          std::string rest;
+          std::getline(in, rest);
+          Mutate(std::move(rest), command == ".remove");
+        } else if (command == ".compact") {
+          Compact();
+        } else if (command == ".delta") {
+          PrintDeltaStats();
         } else if (command == ".timeout") {
           in >> serve_timeout_millis;
           std::printf("timeout = %.1f ms\n", serve_timeout_millis);
@@ -478,7 +581,9 @@ struct Shell {
           HarvestPending(&pending, true);
         } else if (command == ".help") {
           std::printf(
-              ".metrics | .timeout MS | .priority N | .wait | .quit\n");
+              ".metrics | .insert <s> <p> <o> . | .remove <s> <p> <o> . |\n"
+              ".compact | .delta | .timeout MS | .priority N | .wait | "
+              ".quit\n");
         } else {
           std::printf("unknown serve command %s (.help for help)\n",
                       command.c_str());
