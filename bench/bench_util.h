@@ -39,9 +39,13 @@ inline int BenchRepeats() { return EnvInt("PARJ_BENCH_REPEATS", 3); }
 
 /// Builds a PARJ engine from pre-generated data (indexes on) and runs
 /// Algorithm 2 calibration, exactly as the paper does after loading.
-inline engine::ParjEngine BuildEngine(workload::GeneratedData data) {
+/// `compression` selects the replica layout (flat vs bit-packed blocks).
+inline engine::ParjEngine BuildEngine(
+    workload::GeneratedData data,
+    storage::Compression compression = storage::Compression::kNone) {
   engine::EngineOptions options;
   options.calibrate = true;
+  options.database.compression = compression;
   auto engine = engine::ParjEngine::FromEncoded(std::move(data.dict),
                                                 std::move(data.triples),
                                                 options);

@@ -1,0 +1,531 @@
+// Compressed-replica acceptance bench: builds LUBM and WatDiv twice —
+// flat CSR replicas vs bit-packed 128-id blocks (DESIGN.md §13) — and
+// gates the PR's three acceptance criteria:
+//
+//   1. Memory: geomean replica-bytes reduction across the datasets must
+//      be >= PARJ_COMPRESS_MIN_RATIO (default 3.0x). Deterministic, so a
+//      hard abort.
+//   2. Rows: every workload query, materialized under static scheduling
+//      at 8 real threads, must return byte-identical rows from both
+//      stores. Hard abort — compression must be observationally
+//      invisible.
+//   3. Probe latency: geomean per-probe time ratio (compressed kernel /
+//      flat kernel) across the micro_search-style kernel matrix below
+//      must stay under PARJ_COMPRESS_KERNEL_GATE (default 1.20 — the
+//      "<= 20% probe-latency regression" acceptance line).
+//
+// End-to-end query latency (count mode, emulated-parallel max-shard
+// model) is also reported per dataset; its geomean only gates against the
+// loose PARJ_COMPRESS_MAX_LATENCY_RATIO backstop (default 1.50) because
+// whole-query times on small container-scale datasets are
+// scheduler-noise-bound. Set either env to 0 to record without gating.
+//
+// Writes machine-readable BENCH_compress.json next to the other bench
+// artifacts. Scales come from PARJ_LUBM_UNIV / PARJ_WATDIV_SCALE.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "index/id_position_index.h"
+#include "join/search.h"
+#include "storage/compressed.h"
+#include "workload/data.h"
+
+namespace parj::bench {
+namespace {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+struct QueryResultRow {
+  std::string name;
+  double flat_millis = 0.0;
+  double packed_millis = 0.0;
+  uint64_t rows = 0;
+};
+
+struct DatasetReport {
+  std::string name;
+  uint64_t triples = 0;
+  uint64_t pairs = 0;
+  uint64_t flat_bytes = 0;
+  uint64_t packed_bytes = 0;
+  std::vector<QueryResultRow> queries;
+
+  double ratio() const {
+    return packed_bytes > 0
+               ? static_cast<double>(flat_bytes) /
+                     static_cast<double>(packed_bytes)
+               : 0.0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Probe-kernel matrix: flat search kernels vs their compressed-replica
+// counterparts over identical probe sequences (micro_search's cell
+// layout: family x pattern x size, interleaved timing, median ratio).
+// ---------------------------------------------------------------------
+
+struct KernelCell {
+  const char* family;
+  const char* pattern;
+  size_t size;
+  double flat_ns = 0.0;
+  double packed_ns = 0.0;
+  double ratio = 0.0;
+};
+
+/// Sorted distinct even keys (micro_search's shape: key + 1 is always a
+/// guaranteed miss).
+std::vector<TermId> KernelKeys(size_t count) {
+  std::vector<TermId> keys;
+  keys.reserve(count);
+  Rng rng(42);
+  TermId v = 2;
+  for (size_t i = 0; i < count; ++i) {
+    v += 2 * (1 + static_cast<TermId>(rng.Uniform(8)));
+    keys.push_back(v);
+  }
+  return keys;
+}
+
+std::vector<TermId> KernelProbes(const std::vector<TermId>& keys,
+                                 size_t probes, bool correlated,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TermId> values;
+  values.reserve(probes);
+  size_t pos = 0;
+  for (size_t i = 0; i < probes; ++i) {
+    pos = correlated ? (pos + 64) % keys.size() : rng.Uniform(keys.size());
+    values.push_back(keys[pos]);
+  }
+  return values;
+}
+
+/// Interleaved flat/packed timing; the reported ratio is the median of
+/// the per-pair ratios so one descheduled repeat cannot swing the cell.
+template <typename FlatFn, typename PackedFn>
+KernelCell TimeKernelCell(const char* family, const char* pattern,
+                          size_t size, size_t probes, int repeats,
+                          FlatFn&& flat_fn, PackedFn&& packed_fn) {
+  const auto once = [probes](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(probes);
+  };
+  flat_fn();
+  packed_fn();
+  KernelCell cell{family, pattern, size};
+  cell.flat_ns = 1e300;
+  cell.packed_ns = 1e300;
+  std::vector<double> ratios;
+  for (int r = 0; r < std::max(repeats, 3); ++r) {
+    const double f = once(flat_fn);
+    const double p = once(packed_fn);
+    cell.flat_ns = std::min(cell.flat_ns, f);
+    cell.packed_ns = std::min(cell.packed_ns, p);
+    ratios.push_back(p / std::max(1e-9, f));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const size_t mid = ratios.size() / 2;
+  cell.ratio = ratios.size() % 2 == 1
+                   ? ratios[mid]
+                   : 0.5 * (ratios[mid - 1] + ratios[mid]);
+  return cell;
+}
+
+std::vector<KernelCell> RunKernelMatrix(size_t probes, int repeats) {
+  using join::SearchStrategy;
+  std::vector<KernelCell> cells;
+  uint64_t sink = 0;
+  // Mirrors the micro_search matrix grid (2^17 / 2^20 / 2^22 keys): the
+  // small sizes keep the flat baseline cache-resident (its best case), the
+  // 4M row is where replicas outgrow the cache and compression pays.
+  for (size_t size :
+       {size_t{1} << 17, size_t{1} << 20, size_t{1} << 22}) {
+    const std::vector<TermId> keys = KernelKeys(size);
+    // Single-value runs: the key-search kernels under test never touch
+    // the value column, and this keeps the replica build cheap.
+    std::vector<uint64_t> offsets(keys.size() + 1);
+    for (size_t i = 0; i <= keys.size(); ++i) offsets[i] = i;
+    const storage::CompressedReplica rep =
+        storage::CompressReplica(keys, offsets, keys);
+    const index::IdPositionIndex idx =
+        index::IdPositionIndex::Build(keys, keys.back() + 1);
+
+    for (bool correlated : {false, true}) {
+      const std::vector<TermId> values =
+          KernelProbes(keys, probes, correlated, 7);
+      const char* pattern = correlated ? "stride64" : "random";
+      // Probe stride 64 positions x mean gap 9 keeps correlated value
+      // distances inside this threshold (routes sequential) while random
+      // probes fall outside it (route binary / index) — both adaptive
+      // arms get exercised.
+      const int64_t threshold = 1024;
+
+      if (!correlated) {
+        cells.push_back(TimeKernelCell(
+            "binary", pattern, size, probes, repeats,
+            [&] {
+              size_t cursor = 0;
+              for (TermId v : values) {
+                sink += join::BinarySearch(keys, v, &cursor) != join::kNotFound;
+              }
+            },
+            [&] {
+              size_t cursor = 0;
+              storage::ReplicaCursor rc;
+              for (TermId v : values) {
+                sink += join::CompressedBinarySearch(rep, v, &cursor, &rc) !=
+                        join::kNotFound;
+              }
+            }));
+      } else {
+        cells.push_back(TimeKernelCell(
+            "sequential", pattern, size, probes, repeats,
+            [&] {
+              size_t cursor = 0;
+              for (TermId v : values) {
+                sink += join::SequentialSearch(keys, v, &cursor) !=
+                        join::kNotFound;
+              }
+            },
+            [&] {
+              size_t cursor = 0;
+              storage::ReplicaCursor rc;
+              uint64_t steps = 0;
+              for (TermId v : values) {
+                sink += join::CompressedSequentialSearch(rep, v, &cursor, &rc,
+                                                         &steps) !=
+                        join::kNotFound;
+              }
+            }));
+      }
+      for (SearchStrategy strategy :
+           {SearchStrategy::kAdaptiveBinary, SearchStrategy::kAdaptiveIndex}) {
+        const char* family = strategy == SearchStrategy::kAdaptiveBinary
+                                 ? "adaptive-bin"
+                                 : "adaptive-idx";
+        const index::IdPositionIndex* index_ptr =
+            strategy == SearchStrategy::kAdaptiveIndex ? &idx : nullptr;
+        cells.push_back(TimeKernelCell(
+            family, pattern, size, probes, repeats,
+            [&, index_ptr, strategy] {
+              size_t cursor = 0;
+              join::SearchCounters counters;
+              for (TermId v : values) {
+                sink += join::AdaptiveSearch(keys, v, &cursor, threshold,
+                                             strategy, index_ptr,
+                                             &counters) != join::kNotFound;
+              }
+            },
+            [&, index_ptr, strategy] {
+              size_t cursor = 0;
+              join::SearchCounters counters;
+              storage::ReplicaCursor rc;
+              for (TermId v : values) {
+                sink += join::CompressedAdaptiveSearch(
+                            rep, v, &cursor, threshold, strategy, index_ptr,
+                            &counters, &rc) != join::kNotFound;
+              }
+            }));
+      }
+    }
+  }
+  if (sink == UINT64_MAX) std::printf("unreachable %llu\n",
+                                      static_cast<unsigned long long>(sink));
+  return cells;
+}
+
+std::vector<std::vector<TermId>> SortedRows(const std::vector<TermId>& flat,
+                                            size_t width) {
+  std::vector<std::vector<TermId>> rows;
+  if (width == 0) return rows;
+  for (size_t i = 0; i + width <= flat.size(); i += width) {
+    rows.emplace_back(flat.begin() + i, flat.begin() + i + width);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+DatasetReport RunDataset(const std::string& name,
+                         workload::GeneratedData flat_data,
+                         workload::GeneratedData packed_data,
+                         const std::vector<workload::NamedQuery>& queries,
+                         int repeats) {
+  DatasetReport report;
+  report.name = name;
+  report.triples = flat_data.triples.size();
+
+  engine::ParjEngine flat = BuildEngine(std::move(flat_data));
+  engine::ParjEngine packed =
+      BuildEngine(std::move(packed_data), storage::Compression::kBlocked);
+
+  const storage::Database& fdb = flat.database();
+  const storage::Database& pdb = packed.database();
+  report.pairs = fdb.TableRawBytes() / (2 * sizeof(TermId));
+  report.flat_bytes = fdb.TableMemoryUsage();
+  report.packed_bytes = pdb.TableMemoryUsage();
+
+  for (const workload::NamedQuery& q : queries) {
+    QueryResultRow row;
+    row.name = q.name;
+
+    // Hard row-equivalence gate: static scheduling is deterministic, so
+    // the two stores must produce byte-identical row vectors (not just
+    // equal multisets) at the acceptance thread count.
+    engine::QueryOptions mat;
+    mat.strategy = join::SearchStrategy::kAdaptiveIndex;
+    mat.num_threads = 8;
+    mat.scheduling = join::Scheduling::kStatic;
+    mat.mode = join::ResultMode::kMaterialize;
+    auto rf = flat.Execute(q.sparql, mat);
+    PARJ_CHECK(rf.ok()) << rf.status().ToString();
+    auto rp = packed.Execute(q.sparql, mat);
+    PARJ_CHECK(rp.ok()) << rp.status().ToString();
+    PARJ_CHECK(rf->row_count == rp->row_count)
+        << name << "/" << q.name << ": row_count diverged (flat "
+        << rf->row_count << " vs packed " << rp->row_count << ")";
+    PARJ_CHECK(rf->rows == rp->rows)
+        << name << "/" << q.name
+        << ": static-scheduling rows are not byte-identical across stores";
+    // Belt and braces: the sorted multisets must also agree (they do when
+    // the flat vectors match; this keeps the gate meaningful if static
+    // row order ever legitimately changes).
+    PARJ_CHECK(SortedRows(rf->rows, rf->column_count) ==
+               SortedRows(rp->rows, rp->column_count));
+    row.rows = rf->row_count;
+
+    engine::QueryOptions timed;
+    timed.strategy = join::SearchStrategy::kAdaptiveIndex;
+    timed.num_threads = BenchThreads();
+    timed.emulate_parallel = true;
+    timed.scheduling = join::Scheduling::kStatic;
+    // Interleaved min-of-N: the gate compares two sub-millisecond
+    // latencies, so one descheduled run would otherwise swing a query's
+    // ratio by 2-4x. The minimum is the noise-robust estimator here.
+    TimeQuery(flat, q.sparql, timed, 1);
+    TimeQuery(packed, q.sparql, timed, 1);
+    row.flat_millis = 1e300;
+    row.packed_millis = 1e300;
+    for (int i = 0; i < repeats; ++i) {
+      row.flat_millis =
+          std::min(row.flat_millis, TimeQuery(flat, q.sparql, timed, 1).millis);
+      row.packed_millis = std::min(
+          row.packed_millis, TimeQuery(packed, q.sparql, timed, 1).millis);
+    }
+    report.queries.push_back(std::move(row));
+  }
+  return report;
+}
+
+int Main() {
+  const int repeats = BenchRepeats();
+  const double min_ratio = EnvDouble("PARJ_COMPRESS_MIN_RATIO", 3.0);
+  const double kernel_gate = EnvDouble("PARJ_COMPRESS_KERNEL_GATE", 1.20);
+  const double max_latency =
+      EnvDouble("PARJ_COMPRESS_MAX_LATENCY_RATIO", 1.50);
+
+  PrintHeader(
+      "Compressed replicas: memory / probe-latency / equivalence gates",
+      "LUBM " + std::to_string(LubmUniversities()) + " univ, WatDiv scale " +
+          std::to_string(WatdivScale()) + ", " + std::to_string(repeats) +
+          " repeats | gates: >= " + std::to_string(min_ratio) +
+          "x geomean memory reduction, <= " + std::to_string(kernel_gate) +
+          "x geomean kernel probe latency, byte-identical rows");
+
+  const size_t kernel_probes = static_cast<size_t>(
+      EnvInt("PARJ_KERNEL_PROBES", 100000));
+  std::vector<KernelCell> kernels = RunKernelMatrix(kernel_probes, repeats);
+  std::printf("\nProbe-kernel matrix (flat kernel vs compressed kernel, "
+              "%zu probes, median of %d interleaved pairs):\n",
+              kernel_probes, std::max(repeats, 3));
+  TablePrinter kt({"family", "pattern", "keys", "flat ns", "packed ns",
+                   "ratio"});
+  std::vector<double> kernel_ratios;
+  {
+    char kbuf[64];
+    for (const KernelCell& c : kernels) {
+      kernel_ratios.push_back(c.ratio);
+      std::vector<std::string> row = {c.family, c.pattern,
+                                      std::to_string(c.size)};
+      std::snprintf(kbuf, sizeof(kbuf), "%.1f", c.flat_ns);
+      row.push_back(kbuf);
+      std::snprintf(kbuf, sizeof(kbuf), "%.1f", c.packed_ns);
+      row.push_back(kbuf);
+      std::snprintf(kbuf, sizeof(kbuf), "%.2fx", c.ratio);
+      row.push_back(kbuf);
+      kt.AddRow(std::move(row));
+    }
+  }
+  kt.Print();
+
+  std::vector<DatasetReport> reports;
+  {
+    workload::LubmOptions lubm{.universities = LubmUniversities(),
+                               .seed = 42};
+    reports.push_back(RunDataset("lubm", workload::GenerateLubm(lubm),
+                                 workload::GenerateLubm(lubm),
+                                 workload::LubmQueries(), repeats));
+  }
+  {
+    workload::WatdivOptions watdiv;
+    watdiv.scale = WatdivScale();
+    reports.push_back(RunDataset("watdiv", workload::GenerateWatdiv(watdiv),
+                                 workload::GenerateWatdiv(watdiv),
+                                 workload::WatdivBasicQueries(), repeats));
+  }
+
+  TablePrinter mem({"dataset", "triples", "flat bytes", "packed bytes",
+                    "reduction", "flat B/triple", "packed B/triple"});
+  std::vector<double> ratios;
+  char buf[128];
+  for (const DatasetReport& r : reports) {
+    ratios.push_back(r.ratio());
+    std::vector<std::string> row = {r.name, std::to_string(r.triples),
+                                    std::to_string(r.flat_bytes),
+                                    std::to_string(r.packed_bytes)};
+    std::snprintf(buf, sizeof(buf), "%.2fx", r.ratio());
+    row.push_back(buf);
+    const double n = std::max<double>(1.0, static_cast<double>(r.pairs));
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(r.flat_bytes) / n);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(r.packed_bytes) / n);
+    row.push_back(buf);
+    mem.AddRow(std::move(row));
+  }
+  mem.Print();
+
+  std::vector<double> latency_ratios;
+  for (const DatasetReport& r : reports) {
+    std::printf("\n%s query latency (count mode, %d emulated threads):\n",
+                r.name.c_str(), BenchThreads());
+    TablePrinter lat({"query", "flat ms", "packed ms", "ratio", "rows"});
+    for (const QueryResultRow& q : r.queries) {
+      const double ratio =
+          q.flat_millis > 0 ? q.packed_millis / q.flat_millis : 1.0;
+      latency_ratios.push_back(ratio);
+      std::vector<std::string> row = {q.name};
+      std::snprintf(buf, sizeof(buf), "%.3f", q.flat_millis);
+      row.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.3f", q.packed_millis);
+      row.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+      row.push_back(buf);
+      row.push_back(std::to_string(q.rows));
+      lat.AddRow(std::move(row));
+    }
+    lat.Print();
+  }
+
+  const double memory_geomean = Aggregates(ratios).geomean;
+  const double kernel_geomean = Aggregates(kernel_ratios).geomean;
+  const double latency_geomean = Aggregates(latency_ratios).geomean;
+  std::printf(
+      "\nmemory reduction geomean:  %.2fx (gate >= %.2fx)\n"
+      "kernel probe ratio geomean: %.2fx (gate <= %.2fx%s)\n"
+      "query latency geomean:     %.2fx (backstop <= %.2fx%s)\n"
+      "row equivalence:           all queries byte-identical across stores\n",
+      memory_geomean, min_ratio, kernel_geomean, kernel_gate,
+      kernel_gate > 0 ? "" : ", gating disabled", latency_geomean,
+      max_latency, max_latency > 0 ? "" : ", gating disabled");
+
+  std::string json = "{\n  \"bench\": \"compress\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"memory_geomean\": %.4f,\n  \"memory_gate\": %.2f,\n",
+                memory_geomean, min_ratio);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"kernel_geomean\": %.4f,\n  \"kernel_gate\": %.2f,\n",
+                kernel_geomean, kernel_gate);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"latency_geomean\": %.4f,\n  \"latency_gate\": %.2f,\n",
+                latency_geomean, max_latency);
+  json += buf;
+  json += "  \"kernels\": [\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelCell& c = kernels[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"family\": \"%s\", \"pattern\": \"%s\", "
+                  "\"keys\": %zu, \"flat_ns\": %.2f, \"packed_ns\": %.2f, "
+                  "\"ratio\": %.3f}",
+                  c.family, c.pattern, c.size, c.flat_ns, c.packed_ns,
+                  c.ratio);
+    json += buf;
+    json += (i + 1 < kernels.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"rows_equivalent\": true,\n  \"datasets\": [\n";
+  for (size_t d = 0; d < reports.size(); ++d) {
+    const DatasetReport& r = reports[d];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"triples\": %llu, "
+                  "\"flat_bytes\": %llu, \"packed_bytes\": %llu, "
+                  "\"reduction\": %.4f,\n     \"queries\": [\n",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.triples),
+                  static_cast<unsigned long long>(r.flat_bytes),
+                  static_cast<unsigned long long>(r.packed_bytes),
+                  r.ratio());
+    json += buf;
+    for (size_t i = 0; i < r.queries.size(); ++i) {
+      const QueryResultRow& q = r.queries[i];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"query\": \"%s\", \"flat_millis\": %.4f, "
+                    "\"packed_millis\": %.4f, \"rows\": %llu}",
+                    q.name.c_str(), q.flat_millis, q.packed_millis,
+                    static_cast<unsigned long long>(q.rows));
+      json += buf;
+      json += (i + 1 < r.queries.size()) ? ",\n" : "\n";
+    }
+    json += "    ]}";
+    json += (d + 1 < reports.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  WriteBenchJson("BENCH_compress.json", json);
+
+  bool ok = true;
+  if (memory_geomean < min_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: memory reduction geomean %.2fx below the %.2fx "
+                 "gate\n",
+                 memory_geomean, min_ratio);
+    ok = false;
+  }
+  if (kernel_gate > 0 && kernel_geomean > kernel_gate) {
+    std::fprintf(stderr,
+                 "FAIL: kernel probe-latency geomean %.2fx above the %.2fx "
+                 "gate\n",
+                 kernel_geomean, kernel_gate);
+    ok = false;
+  }
+  if (max_latency > 0 && latency_geomean > max_latency) {
+    std::fprintf(stderr,
+                 "FAIL: query latency geomean %.2fx above the %.2fx "
+                 "backstop\n",
+                 latency_geomean, max_latency);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace parj::bench
+
+int main() { return parj::bench::Main(); }

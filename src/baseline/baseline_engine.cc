@@ -25,7 +25,8 @@ std::vector<std::array<TermId, 2>> PatternPairs(const Database& db,
   if (s_const) {
     size_t pos = so.FindKey(pattern.subject.constant);
     if (pos == SIZE_MAX) return out;
-    for (TermId o : so.Run(pos)) {
+    std::vector<TermId> scratch;
+    for (TermId o : so.RunInto(pos, &scratch)) {
       if (o_const && o != pattern.object.constant) continue;
       out.push_back({pattern.subject.constant, o});
     }
@@ -34,16 +35,16 @@ std::vector<std::array<TermId, 2>> PatternPairs(const Database& db,
   if (o_const) {
     size_t pos = os.FindKey(pattern.object.constant);
     if (pos == SIZE_MAX) return out;
-    for (TermId s : os.Run(pos)) {
+    std::vector<TermId> scratch;
+    for (TermId s : os.RunInto(pos, &scratch)) {
       out.push_back({s, pattern.object.constant});
     }
     return out;
   }
   out.reserve(so.pair_count());
-  for (size_t k = 0; k < so.key_count(); ++k) {
-    const TermId s = so.KeyAt(k);
-    for (TermId o : so.Run(k)) out.push_back({s, o});
-  }
+  so.ForEachRun([&](size_t, TermId s, std::span<const TermId> run) {
+    for (TermId o : run) out.push_back({s, o});
+  });
   return out;
 }
 

@@ -201,6 +201,33 @@ inline bool ContainsU32(const uint32_t* data, size_t count, uint32_t value) {
   return false;
 }
 
+// ---- Bit-packed block decode (compressed replicas, DESIGN.md §13) ----
+//
+// A block stores up to 128 unsigned fields of a fixed `width` (0..32 bits)
+// packed LSB-first into little-endian 64-bit words with no padding between
+// fields. The three decoders below reverse that packing and apply the
+// block's reconstruction rule; like the scans, every tier produces
+// bit-identical output (the operations are exact integer arithmetic), so
+// compressed probes behave the same whatever level is active.
+//
+// Precondition shared by all three: `count <= 128`, and `words` must stay
+// readable for ceil(count*width/64) + 1 words — the AVX2 tier gathers
+// 32-bit lanes at byte granularity and may read up to 3 bytes past the
+// payload (PackedColumn appends one guard word).
+
+/// Raw field extraction: out[i] = field i. width == 0 zero-fills.
+void UnpackBitsU32(const uint64_t* words, unsigned width, size_t count,
+                   uint32_t* out);
+
+/// Frame-of-reference block: out[i] = base + field[i].
+void UnpackForU32(const uint64_t* words, unsigned width, size_t count,
+                  uint32_t base, uint32_t* out);
+
+/// Delta block (non-decreasing data): out[i] = base + field[0] + ... +
+/// field[i]. Encoders emit field[0] = 0 so out[0] == base.
+void UnpackDeltaU32(const uint64_t* words, unsigned width, size_t count,
+                    uint32_t base, uint32_t* out);
+
 }  // namespace parj::simd
 
 #endif  // PARJ_COMMON_SIMD_H_

@@ -43,9 +43,16 @@ Result<ReplayStats> ReplaySearchTrace(const storage::Database& db,
     const int64_t threshold = meta.threshold_binary;
     const size_t gallop_cap = GallopCapForWindow(meta.window_binary);
 
+    // A compressed replica has no flat key array to instrument; the replay
+    // probes its decoded (flat-equivalent) keys instead, which preserves
+    // the probe trajectory and counters the flat store would produce.
+    std::vector<TermId> decode_scratch;
+    const std::span<const TermId> keys =
+        replica.is_compressed() ? replica.DecodedKeys(&decode_scratch)
+                                : replica.keys();
     size_t cursor = 0;
     for (TermId value : values) {
-      AdaptiveSearchWith(replica.keys(), value, &cursor, threshold, strategy,
+      AdaptiveSearchWith(keys, value, &cursor, threshold, strategy,
                          index, &stats.counters, mem, gallop_cap);
     }
   }

@@ -109,8 +109,7 @@ bool DeltaStore::BaseContains(const storage::Database& base, PredicateId pid,
   const storage::TableReplica& so = entry->table.so();
   const size_t pos = so.FindKey(s);
   if (pos == SIZE_MAX) return false;
-  const std::span<const TermId> run = so.Run(pos);
-  return std::binary_search(run.begin(), run.end(), o);
+  return so.RunContains(pos, o);
 }
 
 void DeltaStore::ApplyToBuilders(const storage::Database& base,
@@ -254,21 +253,20 @@ Status DeltaStore::Compact() {
         const storage::TableReplica& so = entry->table.so();
         const storage::TableReplica* del =
             d != nullptr ? &d->deletes.so() : nullptr;
-        for (size_t k = 0; k < so.key_count(); ++k) {
-          const TermId s = so.KeyAt(k);
+        so.ForEachRun([&](size_t, TermId s, std::span<const TermId> run) {
           std::span<const TermId> del_run;
           if (del != nullptr && !del->empty()) {
             const size_t dpos = del->FindKey(s);
             if (dpos != SIZE_MAX) del_run = del->Run(dpos);
           }
-          for (const TermId o : so.Run(k)) {
+          for (const TermId o : run) {
             if (!del_run.empty() &&
                 std::binary_search(del_run.begin(), del_run.end(), o)) {
               continue;
             }
             triples.push_back(EncodedTriple{s, pid, o});
           }
-        }
+        });
       }
       if (d != nullptr) {
         const storage::TableReplica& ins = d->inserts.so();

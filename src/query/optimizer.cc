@@ -136,9 +136,7 @@ class PlannerContext {
       double value_distinct = 1.0;
       if (value_const) {
         const bool hit =
-            pos != SIZE_MAX &&
-            std::binary_search(replica.Run(pos).begin(),
-                               replica.Run(pos).end(), value.constant);
+            pos != SIZE_MAX && replica.RunContains(pos, value.constant);
         per_tuple_matches = hit ? 1.0 : 0.0;
       } else if (value_is_key_var) {
         per_tuple_matches = run_len > 0 ? 1.0 : 0.0;  // checked exactly later

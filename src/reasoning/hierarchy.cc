@@ -15,9 +15,9 @@ void CollectPairs(const storage::Database& db, PredicateId pid,
   const storage::PropertyEntry* entry = db.FindEntry(pid);
   if (entry == nullptr) return;
   const storage::TableReplica& so = entry->table.so();
-  for (size_t k = 0; k < so.key_count(); ++k) {
-    for (TermId o : so.Run(k)) out->emplace_back(so.KeyAt(k), o);
-  }
+  so.ForEachRun([&](size_t, TermId s, std::span<const TermId> run) {
+    for (TermId o : run) out->emplace_back(s, o);
+  });
 }
 
 }  // namespace

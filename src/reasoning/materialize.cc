@@ -30,9 +30,8 @@ Result<ClosureData> MaterializeHierarchies(const storage::Database& db,
     const storage::PropertyEntry& entry = db.entry(pid);
     const storage::TableReplica& so = entry.table.so();
     const bool is_type = pid == type_pid;
-    for (size_t k = 0; k < so.key_count(); ++k) {
-      const TermId s = so.KeyAt(k);
-      for (TermId o : so.Run(k)) {
+    so.ForEachRun([&](size_t, TermId s, std::span<const TermId> run) {
+      for (TermId o : run) {
         out.triples.push_back(EncodedTriple{s, pid, o});
         ++local.input_triples;
         if (is_type) {
@@ -47,7 +46,7 @@ Result<ClosureData> MaterializeHierarchies(const storage::Database& db,
           ++local.inferred_property_triples;
         }
       }
-    }
+    });
   }
 
   // Deduplicate (inferences can coincide with asserted triples and with

@@ -115,6 +115,9 @@ std::string MetricsRegistry::Dump() const {
     out += line;
   }
   AppendCounter(&out, "active_epochs", active_epochs);
+  AppendCounter(&out, "store_bytes", store_bytes);
+  AppendCounter(&out, "store_allocated_bytes", store_allocated_bytes);
+  AppendCounter(&out, "store_raw_bytes", store_raw_bytes);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -148,6 +151,9 @@ void MetricsRegistry::Reset() {
   compactions.store(0, std::memory_order_relaxed);
   compaction_micros.store(0, std::memory_order_relaxed);
   active_epochs.store(0, std::memory_order_relaxed);
+  store_bytes.store(0, std::memory_order_relaxed);
+  store_allocated_bytes.store(0, std::memory_order_relaxed);
+  store_raw_bytes.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

@@ -47,6 +47,12 @@ void QueryServer::RefreshMutationGauges() {
   metrics_.compaction_micros.store(s.compaction_micros,
                                    std::memory_order_relaxed);
   metrics_.active_epochs.store(s.active_epochs, std::memory_order_relaxed);
+  const storage::Database& db = engine_->database();
+  metrics_.store_bytes.store(db.TableMemoryUsage(), std::memory_order_relaxed);
+  metrics_.store_allocated_bytes.store(db.TableAllocatedUsage(),
+                                       std::memory_order_relaxed);
+  metrics_.store_raw_bytes.store(db.TableRawBytes(),
+                                 std::memory_order_relaxed);
 }
 
 void QueryServer::CountTermination(const CancellationToken& token) {

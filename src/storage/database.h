@@ -87,6 +87,16 @@ struct PropertyEntry {
   }
 };
 
+/// Storage representation for the replicas' key/offset/value arrays.
+enum class Compression : uint8_t {
+  kNone = 0,     ///< flat sorted arrays (the paper's layout)
+  kBlocked = 1,  ///< 128-id FOR/delta bit-packed blocks (DESIGN.md §13)
+};
+
+inline const char* CompressionName(Compression c) {
+  return c == Compression::kBlocked ? "blocked" : "none";
+}
+
 /// Build-time options.
 struct DatabaseOptions {
   /// Equi-depth histogram buckets per replica.
@@ -114,6 +124,10 @@ struct DatabaseOptions {
   /// concurrency here, to keep the default deterministic-cheap); the
   /// built store is identical whatever the value (DESIGN.md §10).
   int build_threads = 1;
+  /// Replica storage representation. kBlocked re-encodes every replica as
+  /// bit-packed blocks after all derived metadata is built; query results
+  /// and SearchCounters are identical to kNone.
+  Compression compression = Compression::kNone;
 };
 
 /// Wall-clock breakdown of one Database::Build (+ Calibrate), filled when
@@ -183,8 +197,22 @@ class Database {
   }
 
   /// Heap bytes of tables + metadata, excluding the dictionary (the paper
-  /// quotes storage "excluding dictionary" separately).
+  /// quotes storage "excluding dictionary" separately). Counts live bytes
+  /// (vector sizes / packed payloads), not reserve slack.
   size_t TableMemoryUsage() const;
+
+  /// Like TableMemoryUsage() but counting allocated capacity, so the gap
+  /// between the two gauges is exactly the allocator slack.
+  size_t TableAllocatedUsage() const;
+
+  /// Bytes the replicas' flat arrays would occupy uncompressed — the
+  /// denominator of the compression ratio. Excludes indexes/metadata.
+  size_t TableRawBytes() const;
+
+  /// Storage representation the store was built with.
+  Compression compression() const { return options_.compression; }
+
+  const DatabaseOptions& options() const { return options_; }
 
   /// Heap bytes of the dictionary.
   size_t DictionaryMemoryUsage() const { return dict_.MemoryUsage(); }

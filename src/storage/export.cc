@@ -10,13 +10,13 @@ Status ExportNTriples(const Database& db, std::ostream& out) {
   for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
     const std::string predicate = dict.DecodePredicate(pid).ToNTriples();
     const TableReplica& so = db.entry(pid).table.so();
-    for (size_t k = 0; k < so.key_count(); ++k) {
-      const std::string subject = dict.DecodeResource(so.KeyAt(k)).ToNTriples();
-      for (TermId object : so.Run(k)) {
+    so.ForEachRun([&](size_t, TermId s, std::span<const TermId> run) {
+      const std::string subject = dict.DecodeResource(s).ToNTriples();
+      for (TermId object : run) {
         out << subject << " " << predicate << " "
             << dict.DecodeResource(object).ToNTriples() << " .\n";
       }
-    }
+    });
   }
   if (!out) return Status::IoError("write failure during N-Triples export");
   return Status::OK();

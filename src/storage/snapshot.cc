@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "server/thread_pool.h"
+#include "storage/compressed.h"
 
 namespace parj::storage {
 
@@ -26,10 +27,12 @@ namespace {
 constexpr char kMagic[8] = {'P', 'A', 'R', 'J', 'S', 'N', 'A', 'P'};
 constexpr size_t kMaxStringLength = 1u << 24;  // 16 MB per term, sanity cap
 
-// v2 section ids. The trailer id spells "TRLR" so a hex dump of a healthy
-// snapshot ends recognizably.
+// Section ids. The trailer id spells "TRLR" so a hex dump of a healthy
+// snapshot ends recognizably. v2 data lives in kSectionTriples, v3 data
+// in kSectionTables (bit-packed SO replicas).
 constexpr uint32_t kSectionDictionary = 1;
 constexpr uint32_t kSectionTriples = 2;
+constexpr uint32_t kSectionTables = 3;
 constexpr uint32_t kSectionTrailer = 0x524C5254u;  // "TRLR" in an LE dump
 
 /// Streaming writer: every byte goes straight to the ostream; while a
@@ -204,6 +207,177 @@ class SnapshotReader {
   bool crc_active_ = false;
 };
 
+// --- v3 packed-table payload helpers ---------------------------------------
+
+/// Serializes one bit-packed column: logical size, payload word count,
+/// payload words, then the per-block word offsets and meta bytes (their
+/// counts derive from the size).
+void WritePackedColumn(SnapshotWriter& writer, const PackedColumn& col) {
+  writer.WriteU32(col.size);
+  writer.WriteU64(col.words.size());
+  writer.WriteBytes(col.words.data(), col.words.size() * sizeof(uint64_t));
+  writer.WriteBytes(col.block_word.data(),
+                    col.block_word.size() * sizeof(uint32_t));
+  writer.WriteBytes(col.meta.data(), col.meta.size());
+}
+
+/// Reads and structurally validates one packed column: every width must
+/// be <= 32 and every block's payload (plus the decoder's one-word
+/// overread allowance) must sit inside the word array, so a decoder can
+/// never read out of bounds even on data that defeats the CRC.
+Status ReadPackedColumn(SnapshotReader& reader, PackedColumn* col,
+                        const char* what) {
+  PARJ_ASSIGN_OR_RETURN(col->size, reader.ReadU32(what));
+  PARJ_ASSIGN_OR_RETURN(uint64_t word_count, reader.ReadU64(what));
+  const size_t blocks =
+      (static_cast<size_t>(col->size) + kPackBlock - 1) / kPackBlock;
+  // Widest legal encoding: 32-bit fields, word-aligned blocks, one guard.
+  const uint64_t max_words =
+      static_cast<uint64_t>(blocks) * (kPackBlock * 32 / 64 + 1) + 1;
+  if (word_count > max_words) {
+    return Status::ParseError("snapshot packed column '" + std::string(what) +
+                              "' has implausible word count " +
+                              std::to_string(word_count));
+  }
+  col->words.resize(static_cast<size_t>(word_count));
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(col->words.data(),
+                                      col->words.size() * sizeof(uint64_t),
+                                      what));
+  col->block_word.resize(blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(col->block_word.data(),
+                                      blocks * sizeof(uint32_t), what));
+  col->meta.resize(blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(col->meta.data(), blocks, what));
+  for (size_t b = 0; b < blocks; ++b) {
+    const unsigned width = col->meta[b] & kPackWidthMask;
+    if (width > 32) {
+      return Status::ParseError("snapshot packed column '" +
+                                std::string(what) + "' block " +
+                                std::to_string(b) + " has width " +
+                                std::to_string(width));
+    }
+    const uint64_t needed =
+        (static_cast<uint64_t>(col->BlockLen(b)) * width + 63) / 64;
+    if (static_cast<uint64_t>(col->block_word[b]) + needed + 1 > word_count) {
+      return Status::ParseError("snapshot packed column '" +
+                                std::string(what) + "' block " +
+                                std::to_string(b) +
+                                " payload exceeds word array");
+    }
+  }
+  return Status::OK();
+}
+
+/// Serializes one replica's packed form. The encoder is deterministic, so
+/// the bytes are identical whether the source store was flat (packed on
+/// the fly) or already compressed.
+void WritePackedReplica(SnapshotWriter& writer, const CompressedReplica& r) {
+  writer.WriteU32(static_cast<uint32_t>(r.key_count()));
+  writer.WriteU64(r.lens.total);
+  if (r.key_count() == 0) return;
+  writer.WriteU32(r.min_key);
+  writer.WriteU32(r.max_key);
+  WritePackedColumn(writer, r.keys.col);
+  writer.WriteBytes(r.keys.minima.data(),
+                    r.keys.minima.size() * sizeof(TermId));
+  WritePackedColumn(writer, r.lens.col);
+  writer.WriteBytes(r.lens.base.data(), r.lens.base.size() * sizeof(uint64_t));
+  writer.WriteBytes(r.lens.min_len.data(),
+                    r.lens.min_len.size() * sizeof(uint32_t));
+  WritePackedColumn(writer, r.vals.col);
+  writer.WriteBytes(r.vals.minima.data(),
+                    r.vals.minima.size() * sizeof(TermId));
+}
+
+/// Reads one packed replica and (when `triples` is non-null) decodes it
+/// back into (key, pid, value) triples. Returns the replica's pair count.
+Result<uint64_t> ReadPackedReplica(SnapshotReader& reader, PredicateId pid,
+                                   std::vector<EncodedTriple>* triples) {
+  PARJ_ASSIGN_OR_RETURN(uint32_t key_count, reader.ReadU32("table key count"));
+  PARJ_ASSIGN_OR_RETURN(uint64_t pair_count,
+                        reader.ReadU64("table pair count"));
+  if (key_count == 0) {
+    if (pair_count != 0) {
+      return Status::ParseError("snapshot table for predicate " +
+                                std::to_string(pid) +
+                                " has pairs but no keys");
+    }
+    return uint64_t{0};
+  }
+  CompressedReplica r;
+  PARJ_ASSIGN_OR_RETURN(r.min_key, reader.ReadU32("table min key"));
+  PARJ_ASSIGN_OR_RETURN(r.max_key, reader.ReadU32("table max key"));
+  r.lens.total = pair_count;
+
+  PARJ_RETURN_NOT_OK(ReadPackedColumn(reader, &r.keys.col, "keys"));
+  if (r.keys.col.size != key_count) {
+    return Status::ParseError("snapshot key column size mismatch");
+  }
+  const size_t key_blocks = r.keys.col.block_count();
+  r.keys.minima.resize(key_blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(r.keys.minima.data(),
+                                      key_blocks * sizeof(TermId),
+                                      "key minima"));
+
+  PARJ_RETURN_NOT_OK(ReadPackedColumn(reader, &r.lens.col, "lengths"));
+  if (r.lens.col.size != key_count) {
+    return Status::ParseError("snapshot length column size mismatch");
+  }
+  r.lens.base.resize(key_blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(r.lens.base.data(),
+                                      key_blocks * sizeof(uint64_t),
+                                      "length bases"));
+  r.lens.min_len.resize(key_blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(r.lens.min_len.data(),
+                                      key_blocks * sizeof(uint32_t),
+                                      "length minima"));
+
+  PARJ_RETURN_NOT_OK(ReadPackedColumn(reader, &r.vals.col, "values"));
+  if (r.vals.col.size != pair_count) {
+    return Status::ParseError("snapshot value column size mismatch");
+  }
+  const size_t val_blocks = r.vals.col.block_count();
+  r.vals.minima.resize(val_blocks);
+  PARJ_RETURN_NOT_OK(reader.ReadBytes(r.vals.minima.data(),
+                                      val_blocks * sizeof(TermId),
+                                      "value minima"));
+  if (triples == nullptr) return pair_count;
+
+  // Decode back to flat arrays. Database::Build revalidates and re-sorts
+  // the triples, so decode errors that survive the CRC can only yield a
+  // load failure or a well-formed store, never a malformed one.
+  std::vector<TermId> keys(key_count);
+  for (size_t b = 0; b < key_blocks; ++b) {
+    DecodeKeyBlock(r.keys, b, keys.data() + b * kPackBlock);
+  }
+  std::vector<uint64_t> offsets(static_cast<size_t>(key_count) + 1);
+  uint64_t len_buf[kPackBlock + 1];
+  for (size_t b = 0; b < key_blocks; ++b) {
+    DecodeLengthBlock(r.lens, b, len_buf);
+    const size_t len = r.lens.col.BlockLen(b);
+    for (size_t i = 0; i <= len; ++i) offsets[b * kPackBlock + i] = len_buf[i];
+  }
+  if (offsets.front() != 0 || offsets.back() != pair_count) {
+    return Status::ParseError("snapshot table offsets do not cover pairs");
+  }
+  for (size_t i = 0; i < key_count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::ParseError("snapshot table offsets not monotone");
+    }
+  }
+  std::vector<TermId> values(static_cast<size_t>(pair_count));
+  for (size_t b = 0; b < val_blocks; ++b) {
+    DecodeValueBlock(r.vals, b, values.data() + b * kPackBlock);
+  }
+  for (size_t k = 0; k < key_count; ++k) {
+    const TermId s = keys[k];
+    for (uint64_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      triples->push_back(EncodedTriple{s, pid, values[i]});
+    }
+  }
+  return pair_count;
+}
+
 /// Shared walker behind ReadSnapshot (build == true: populate dict +
 /// triples) and VerifySnapshot (build == false: decode and discard).
 Status ParseSnapshot(std::istream& in, bool build, dict::Dictionary* dict,
@@ -216,10 +390,12 @@ Status ParseSnapshot(std::istream& in, bool build, dict::Dictionary* dict,
   }
   PARJ_FAILPOINT("snapshot.read.header");
   PARJ_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32("version"));
-  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionV2 &&
+      version != kSnapshotVersionLegacy) {
     return Status::Unsupported("snapshot version " + std::to_string(version) +
                                " (supported: " +
                                std::to_string(kSnapshotVersionLegacy) + ", " +
+                               std::to_string(kSnapshotVersionV2) + ", " +
                                std::to_string(kSnapshotVersion) + ")");
   }
   info->version = version;
@@ -227,7 +403,7 @@ Status ParseSnapshot(std::istream& in, bool build, dict::Dictionary* dict,
   if (flags != 0) {
     return Status::Unsupported("snapshot uses unknown flags");
   }
-  const bool checked = version >= kSnapshotVersion;
+  const bool checked = version >= kSnapshotVersionV2;
   std::vector<uint32_t> section_crcs;
 
   // --- dictionary section -----------------------------------------------
@@ -273,36 +449,78 @@ Status ParseSnapshot(std::istream& in, bool build, dict::Dictionary* dict,
     ++info->sections_verified;
   }
 
-  // --- triples section --------------------------------------------------
+  // --- data section (v1/v2: raw triples; v3: packed tables) -------------
   PARJ_FAILPOINT("snapshot.read.triples");
-  if (checked) {
+  if (version >= kSnapshotVersion) {
     PARJ_ASSIGN_OR_RETURN(uint32_t id, reader.ReadU32("section id"));
-    if (id != kSectionTriples) {
+    if (id != kSectionTables) {
       return Status::DataLoss(
-          "snapshot triples section has wrong id " + std::to_string(id) +
+          "snapshot tables section has wrong id " + std::to_string(id) +
           " at offset " + std::to_string(reader.offset() - 4));
     }
     reader.BeginCrc();
-  }
-  PARJ_ASSIGN_OR_RETURN(uint64_t triple_count, reader.ReadU64("triple count"));
-  info->triple_count = triple_count;
-  if (build) {
-    // Do not trust the header for a giant up-front allocation; a corrupted
-    // count will fail on the truncated read (or the CRC) instead.
-    triples->reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
-  }
-  for (uint64_t i = 0; i < triple_count; ++i) {
-    EncodedTriple t;
-    PARJ_ASSIGN_OR_RETURN(t.subject, reader.ReadU32("triple subject"));
-    PARJ_ASSIGN_OR_RETURN(t.predicate, reader.ReadU32("triple predicate"));
-    PARJ_ASSIGN_OR_RETURN(t.object, reader.ReadU32("triple object"));
-    if (build) triples->push_back(t);
-  }
-  if (checked) {
+    PARJ_ASSIGN_OR_RETURN(uint64_t triple_count,
+                          reader.ReadU64("triple count"));
+    info->triple_count = triple_count;
+    PARJ_ASSIGN_OR_RETURN(uint32_t table_count, reader.ReadU32("table count"));
+    if (table_count != info->predicate_count) {
+      return Status::DataLoss(
+          "snapshot has " + std::to_string(table_count) +
+          " tables for " + std::to_string(info->predicate_count) +
+          " predicates");
+    }
+    if (build) {
+      triples->reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
+    }
+    uint64_t decoded = 0;
+    for (uint32_t p = 0; p < table_count; ++p) {
+      PARJ_ASSIGN_OR_RETURN(
+          uint64_t pairs,
+          ReadPackedReplica(reader, static_cast<PredicateId>(p + 1),
+                            build ? triples : nullptr));
+      decoded += pairs;
+    }
+    if (decoded != triple_count) {
+      return Status::DataLoss("snapshot tables hold " +
+                              std::to_string(decoded) + " triples, header "
+                              "says " + std::to_string(triple_count));
+    }
     const uint32_t computed = reader.EndCrc();
-    PARJ_RETURN_NOT_OK(reader.VerifySectionCrc("triples", computed));
+    PARJ_RETURN_NOT_OK(reader.VerifySectionCrc("tables", computed));
     section_crcs.push_back(computed);
     ++info->sections_verified;
+  } else {
+    if (checked) {
+      PARJ_ASSIGN_OR_RETURN(uint32_t id, reader.ReadU32("section id"));
+      if (id != kSectionTriples) {
+        return Status::DataLoss(
+            "snapshot triples section has wrong id " + std::to_string(id) +
+            " at offset " + std::to_string(reader.offset() - 4));
+      }
+      reader.BeginCrc();
+    }
+    PARJ_ASSIGN_OR_RETURN(uint64_t triple_count,
+                          reader.ReadU64("triple count"));
+    info->triple_count = triple_count;
+    if (build) {
+      // Do not trust the header for a giant up-front allocation; a
+      // corrupted count will fail on the truncated read (or the CRC)
+      // instead.
+      triples->reserve(std::min<uint64_t>(triple_count, uint64_t{1} << 24));
+    }
+    for (uint64_t i = 0; i < triple_count; ++i) {
+      EncodedTriple t;
+      PARJ_ASSIGN_OR_RETURN(t.subject, reader.ReadU32("triple subject"));
+      PARJ_ASSIGN_OR_RETURN(t.predicate, reader.ReadU32("triple predicate"));
+      PARJ_ASSIGN_OR_RETURN(t.object, reader.ReadU32("triple object"));
+      if (build) triples->push_back(t);
+    }
+    if (checked) {
+      const uint32_t computed = reader.EndCrc();
+      PARJ_RETURN_NOT_OK(reader.VerifySectionCrc("triples", computed));
+      section_crcs.push_back(computed);
+      ++info->sections_verified;
+    }
   }
 
   // --- trailer ----------------------------------------------------------
@@ -435,7 +653,7 @@ Status ScanSnapshotV2(const char* data, size_t size, SnapshotLayout* layout,
   PARJ_RETURN_NOT_OK(cur.Skip(sizeof(kMagic), "magic"));
   PARJ_FAILPOINT("snapshot.read.header");
   PARJ_ASSIGN_OR_RETURN(uint32_t version, cur.ReadU32("version"));
-  PARJ_CHECK(version == kSnapshotVersion)
+  PARJ_CHECK(version == kSnapshotVersionV2)
       << "ScanSnapshotV2 called for version " << version;
   info->version = version;
   PARJ_ASSIGN_OR_RETURN(uint32_t flags, cur.ReadU32("flags"));
@@ -681,11 +899,12 @@ Status DecodeSnapshotParallel(const char* data, size_t size,
 }  // namespace
 
 Status WriteSnapshot(const Database& db, std::ostream& out, uint32_t version) {
-  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionV2 &&
+      version != kSnapshotVersionLegacy) {
     return Status::InvalidArgument("cannot write snapshot version " +
                                    std::to_string(version));
   }
-  const bool checked = version >= kSnapshotVersion;
+  const bool checked = version >= kSnapshotVersionV2;
   SnapshotWriter writer(out);
   writer.WriteBytes(kMagic, sizeof(kMagic));
   writer.WriteU32(version);
@@ -704,21 +923,46 @@ Status WriteSnapshot(const Database& db, std::ostream& out, uint32_t version) {
   if (checked) writer.EndSection();
 
   PARJ_FAILPOINT("snapshot.write.triples");
-  if (checked) writer.BeginSection(kSectionTriples);
-  writer.WriteU64(db.total_triples());
-  for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
-    const TableReplica& so = db.entry(pid).table.so();
-    for (size_t k = 0; k < so.key_count(); ++k) {
-      for (TermId o : so.Run(k)) {
-        writer.WriteU32(so.KeyAt(k));
-        writer.WriteU32(pid);
-        writer.WriteU32(o);
+  if (version >= kSnapshotVersion) {
+    // v3: each predicate's SO replica through the deterministic block
+    // encoder — byte-identical output whether the in-memory store is flat
+    // (packed here on the fly) or already compressed (reused as is).
+    writer.BeginSection(kSectionTables);
+    writer.WriteU64(db.total_triples());
+    writer.WriteU32(static_cast<uint32_t>(db.predicate_count()));
+    for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+      const TableReplica& so = db.entry(pid).table.so();
+      if (so.empty()) {
+        writer.WriteU32(0);
+        writer.WriteU64(0);
+      } else if (so.is_compressed()) {
+        WritePackedReplica(writer, *so.packed());
+      } else {
+        WritePackedReplica(
+            writer, CompressReplica(so.keys(), so.offsets(), so.values()));
       }
     }
-  }
-  if (checked) {
     writer.EndSection();
     writer.WriteTrailer();
+  } else {
+    if (checked) writer.BeginSection(kSectionTriples);
+    writer.WriteU64(db.total_triples());
+    for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+      const TableReplica& so = db.entry(pid).table.so();
+      // ForEachRun works in both storage modes, emitting the identical
+      // (key, run) sequence a flat walk produces.
+      so.ForEachRun([&](size_t, TermId key, std::span<const TermId> run) {
+        for (TermId o : run) {
+          writer.WriteU32(key);
+          writer.WriteU32(pid);
+          writer.WriteU32(o);
+        }
+      });
+    }
+    if (checked) {
+      writer.EndSection();
+      writer.WriteTrailer();
+    }
   }
   if (!writer.good()) {
     return Status::IoError("write failure while saving snapshot");
@@ -782,7 +1026,7 @@ Result<Database> ReadSnapshot(std::istream& in, const DatabaseOptions& options,
     if (buffer.size() >= sizeof(kMagic) + 4) {
       std::memcpy(&version, buffer.data() + sizeof(kMagic), 4);
     }
-    if (version == kSnapshotVersion &&
+    if (version == kSnapshotVersionV2 &&
         std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) == 0) {
       server::ThreadPool pool(load.threads);
       std::vector<rdf::Term> resources;

@@ -201,18 +201,25 @@ TEST(SnapshotTest, CorruptDictionaryNamedInDataLoss) {
   EXPECT_NE(status.message().find("offset"), std::string::npos);
 }
 
-TEST(SnapshotTest, CorruptTripleNamedInDataLoss) {
+TEST(SnapshotTest, CorruptDataSectionNamedInDataLoss) {
   Database original = MakeDatabase(kData);
-  std::stringstream buffer;
-  ASSERT_TRUE(WriteSnapshot(original, buffer).ok());
-  std::string bytes = buffer.str();
-  // The last 16 bytes are the trailer, 4 more the triples CRC; flip an
-  // object id inside the final 12-byte triple record.
-  bytes[bytes.size() - 16 - 4 - 2] ^= 0x01;
-  std::stringstream corrupted(bytes);
-  Status status = VerifySnapshot(corrupted).status();
-  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
-  EXPECT_NE(status.message().find("triples"), std::string::npos);
+  // v2 names its data section "triples"; v3 packs the tables themselves
+  // and names it "tables". Either way the failing section is identified.
+  for (const auto& [version, section] :
+       {std::pair<uint32_t, const char*>{kSnapshotVersionV2, "triples"},
+        std::pair<uint32_t, const char*>{kSnapshotVersion, "tables"}}) {
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteSnapshot(original, buffer, version).ok());
+    std::string bytes = buffer.str();
+    // The last 16 bytes are the trailer, 4 more the data-section CRC;
+    // flip a payload byte just before them.
+    bytes[bytes.size() - 16 - 4 - 2] ^= 0x01;
+    std::stringstream corrupted(bytes);
+    Status status = VerifySnapshot(corrupted).status();
+    ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+    EXPECT_NE(status.message().find(section), std::string::npos)
+        << "v" << version << ": " << status.ToString();
+  }
 }
 
 TEST(SnapshotTest, TrailingGarbageRejected) {

@@ -2,7 +2,8 @@
 //
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
 //            [--load-threads N] [--chunk-mb N] [--simd LEVEL] [--no-batch]
-//            [--failpoints name=spec,...] [serve | --serve]
+//            [--compression {none,blocked}] [--failpoints name=spec,...]
+//            [serve | --serve]
 //   parj_cli verify-snapshot FILE
 //
 // `--load-threads N` runs the bulk-load pipeline (chunked parse, sharded
@@ -44,6 +45,7 @@
 //   .verify FILE          CRC-check a snapshot without loading it
 //   .threads N            set worker threads for queries
 //   .load-threads N       set worker threads for loads/restores
+//   .compression MODE     none | blocked (applies to subsequent loads)
 //   .strategy NAME        Binary | AdBinary | Index | AdIndex
 //   .simd LEVEL           scalar | sse2 | avx2 | auto (probe kernel tier)
 //   .batch on|off         batched prefetched probing (default on)
@@ -88,6 +90,7 @@ struct Shell {
   size_t chunk_mb = 16;
   join::SearchStrategy strategy = join::SearchStrategy::kAdaptiveIndex;
   join::Scheduling scheduling = join::Scheduling::kMorsel;
+  storage::Compression compression = storage::Compression::kNone;
   bool batch_probes = true;
   bool explain = false;
   uint64_t print_limit = 20;
@@ -96,6 +99,7 @@ struct Shell {
     engine::EngineOptions options;
     options.load.threads = load_threads;
     options.load.chunk_bytes = chunk_mb << 20;
+    options.database.compression = compression;
     return options;
   }
 
@@ -126,8 +130,34 @@ struct Shell {
     std::printf("properties:  %zu\n", db.predicate_count());
     std::printf("resources:   %s\n",
                 FormatCount(db.dictionary().resource_count()).c_str());
+    std::printf("compression: %s\n",
+                storage::CompressionName(db.compression()));
     std::printf("table bytes: %s\n",
                 FormatCount(db.TableMemoryUsage()).c_str());
+    if (db.compression() != storage::Compression::kNone) {
+      const size_t raw = db.TableRawBytes();
+      size_t packed = 0;
+      for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+        packed += db.entry(pid).table.MemoryUsage();
+      }
+      std::printf("replica bytes: %s packed vs %s raw (%.2fx)\n",
+                  FormatCount(packed).c_str(), FormatCount(raw).c_str(),
+                  packed > 0 ? static_cast<double>(raw) /
+                                   static_cast<double>(packed)
+                             : 0.0);
+      for (PredicateId pid = 1; pid <= db.predicate_count(); ++pid) {
+        const storage::PropertyTable& table = db.entry(pid).table;
+        const size_t table_packed = table.MemoryUsage();
+        const size_t table_raw = table.RawBytes();
+        std::printf("  p%-4u %10s packed %10s raw (%.2fx)  %s\n",
+                    pid, FormatCount(table_packed).c_str(),
+                    FormatCount(table_raw).c_str(),
+                    table_packed > 0 ? static_cast<double>(table_raw) /
+                                           static_cast<double>(table_packed)
+                                     : 0.0,
+                    db.dictionary().DecodePredicate(pid).lexical().c_str());
+      }
+    }
     std::printf("dict bytes:  %s\n",
                 FormatCount(db.DictionaryMemoryUsage()).c_str());
   }
@@ -265,8 +295,9 @@ struct Shell {
       std::printf(
           ".load FILE | .gen lubm N | .gen watdiv N | .save FILE |\n"
           ".restore FILE | .verify FILE | .dump FILE | .threads N |\n"
-          ".load-threads N | .strategy NAME | .scheduling static|morsel |\n"
-          ".simd scalar|sse2|avx2|auto | .batch on|off |\n"
+          ".load-threads N | .compression none|blocked | .strategy NAME |\n"
+          ".scheduling static|morsel | .simd scalar|sse2|avx2|auto |\n"
+          ".batch on|off |\n"
           ".insert <s> <p> <o> . | .remove <s> <p> <o> . | .compact |\n"
           ".delta | .calibrate | .explain on|off | .limit N | .stats | "
           ".quit\n");
@@ -364,6 +395,19 @@ struct Shell {
       in >> load_threads;
       if (load_threads < 1) load_threads = 1;
       std::printf("load threads = %d\n", load_threads);
+    } else if (command == ".compression") {
+      std::string name;
+      in >> name;
+      if (name == "none") {
+        compression = storage::Compression::kNone;
+      } else if (name == "blocked") {
+        compression = storage::Compression::kBlocked;
+      } else if (!name.empty()) {
+        std::printf("unknown compression (none|blocked)\n");
+        return true;
+      }
+      std::printf("compression = %s (applies to subsequent loads)\n",
+                  storage::CompressionName(compression));
     } else if (command == ".scheduling") {
       std::string name;
       in >> name;
@@ -659,6 +703,10 @@ int main(int argc, char** argv) {
       shell.HandleCommand(std::string(".simd ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       shell.HandleCommand(".batch off");
+    } else if (std::strcmp(argv[i], "--compression") == 0 && i + 1 < argc) {
+      shell.HandleCommand(std::string(".compression ") + argv[++i]);
+    } else if (std::strncmp(argv[i], "--compression=", 14) == 0) {
+      shell.HandleCommand(std::string(".compression ") + (argv[i] + 14));
     } else if (std::strcmp(argv[i], "--load-threads") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".load-threads ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--chunk-mb") == 0 && i + 1 < argc) {
@@ -687,6 +735,7 @@ int main(int argc, char** argv) {
                 std::strcmp(argv[i], "--inflight") == 0 ||
                 std::strcmp(argv[i], "--threads") == 0 ||
                 std::strcmp(argv[i], "--simd") == 0 ||
+                std::strcmp(argv[i], "--compression") == 0 ||
                 std::strcmp(argv[i], "--load-threads") == 0 ||
                 std::strcmp(argv[i], "--chunk-mb") == 0) &&
                i + 1 < argc) {
