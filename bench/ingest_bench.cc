@@ -18,12 +18,24 @@
 // to also fail the run when the ingest+compact p99 exceeds 2x baseline
 // (off by default: wall-clock ratios on shared CI runners are noisy).
 //
+// A fourth section measures crash durability (DESIGN.md §14): write-ack
+// latency across the four durability modes — memory (no WAL), wal-none,
+// wal-batch (group commit), wal-always — over identical batch streams,
+// plus a recovery smoke that reopens the wal-batch log and ABORTS unless
+// the recovered rows are TermId-identical to the live store's. Results
+// land in BENCH_wal.json; set PARJ_WAL_GATE_P99=1 to fail the run when
+// batch ack p99 exceeds 2x the in-memory baseline or wal-none exceeds
+// 1.1x (off by default for the same runner-noise reason as above).
+//
 // Environment overrides (see bench_util.h): PARJ_LUBM_UNIV, PARJ_THREADS,
-// PARJ_INGEST_ROUNDS (mix repetitions per phase, default 4).
+// PARJ_INGEST_ROUNDS (mix repetitions per phase, default 4),
+// PARJ_WAL_BATCHES (write batches per durability mode, default 400).
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +44,7 @@
 #include "common/timer.h"
 #include "mutable/compactor.h"
 #include "mutable/delta_store.h"
+#include "mutable/wal.h"
 #include "server/metrics.h"
 #include "server/thread_pool.h"
 #include "workload/lubm.h"
@@ -188,6 +201,224 @@ class Writer {
   int removed_ = 0;
 };
 
+// ---- Crash-durability section (DESIGN.md §14) ------------------------
+
+struct WalModeResult {
+  std::string name;
+  uint64_t batches = 0;
+  double acks_per_sec = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  mut::WalStats wal;
+};
+
+/// Row fingerprint of the writer's chain predicate at the TermId level —
+/// recovery is deterministic, so the recovered store must reproduce it
+/// exactly, not merely set-equal after decoding.
+std::vector<std::vector<TermId>> ChainFingerprint(
+    const engine::ParjEngine& engine) {
+  auto result = engine.Execute("SELECT ?a ?b WHERE { ?a <" +
+                               std::string(kIngestPredicate) + "> ?b }");
+  PARJ_CHECK(result.ok()) << result.status().ToString();
+  std::vector<std::vector<TermId>> rows;
+  const size_t width = result->column_count;
+  for (size_t i = 0; i + width <= result->rows.size(); i += width) {
+    rows.emplace_back(result->rows.begin() + i, result->rows.begin() + i + width);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+engine::ParjEngine SmallWriteEngine() {
+  std::vector<rdf::Triple> seed;
+  for (int i = 0; i < 8; ++i) seed.push_back(ChainLink(i));
+  auto built = engine::ParjEngine::FromTriples(seed);
+  PARJ_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+/// One durability mode: `batches` timed ApplyBatch calls (each 16 inserts
+/// + 4 removals) against a small store; sync == nullopt means no WAL at
+/// all (the in-memory baseline). For wal-batch the log is recovered
+/// afterwards and gated on TermId-identical rows.
+WalModeResult RunWalMode(const std::string& name,
+                         std::optional<mut::WalSync> sync, int batches,
+                         const std::string& dir,
+                         mut::RecoveryStats* recovery) {
+  namespace fs = std::filesystem;
+  engine::ParjEngine engine = SmallWriteEngine();
+  if (sync.has_value()) {
+    fs::remove_all(dir);
+    mut::WalOptions wal;
+    wal.dir = dir;
+    wal.sync = *sync;
+    const Status enabled = engine.EnableWal(wal);
+    PARJ_CHECK(enabled.ok()) << enabled.ToString();
+  }
+  server::LatencyHistogram latencies;
+  Stopwatch wall;
+  int next = 8, removed = 0;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<mut::Mutation> batch;
+    for (int i = 0; i < 16; ++i) batch.push_back({ChainLink(next++), false});
+    for (int i = 0; i < 4 && removed + 8 < next; ++i) {
+      batch.push_back({ChainLink(removed++), true});
+    }
+    Stopwatch timer;
+    const Status s = engine.ApplyBatch(batch);
+    PARJ_CHECK(s.ok()) << name << ": " << s.ToString();
+    latencies.Record(timer.ElapsedMillis());
+  }
+  WalModeResult out;
+  out.name = name;
+  out.batches = static_cast<uint64_t>(batches);
+  const double wall_seconds = wall.ElapsedSeconds();
+  out.acks_per_sec = wall_seconds > 0
+                         ? static_cast<double>(batches) / wall_seconds
+                         : 0.0;
+  out.mean = latencies.mean_millis();
+  out.p50 = latencies.PercentileMillis(0.5);
+  out.p99 = latencies.PercentileMillis(0.99);
+  out.wal = engine.wal_stats();
+
+  if (recovery != nullptr && sync.has_value()) {
+    // Recovery smoke: drop the engine, reopen the log, compare rows.
+    const auto live = ChainFingerprint(engine);
+    {
+      engine::ParjEngine dropped = std::move(engine);
+      (void)dropped;
+    }
+    mut::WalOptions wal;
+    wal.dir = dir;
+    auto recovered = engine::ParjEngine::RecoverFromWal(wal);
+    PARJ_CHECK(recovered.ok()) << recovered.status().ToString();
+    const auto replayed = ChainFingerprint(*recovered);
+    PARJ_CHECK(live == replayed)
+        << "recovery row-equivalence violation: " << live.size()
+        << " live rows vs " << replayed.size() << " recovered";
+    *recovery = recovered->recovery_stats();
+    std::printf("  recovery gate [%s]: %zu rows TermId-identical after "
+                "replaying %llu record(s)\n",
+                name.c_str(), replayed.size(),
+                static_cast<unsigned long long>(recovery->records_replayed));
+  }
+  if (sync.has_value()) fs::remove_all(dir);
+  return out;
+}
+
+/// Runs the four durability modes, prints the table, writes
+/// BENCH_wal.json, and applies the opt-in latency gates. Returns nonzero
+/// on gate failure.
+int RunWalSection() {
+  namespace fs = std::filesystem;
+  const int batches = EnvInt("PARJ_WAL_BATCHES", 400);
+  std::printf("\n--- write durability (WAL ack latency, %d batches/mode) "
+              "---\n", batches);
+  const std::string root =
+      (fs::temp_directory_path() / "parj_wal_bench").string();
+
+  mut::RecoveryStats recovery;
+  std::vector<WalModeResult> modes;
+  modes.push_back(RunWalMode("memory", std::nullopt, batches, "", nullptr));
+  modes.push_back(RunWalMode("wal-none", mut::WalSync::kNone, batches,
+                             root + "_none", nullptr));
+  modes.push_back(RunWalMode("wal-batch", mut::WalSync::kBatch, batches,
+                             root + "_batch", &recovery));
+  modes.push_back(RunWalMode("wal-always", mut::WalSync::kAlways, batches,
+                             root + "_always", nullptr));
+
+  TablePrinter table({"mode", "batches", "acks/s", "mean ms", "p50<= ms",
+                      "p99<= ms", "fsyncs", "wal MB"});
+  char buf[160];
+  for (const WalModeResult& mode : modes) {
+    std::vector<std::string> row;
+    row.push_back(mode.name);
+    row.push_back(std::to_string(mode.batches));
+    std::snprintf(buf, sizeof(buf), "%.0f", mode.acks_per_sec);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", mode.mean);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", mode.p50);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.3f", mode.p99);
+    row.push_back(buf);
+    row.push_back(std::to_string(mode.wal.fsyncs));
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(mode.wal.bytes) / (1 << 20));
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  const double memory_p99 = modes[0].p99;
+  const double none_ratio =
+      memory_p99 > 0 ? modes[1].p99 / memory_p99 : 0.0;
+  const double batch_ratio =
+      memory_p99 > 0 ? modes[2].p99 / memory_p99 : 0.0;
+  const double always_ratio =
+      memory_p99 > 0 ? modes[3].p99 / memory_p99 : 0.0;
+  std::printf("ack p99 vs memory: wal-none %.2fx, wal-batch %.2fx, "
+              "wal-always %.2fx\n", none_ratio, batch_ratio, always_ratio);
+
+  std::string json = "{\n  \"bench\": \"wal\",\n";
+  json += "  \"batches_per_mode\": " + std::to_string(batches) + ",\n";
+  json += "  \"modes\": [\n";
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const WalModeResult& mode = modes[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"acks_per_sec\": %.1f, "
+        "\"mean_millis\": %.4f, \"p50_millis\": %.4f, "
+        "\"p99_millis\": %.4f, ",
+        mode.name.c_str(), mode.acks_per_sec, mode.mean, mode.p50, mode.p99);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"wal_records\": %llu, \"wal_bytes\": %llu, "
+                  "\"wal_fsyncs\": %llu, \"group_commit_ms\": %.3f}",
+                  static_cast<unsigned long long>(mode.wal.records),
+                  static_cast<unsigned long long>(mode.wal.bytes),
+                  static_cast<unsigned long long>(mode.wal.fsyncs),
+                  static_cast<double>(mode.wal.group_commit_micros) / 1e3);
+    json += buf;
+    json += (i + 1 < modes.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"p99_ratio_none_vs_memory\": %.3f,\n"
+                "  \"p99_ratio_batch_vs_memory\": %.3f,\n"
+                "  \"p99_ratio_always_vs_memory\": %.3f,\n",
+                none_ratio, batch_ratio, always_ratio);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"recovery_replayed\": %llu,\n"
+                "  \"recovery_millis\": %.3f,\n"
+                "  \"recovery_row_equivalence\": \"ok\"\n",
+                static_cast<unsigned long long>(recovery.records_replayed),
+                recovery.snapshot_load_millis + recovery.replay_millis);
+  json += buf;
+  json += "}\n";
+  WriteBenchJson("BENCH_wal.json", json);
+
+  // Opt-in acceptance gates: group commit within 2x of memory-only acks,
+  // no-sync logging within 10%.
+  if (EnvInt("PARJ_WAL_GATE_P99", 0) != 0) {
+    if (batch_ratio > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: wal-batch ack p99 %.3f ms is %.2fx the in-memory "
+                   "baseline (gate: 2x)\n", modes[2].p99, batch_ratio);
+      return 1;
+    }
+    if (none_ratio > 1.1) {
+      std::fprintf(stderr,
+                   "FAIL: wal-none ack p99 %.3f ms is %.2fx the in-memory "
+                   "baseline (gate: 1.1x)\n", modes[1].p99, none_ratio);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Main() {
   const int universities = LubmUniversities();
   const int threads = BenchThreads();
@@ -310,7 +541,7 @@ int Main() {
                  phases[2].p99, p99_ratio);
     return 1;
   }
-  return 0;
+  return RunWalSection();
 }
 
 }  // namespace

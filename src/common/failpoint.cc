@@ -23,11 +23,13 @@ enum class Action {
   kExhausted,
   kThrow,
   kSleep,
+  kTorn,
 };
 
 struct FailpointState {
   Action action = Action::kError;
   double sleep_millis = 0.0;
+  size_t torn_bytes = 0;
   /// Remaining firings; -1 = unlimited, 0 = budget exhausted (unarmed).
   int64_t remaining = -1;
   uint64_t hits = 0;
@@ -46,7 +48,35 @@ Registry& GetRegistry() {
   return *registry;
 }
 
+bool ParseNonNegative(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long n = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n < 0) return false;
+  *out = n;
+  return true;
+}
+
 bool ParseSpec(const std::string& spec, FailpointState* out) {
+  // `torn:K[:N]` carries a byte count before the optional firing count, so
+  // it can't share the generic rfind(':') split below (which would read K
+  // as the count). Handle it first.
+  if (spec.rfind("torn:", 0) == 0) {
+    out->action = Action::kTorn;
+    out->remaining = -1;
+    std::string rest = spec.substr(5);
+    const size_t colon = rest.find(':');
+    long long bytes = 0;
+    if (colon != std::string::npos) {
+      long long n = 0;
+      if (!ParseNonNegative(rest.substr(colon + 1), &n)) return false;
+      out->remaining = n;
+      rest = rest.substr(0, colon);
+    }
+    if (!ParseNonNegative(rest, &bytes)) return false;
+    out->torn_bytes = static_cast<size_t>(bytes);
+    return true;
+  }
   std::string action = spec;
   out->remaining = -1;
   const size_t colon = spec.rfind(':');
@@ -100,7 +130,7 @@ Status Arm(const std::string& name, const std::string& spec) {
     return Status::InvalidArgument("bad failpoint spec '" + name + "=" + spec +
                                    "' (want action[:count], action one of "
                                    "error|io|dataloss|exhausted|throw|"
-                                   "sleep-MS)");
+                                   "sleep-MS|torn:BYTES)");
   }
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
@@ -211,10 +241,32 @@ Status Eval(const char* name) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           sleep_millis));
       return Status::OK();
+    case Action::kTorn:
+      // Sites that understand torn writes intercept via ConsumeTorn before
+      // evaluating; reaching here means the site can't tear its write, so
+      // fail it like a medium fault.
+      return Status::IoError("torn-write fault" + tag);
   }
   return Status::OK();
 }
 
 }  // namespace internal
+
+std::optional<size_t> ConsumeTorn(const char* name) {
+  if (!AnyArmed()) return std::nullopt;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end() || it->second.remaining == 0 ||
+      it->second.action != Action::kTorn) {
+    return std::nullopt;
+  }
+  FailpointState& state = it->second;
+  if (state.remaining > 0 && --state.remaining == 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ++state.hits;
+  return state.torn_bytes;
+}
 
 }  // namespace parj::failpoint

@@ -2,7 +2,9 @@
 #define PARJ_COMMON_FAILPOINT_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,13 @@ namespace parj::failpoint {
 ///   exhausted[:N]  return Status::ResourceExhausted (transient overload)
 ///   throw[:N]      throw std::bad_alloc             (allocation failure)
 ///   sleep-MS[:N]   sleep MS milliseconds, then return OK (latency fault)
+///   torn:K[:N]     torn write: persist only the first K bytes, then fail
+///
+/// `torn:K` models a power cut mid-write. It is only meaningful at sites
+/// that opt in via `ConsumeTorn` (the WAL writer, rotation, checkpoint);
+/// a plain PARJ_FAILPOINT evaluation of a torn-armed point degrades to an
+/// IoError so the point still fails loudly at sites that don't know how
+/// to tear their writes.
 ///
 /// `:N` limits the action to the first N times the failpoint is reached;
 /// after that it behaves as unarmed. Without `:N` the action fires every
@@ -58,6 +67,14 @@ uint64_t HitCount(const std::string& name);
 
 /// Names currently armed (spec budget not yet exhausted), for CLI/debug.
 std::vector<std::string> ArmedNames();
+
+/// Torn-write hook: if `name` is armed with a `torn:K` action, consumes
+/// one firing and returns K — the caller must write exactly K bytes of
+/// its intended payload and then behave as if the medium failed
+/// (sticky I/O error, no retry). Returns nullopt when `name` is unarmed,
+/// exhausted, or armed with a non-torn action (those fire via the normal
+/// PARJ_FAILPOINT / Check path instead).
+std::optional<size_t> ConsumeTorn(const char* name);
 
 namespace internal {
 /// Number of armed (non-exhausted) failpoints; the fast-path gate.

@@ -158,6 +158,9 @@ Result<ParjEngine> ParjEngine::FinishLoad(dict::Dictionary dict,
                        stats.encode_millis + stats.build_millis +
                        stats.index_millis + stats.calibrate_millis;
   engine.load_stats_ = stats;
+  if (effective.wal.enabled()) {
+    PARJ_RETURN_NOT_OK(engine.EnableWal(effective.wal));
+  }
   return engine;
 }
 
@@ -306,6 +309,58 @@ Result<ParjEngine> ParjEngine::FromSnapshotFile(const std::string& path,
   }
   stats.total_millis = stats.read_millis + stats.parse_millis +
                        stats.build_millis + stats.calibrate_millis;
+  engine.load_stats_ = stats;
+  if (effective.wal.enabled()) {
+    PARJ_RETURN_NOT_OK(engine.EnableWal(effective.wal));
+  }
+  return engine;
+}
+
+Status ParjEngine::EnableWal(const mut::WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::AlreadyExists("this engine already has a WAL attached");
+  }
+  PARJ_ASSIGN_OR_RETURN(
+      wal_, mut::Wal::Initialize(store_->base(), store_->epoch(), options));
+  store_->AttachWal(wal_.get());
+  return Status::OK();
+}
+
+Result<ParjEngine> ParjEngine::RecoverFromWal(const mut::WalOptions& wal,
+                                              const EngineOptions& options) {
+  EngineOptions effective = options;
+  if (effective.load.threads > 1 && effective.database.build_threads <= 1) {
+    effective.database.build_threads = effective.load.threads;
+  }
+  storage::SnapshotLoadOptions snapshot_load;
+  snapshot_load.threads = effective.load.threads;
+  Stopwatch total_timer;
+  PARJ_ASSIGN_OR_RETURN(
+      mut::Wal::Recovered recovered,
+      mut::Wal::Recover(wal, effective.database, snapshot_load));
+  ParjEngine engine(std::move(recovered.base), effective.calibration,
+                    effective.database, recovered.epoch);
+  // Replay before the WAL is attached: the batches are already in the
+  // log, so re-applying them must not re-log them. Each Apply re-derives
+  // the delta and re-allocates overlay TermIds in first-seen order —
+  // exactly the IDs the crashed process handed out.
+  Stopwatch replay_timer;
+  for (const std::vector<mut::Mutation>& batch : recovered.batches) {
+    PARJ_RETURN_NOT_OK(engine.store_->Apply(batch));
+  }
+  recovered.stats.replay_millis += replay_timer.ElapsedMillis();
+  PARJ_ASSIGN_OR_RETURN(engine.wal_,
+                        mut::Wal::Open(wal, recovered.next_segment));
+  engine.store_->AttachWal(engine.wal_.get());
+  if (effective.calibrate) engine.Calibrate();
+  engine.recovery_stats_ = recovered.stats;
+  engine.recovered_ = true;
+  LoadStats stats;
+  stats.read_millis = recovered.stats.snapshot_load_millis;
+  stats.parse_millis = recovered.stats.replay_millis;
+  stats.triples = engine.store_->base().total_triples();
+  stats.threads = std::max(1, effective.load.threads);
+  stats.total_millis = total_timer.ElapsedMillis();
   engine.load_stats_ = stats;
   return engine;
 }

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "join/executor.h"
 #include "mutable/delta_store.h"
+#include "mutable/wal.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
 #include "storage/database.h"
@@ -62,6 +63,12 @@ struct EngineOptions {
   /// default for database.build_threads / calibration.threads unless the
   /// caller set those explicitly.
   LoadOptions load;
+  /// Crash durability (DESIGN.md §14). When `wal.dir` is set, every load
+  /// path finishes by initializing a fresh write-ahead log there
+  /// (AlreadyExists if the directory holds one — recover with
+  /// RecoverFromWal instead), and acknowledged mutations survive crashes
+  /// under the configured sync policy.
+  mut::WalOptions wal;
 };
 
 /// Per-query execution options.
@@ -166,6 +173,16 @@ class ParjEngine {
   static Result<ParjEngine> FromSnapshotFile(const std::string& path,
                                              const EngineOptions& options = {});
 
+  /// Rebuilds an engine from a WAL directory (DESIGN.md §14): loads the
+  /// checkpoint snapshot, replays the logged mutation batches in order
+  /// (overlay TermIds re-allocate deterministically, so the recovered
+  /// store is row-identical to the acknowledged prefix), truncates any
+  /// torn tail, and resumes logging on a fresh segment. NotFound when the
+  /// directory has no manifest (use a load path with options.wal set, or
+  /// EnableWal); kDataLoss on unrecoverable corruption.
+  static Result<ParjEngine> RecoverFromWal(const mut::WalOptions& wal,
+                                           const EngineOptions& options = {});
+
   /// Wraps an already-built database (e.g. one loaded from a snapshot —
   /// see storage/snapshot.h).
   static ParjEngine FromDatabase(storage::Database db) {
@@ -226,6 +243,27 @@ class ParjEngine {
   /// Serving gauges: delta sizes, compaction counters, live epochs.
   mut::MutationStats mutation_stats() const { return store_->stats(); }
 
+  // ---- Crash durability (DESIGN.md §14) --------------------------------
+
+  /// Starts write-ahead logging for this engine: initializes a fresh WAL
+  /// directory from the current base + epoch and attaches it, so every
+  /// subsequent mutation is logged before it is applied and acknowledged
+  /// only once durable. AlreadyExists if this engine already logs or the
+  /// directory holds a manifest. Call before serving writes.
+  Status EnableWal(const mut::WalOptions& options);
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  /// Log-writer counters (all zero when WAL is disabled).
+  mut::WalStats wal_stats() const {
+    return wal_ != nullptr ? wal_->stats() : mut::WalStats{};
+  }
+
+  /// What recovery replayed (all zero unless this engine came from
+  /// RecoverFromWal).
+  const mut::RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  bool recovered() const { return recovered_; }
+
   /// The underlying MVCC store, for wiring a background mut::Compactor.
   mut::DeltaStore* delta_store() { return store_.get(); }
   const mut::DeltaStore* delta_store() const { return store_.get(); }
@@ -245,11 +283,13 @@ class ParjEngine {
 
  private:
   explicit ParjEngine(storage::Database db, join::CalibrationOptions calibration,
-                      storage::DatabaseOptions database_options = {})
+                      storage::DatabaseOptions database_options = {},
+                      uint64_t initial_epoch = 0)
       : calibration_options_(calibration) {
     mut::DeltaStoreOptions store_options;
     store_options.database = database_options;
     store_options.calibration = calibration;
+    store_options.initial_epoch = initial_epoch;
     store_ = std::make_unique<mut::DeltaStore>(std::move(db), store_options);
   }
 
@@ -264,8 +304,14 @@ class ParjEngine {
   /// snapshots. unique_ptr keeps the engine movable (DeltaStore holds
   /// mutexes).
   std::unique_ptr<mut::DeltaStore> store_;
+  /// Optional write-ahead log the store is attached to. Declared after
+  /// store_ so it is destroyed (flushed, writer joined) first, while the
+  /// store it logs for is still alive.
+  std::unique_ptr<mut::Wal> wal_;
   join::CalibrationOptions calibration_options_;
   LoadStats load_stats_;
+  mut::RecoveryStats recovery_stats_;
+  bool recovered_ = false;
 };
 
 }  // namespace parj::engine

@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "mutable/wal.h"
 
 namespace parj::mut {
 
@@ -54,8 +55,14 @@ DeltaStore::DeltaStore(storage::Database base, DeltaStoreOptions options)
   published_.assign(base_->predicate_count(), nullptr);
   auto view = std::make_shared<const DeltaView>(published_, overlay_,
                                                 /*sequence=*/0);
-  current_ =
-      std::make_shared<const Version>(base_, view, /*epoch=*/0, live_versions_);
+  current_ = std::make_shared<const Version>(base_, view,
+                                             options_.initial_epoch,
+                                             live_versions_);
+}
+
+void DeltaStore::AttachWal(Wal* wal) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  wal_ = wal;
 }
 
 std::shared_ptr<const Version> DeltaStore::CurrentVersion() const {
@@ -192,16 +199,32 @@ Status DeltaStore::Remove(const rdf::Triple& triple) {
 
 Status DeltaStore::Apply(std::span<const Mutation> mutations) {
   if (mutations.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::unique_lock<std::mutex> lock(write_mu_);
   // Injected before any state changes, so a failed apply is a no-op and
   // queries keep seeing the pre-batch view (batch atomicity).
   PARJ_FAILPOINT("delta.apply");
+  // Log-before-apply: the batch is framed into the WAL (still under the
+  // writer lock, so records land in apply order) before any memory
+  // changes. A rejected append — backpressure timeout or a dead log —
+  // fails the write with the store untouched.
+  Wal::Ticket ticket;
+  if (wal_ != nullptr) {
+    Result<Wal::Ticket> appended = wal_->Append(mutations, sequence_ + 1);
+    if (!appended.ok()) return appended.status();
+    ticket = *appended;
+  }
   bool overlay_grew = false;
   ApplyToBuilders(*base_, mutations, &overlay_grew);
   log_.insert(log_.end(), mutations.begin(), mutations.end());
   ++sequence_;
   Publish(overlay_grew, CurrentVersion()->epoch());
-  return Status::OK();
+  if (wal_ == nullptr) return Status::OK();
+  Wal* wal = wal_;
+  lock.unlock();
+  // Ack-after-durability, waited for *outside* the writer lock: the next
+  // writer can enter Apply and enqueue its record while this one waits,
+  // which is what lets one fsync commit a whole group of batches.
+  return wal->WaitDurable(ticket);
 }
 
 Status DeltaStore::Compact() {
@@ -211,6 +234,11 @@ Status DeltaStore::Compact() {
     return Status::AlreadyExists("compaction already running");
   }
   Stopwatch timer;
+  // Captured at the swap point for the WAL checkpoint's second half,
+  // which runs after the lambda with no locks held.
+  std::shared_ptr<const storage::Database> checkpoint_base;
+  uint64_t checkpoint_epoch = 0;
+  Wal* checkpoint_wal = nullptr;
   const Status status = [&]() -> Status {
     // Phase 1 — capture: pin the version to rebuild from and remember how
     // much of the mutation log it covers. Writers continue after this.
@@ -300,6 +328,15 @@ Status DeltaStore::Compact() {
         working_overlay_->predicate_count();
     std::vector<Mutation> tail(log_.begin() + log_prefix, log_.end());
 
+    // WAL checkpoint half 1 (§14): rotate onto a fresh segment and re-log
+    // the tail into it, so the snapshot-to-be plus that one segment cover
+    // every acknowledged write. Failure aborts the compaction with the
+    // store untouched; the duplicate tail records it may leave behind
+    // replay idempotently.
+    if (wal_ != nullptr) {
+      PARJ_RETURN_NOT_OK(wal_->BeginCheckpoint(tail, sequence_));
+    }
+
     base_ = std::make_shared<const storage::Database>(std::move(new_db));
     const dict::Dictionary& new_dict = base_->dictionary();
     builders_.assign(base_->predicate_count(), PidBuilder{});
@@ -317,8 +354,24 @@ Status DeltaStore::Compact() {
         << "compaction rebase changed term IDs";
     overlay_ = std::make_shared<const TermOverlay>(*working_overlay_);
     Publish(/*overlay_grew=*/false, pinned->epoch() + 1);
+    checkpoint_base = base_;
+    checkpoint_epoch = pinned->epoch() + 1;
+    checkpoint_wal = wal_;
     return Status::OK();
   }();
+
+  // WAL checkpoint half 2, off-lock: durable snapshot + manifest swing +
+  // segment pruning. Failure here never loses data — the previous
+  // manifest still covers every record — so it degrades to a warning and
+  // the next compaction retries the whole checkpoint.
+  if (status.ok() && checkpoint_wal != nullptr) {
+    const Status finished =
+        checkpoint_wal->FinishCheckpoint(checkpoint_base, checkpoint_epoch);
+    if (!finished.ok()) {
+      PARJ_LOG(Warning) << "WAL checkpoint did not finish (recovery will "
+                        << "replay the full log): " << finished.ToString();
+    }
+  }
 
   compaction_micros_.fetch_add(
       static_cast<uint64_t>(timer.ElapsedNanos() / 1000),

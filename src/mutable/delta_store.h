@@ -16,6 +16,8 @@
 
 namespace parj::mut {
 
+class Wal;
+
 /// One logical write: insert or remove a string-level triple. The store
 /// keeps the log of mutations applied since the last compaction so a
 /// compaction can rebase writes that raced with its rebuild.
@@ -34,6 +36,10 @@ struct DeltaStoreOptions {
   /// rebuilt store uses the default windows until the operator asks).
   bool calibrate_on_compact = false;
   join::CalibrationOptions calibration;
+  /// Epoch the store starts at. 0 for a fresh store; WAL recovery passes
+  /// the checkpointed epoch so epoch numbering continues where the
+  /// crashed process left off.
+  uint64_t initial_epoch = 0;
 };
 
 /// Point-in-time counters for the serving gauges (DESIGN.md §12).
@@ -139,6 +145,15 @@ class DeltaStore {
     return compacting_.load(std::memory_order_acquire);
   }
 
+  /// Attaches a write-ahead log (§14). From then on every Apply frames
+  /// its batch into the log before touching memory and acknowledges only
+  /// once the log's sync policy says the record is durable, and every
+  /// successful Compact checkpoints the log (fresh segment + snapshot +
+  /// manifest). Pass nullptr to detach. The caller owns the Wal and must
+  /// keep it alive while attached; attach before serving writes, not
+  /// concurrently with them.
+  void AttachWal(Wal* wal);
+
   /// Runs Algorithm 2 on the current base in place (load-time pattern:
   /// calibration tunes per-replica search windows, not data). Must not
   /// race with queries over the same base — call it before serving
@@ -208,6 +223,10 @@ class DeltaStore {
   uint64_t sequence_ = 0;
   /// Previous view's per-pid deltas, reused for untouched predicates.
   std::vector<std::shared_ptr<const PropertyDelta>> published_;
+
+  /// Write-ahead log, optional; guarded by write_mu_ for the Append /
+  /// BeginCheckpoint calls (both made with the lock held).
+  Wal* wal_ = nullptr;
 
   std::atomic<bool> compacting_{false};
   std::atomic<uint64_t> compactions_{0};

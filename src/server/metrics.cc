@@ -118,6 +118,24 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "store_bytes", store_bytes);
   AppendCounter(&out, "store_allocated_bytes", store_allocated_bytes);
   AppendCounter(&out, "store_raw_bytes", store_raw_bytes);
+  AppendCounter(&out, "wal_records", wal_records);
+  AppendCounter(&out, "wal_bytes", wal_bytes);
+  AppendCounter(&out, "wal_fsyncs", wal_fsyncs);
+  {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-20s %.3f\n", "group_commit_ms",
+                  static_cast<double>(wal_group_commit_micros.load(
+                      std::memory_order_relaxed)) / 1e3);
+    out += line;
+  }
+  AppendCounter(&out, "wal_group_commits", wal_group_commits);
+  AppendCounter(&out, "wal_backlog_bytes", wal_backlog_bytes);
+  AppendCounter(&out, "wal_segments", wal_segments);
+  AppendCounter(&out, "wal_checkpoints", wal_checkpoints);
+  AppendCounter(&out, "wal_backpressure_waits", wal_backpressure_waits);
+  AppendCounter(&out, "recovery_replayed", recovery_replayed);
+  AppendCounter(&out, "recovery_truncated_bytes", recovery_truncated_bytes);
+  AppendCounter(&out, "recovery_millis", recovery_millis);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -154,6 +172,18 @@ void MetricsRegistry::Reset() {
   store_bytes.store(0, std::memory_order_relaxed);
   store_allocated_bytes.store(0, std::memory_order_relaxed);
   store_raw_bytes.store(0, std::memory_order_relaxed);
+  wal_records.store(0, std::memory_order_relaxed);
+  wal_bytes.store(0, std::memory_order_relaxed);
+  wal_fsyncs.store(0, std::memory_order_relaxed);
+  wal_group_commit_micros.store(0, std::memory_order_relaxed);
+  wal_group_commits.store(0, std::memory_order_relaxed);
+  wal_backlog_bytes.store(0, std::memory_order_relaxed);
+  wal_segments.store(0, std::memory_order_relaxed);
+  wal_checkpoints.store(0, std::memory_order_relaxed);
+  wal_backpressure_waits.store(0, std::memory_order_relaxed);
+  recovery_replayed.store(0, std::memory_order_relaxed);
+  recovery_truncated_bytes.store(0, std::memory_order_relaxed);
+  recovery_millis.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

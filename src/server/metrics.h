@@ -101,6 +101,22 @@ struct MetricsRegistry {
   std::atomic<uint64_t> store_allocated_bytes{0};
   std::atomic<uint64_t> store_raw_bytes{0};
 
+  // Crash-durability gauges (DESIGN.md §14), refreshed from mut::WalStats /
+  // mut::RecoveryStats alongside the mutation gauges. All zero when the
+  // engine serves without a WAL.
+  std::atomic<uint64_t> wal_records{0};        ///< batch records appended
+  std::atomic<uint64_t> wal_bytes{0};          ///< framed bytes written
+  std::atomic<uint64_t> wal_fsyncs{0};         ///< segment fsyncs issued
+  std::atomic<uint64_t> wal_group_commit_micros{0};  ///< cumulative fsync wait
+  std::atomic<uint64_t> wal_group_commits{0};  ///< batched fsync rounds
+  std::atomic<uint64_t> wal_backlog_bytes{0};  ///< queued, not yet written
+  std::atomic<uint64_t> wal_segments{0};       ///< live segment files
+  std::atomic<uint64_t> wal_checkpoints{0};    ///< completed checkpoints
+  std::atomic<uint64_t> wal_backpressure_waits{0};  ///< appends that blocked
+  std::atomic<uint64_t> recovery_replayed{0};  ///< records replayed at boot
+  std::atomic<uint64_t> recovery_truncated_bytes{0};  ///< torn tail dropped
+  std::atomic<uint64_t> recovery_millis{0};    ///< snapshot load + replay
+
   LatencyHistogram queue_wait;  ///< submit -> job start
   LatencyHistogram execution;   ///< engine Execute wall time
   LatencyHistogram total;       ///< submit -> result ready

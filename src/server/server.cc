@@ -53,6 +53,28 @@ void QueryServer::RefreshMutationGauges() {
                                        std::memory_order_relaxed);
   metrics_.store_raw_bytes.store(db.TableRawBytes(),
                                  std::memory_order_relaxed);
+  const mut::WalStats w = engine_->wal_stats();
+  metrics_.wal_records.store(w.records, std::memory_order_relaxed);
+  metrics_.wal_bytes.store(w.bytes, std::memory_order_relaxed);
+  metrics_.wal_fsyncs.store(w.fsyncs, std::memory_order_relaxed);
+  metrics_.wal_group_commit_micros.store(w.group_commit_micros,
+                                         std::memory_order_relaxed);
+  metrics_.wal_group_commits.store(w.group_commits,
+                                   std::memory_order_relaxed);
+  metrics_.wal_backlog_bytes.store(w.backlog_bytes,
+                                   std::memory_order_relaxed);
+  metrics_.wal_segments.store(w.segments, std::memory_order_relaxed);
+  metrics_.wal_checkpoints.store(w.checkpoints, std::memory_order_relaxed);
+  metrics_.wal_backpressure_waits.store(w.backpressure_waits,
+                                        std::memory_order_relaxed);
+  const mut::RecoveryStats& r = engine_->recovery_stats();
+  metrics_.recovery_replayed.store(r.records_replayed,
+                                   std::memory_order_relaxed);
+  metrics_.recovery_truncated_bytes.store(r.truncated_bytes,
+                                          std::memory_order_relaxed);
+  metrics_.recovery_millis.store(
+      static_cast<uint64_t>(r.snapshot_load_millis + r.replay_millis),
+      std::memory_order_relaxed);
 }
 
 void QueryServer::CountTermination(const CancellationToken& token) {

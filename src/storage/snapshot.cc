@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/crc32c.h"
+#include "common/durable_io.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
@@ -973,9 +974,13 @@ Status WriteSnapshot(const Database& db, std::ostream& out, uint32_t version) {
 }
 
 Status SaveSnapshot(const Database& db, const std::string& path) {
-  // Write-then-rename: the snapshot materializes at `path` only complete
-  // and flushed; any failure (including injected ones) leaves whatever
-  // was previously at `path` untouched and removes the temporary.
+  // Write-then-fsync-then-rename-then-fsync(dir): the snapshot
+  // materializes at `path` only complete and durable; any failure
+  // (including injected ones) leaves whatever was previously at `path`
+  // untouched and removes the temporary. An ofstream flush alone only
+  // moves bytes into the page cache — without the fsync of the temporary
+  // a crash after rename could expose a *named* but empty snapshot, and
+  // without the directory fsync the rename itself can be forgotten.
   const std::string tmp = path + ".tmp";
   {
     Status open_fp = failpoint::Check("snapshot.save.open");
@@ -993,14 +998,20 @@ Status SaveSnapshot(const Database& db, const std::string& path) {
       return written;
     }
   }
+  Status synced = io::FsyncFile(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
   Status rename_fp = failpoint::Check("snapshot.save.rename");
   if (!rename_fp.ok()) {
     std::remove(tmp.c_str());
     return rename_fp;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  Status renamed = io::RenameDurable(tmp, path);
+  if (!renamed.ok()) {
     std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " to " + path);
+    return renamed;
   }
   return Status::OK();
 }

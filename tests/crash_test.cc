@@ -1,0 +1,230 @@
+// Crash-injection harness (DESIGN.md §14): a child process ingests
+// deterministic mutation batches through a WAL-backed engine — fsyncing
+// an acknowledgement file after every durable batch and compacting
+// periodically — while the parent SIGKILLs it at a randomized point.
+// After each kill the parent recovers from the WAL directory and asserts
+// the two durability contracts:
+//
+//   1. No lost acks: under sync=batch/always, every acknowledged batch
+//      is present after recovery.
+//   2. Deterministic prefix: the recovered store, compacted, is
+//      byte-identical to a store serially rebuilt from the same batch
+//      prefix — which rules out phantom batches, holes, and TermId
+//      divergence in one comparison.
+//
+// The child never runs gtest code: it _exits on its own or dies by
+// signal, so no test fixtures or atexit handlers fire twice.
+//
+// Iteration count comes from PARJ_CRASH_ITERATIONS (default 12; CI's
+// crash-recovery job runs 200).
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/parj_engine.h"
+#include "mutable/delta_store.h"
+#include "mutable/wal.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace parj::mut {
+namespace {
+
+namespace fs = std::filesystem;
+
+using test::Spec;
+
+rdf::Triple T(const std::string& s, const std::string& p,
+              const std::string& o) {
+  return rdf::Triple{rdf::Term::Iri(s), rdf::Term::Iri(p), rdf::Term::Iri(o)};
+}
+
+Spec BaseSpec() {
+  return {{"a", "knows", "b"}, {"a", "knows", "c"}, {"b", "likes", "d"}};
+}
+
+/// Deterministic batch `i`, shared verbatim between the child (which
+/// logs it) and the parent (which rebuilds the reference store): a
+/// never-removed marker, a fan-out edge, periodic fresh overlay
+/// literals, periodic removals of earlier edges.
+std::vector<Mutation> Batch(int i) {
+  std::vector<Mutation> batch;
+  const std::string n = std::to_string(i);
+  batch.push_back({T("s" + n, "mark", "t"), false});
+  batch.push_back({T("s" + n, "edge", "o" + std::to_string(i % 7)), false});
+  if (i % 3 == 0) {
+    batch.push_back({rdf::Triple{rdf::Term::Iri("s" + n),
+                                 rdf::Term::Iri("val"),
+                                 rdf::Term::Literal("v" + n)},
+                     false});
+  }
+  if (i % 5 == 4) {
+    const std::string m = std::to_string(i - 4);
+    batch.push_back(
+        {T("s" + m, "edge", "o" + std::to_string((i - 4) % 7)), true});
+  }
+  return batch;
+}
+
+constexpr int kMaxBatches = 400;
+constexpr int kCompactEvery = 8;
+
+/// Child body: never returns normally into gtest — _exit or SIGKILL.
+/// Acks batch i by appending one line to `ack_path` and fsyncing it
+/// AFTER ApplyBatch acknowledged durability, so every acked line is a
+/// promise the WAL must keep.
+[[noreturn]] void RunChild(const std::string& wal_dir,
+                           const std::string& ack_path, WalSync sync) {
+  engine::EngineOptions options;
+  auto built = engine::ParjEngine::FromTriples(
+      [] {
+        std::vector<rdf::Triple> triples;
+        for (const auto& [s, p, o] : BaseSpec()) triples.push_back(T(s, p, o));
+        return triples;
+      }(),
+      options);
+  if (!built.ok()) _exit(3);
+  engine::ParjEngine engine = std::move(built).value();
+
+  WalOptions wal;
+  wal.dir = wal_dir;
+  wal.sync = sync;
+  wal.segment_bytes = 4096;  // force rotations under the kill window
+  if (!engine.EnableWal(wal).ok()) _exit(4);
+
+  int ack_fd = ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) _exit(5);
+
+  for (int i = 0; i < kMaxBatches; ++i) {
+    if (!engine.ApplyBatch(Batch(i)).ok()) _exit(6);
+    char line[16];
+    const int len = std::snprintf(line, sizeof(line), "%d\n", i);
+    if (::write(ack_fd, line, static_cast<size_t>(len)) != len) _exit(7);
+    if (::fsync(ack_fd) != 0) _exit(8);
+    if ((i + 1) % kCompactEvery == 0 && !engine.Compact().ok()) _exit(9);
+  }
+  _exit(0);  // outran the killer — recovery of a complete log still checked
+}
+
+/// Highest acknowledged batch index, or -1 when none were acked.
+int MaxAcked(const std::string& ack_path) {
+  std::ifstream in(ack_path);
+  int max_acked = -1;
+  int value = 0;
+  while (in >> value) max_acked = std::max(max_acked, value);
+  return max_acked;
+}
+
+/// Compacts and snapshots the engine's store, returning the file bytes.
+std::string CompactedSnapshotBytes(engine::ParjEngine* engine,
+                                   const std::string& path) {
+  EXPECT_TRUE(engine->Compact().ok());
+  Status saved = storage::SaveSnapshot(engine->database(), path);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::remove(path.c_str());
+  return bytes.str();
+}
+
+TEST(CrashTest, KillNinePreservesAcknowledgedPrefix) {
+  int iterations = 12;
+  if (const char* env = std::getenv("PARJ_CRASH_ITERATIONS")) {
+    iterations = std::max(1, std::atoi(env));
+  }
+  const std::string root =
+      ::testing::TempDir() + "/parj_crash_" + std::to_string(::getpid());
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < iterations; ++iter) {
+    const std::string wal_dir = root + "/wal" + std::to_string(iter);
+    const std::string ack_path = root + "/ack" + std::to_string(iter);
+    const WalSync sync = static_cast<WalSync>(iter % 3);
+    const int kill_after_micros = static_cast<int>(rng() % 40'000);
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0) << "fork failed";
+    if (child == 0) {
+      RunChild(wal_dir, ack_path, sync);  // never returns
+    }
+    ::usleep(static_cast<useconds_t>(kill_after_micros));
+    ::kill(child, SIGKILL);
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+    // Either we killed it mid-flight or it finished all batches; any
+    // other exit means the child itself failed before the kill landed.
+    if (WIFEXITED(wait_status)) {
+      ASSERT_EQ(WEXITSTATUS(wait_status), 0)
+          << "child failed with exit code " << WEXITSTATUS(wait_status);
+    }
+
+    const int max_acked = MaxAcked(ack_path);
+    SCOPED_TRACE("iteration " + std::to_string(iter) + " sync=" +
+                 WalSyncName(sync) + " kill_after_us=" +
+                 std::to_string(kill_after_micros) + " max_acked=" +
+                 std::to_string(max_acked));
+
+    WalOptions wal;
+    wal.dir = wal_dir;
+    auto recovered = engine::ParjEngine::RecoverFromWal(wal);
+    if (!recovered.ok() && recovered.status().IsNotFound() &&
+        max_acked < 0) {
+      // Killed before the WAL was even initialized: nothing was acked,
+      // nothing to recover.
+      continue;
+    }
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+    // Replayed batch count == visible markers (batches are atomic and
+    // markers are never removed).
+    auto result = recovered->Execute("SELECT ?x WHERE { ?x <mark> <t> }");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const int present = static_cast<int>(result->row_count);
+    ASSERT_LE(present, kMaxBatches);
+
+    // Contract 1: durable sync policies never lose an acked batch.
+    if (sync != WalSync::kNone) {
+      EXPECT_GE(present, max_acked + 1);
+    }
+
+    // Contract 2: the recovered prefix is byte-identical (post-compact)
+    // to a serially rebuilt store — no phantoms, no holes, no TermId
+    // drift, regardless of how many checkpoints the child completed.
+    engine::ParjEngine reference = test::MakeEngine(BaseSpec());
+    for (int i = 0; i < present; ++i) {
+      ASSERT_TRUE(reference.ApplyBatch(Batch(i)).ok());
+    }
+    const std::string recovered_bytes = CompactedSnapshotBytes(
+        &*recovered, root + "/snap_rec" + std::to_string(iter));
+    const std::string reference_bytes = CompactedSnapshotBytes(
+        &reference, root + "/snap_ref" + std::to_string(iter));
+    ASSERT_FALSE(recovered_bytes.empty());
+    EXPECT_EQ(recovered_bytes, reference_bytes);
+
+    fs::remove_all(wal_dir);
+    fs::remove(ack_path);
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace parj::mut

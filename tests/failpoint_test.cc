@@ -105,6 +105,41 @@ TEST_F(FailpointTest, RearmReplacesSpecAndKeepsHits) {
   EXPECT_EQ(HitCount("re.point"), 2u);
 }
 
+TEST_F(FailpointTest, TornSpecParsesAndConsumes) {
+  ASSERT_TRUE(Arm("torn.point", "torn:6").ok());
+  // Tear-aware sites consume the byte budget; without :N it keeps firing.
+  EXPECT_EQ(ConsumeTorn("torn.point"), std::optional<size_t>(6));
+  EXPECT_EQ(ConsumeTorn("torn.point"), std::optional<size_t>(6));
+  EXPECT_EQ(HitCount("torn.point"), 2u);
+  // A site that can't tear its write degrades to a loud IoError.
+  Status st = Guarded("torn.point");
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_NE(st.message().find("torn.point"), std::string::npos);
+}
+
+TEST_F(FailpointTest, TornBudgetExhausts) {
+  ASSERT_TRUE(Arm("torn.budget", "torn:10:2").ok());
+  EXPECT_EQ(ConsumeTorn("torn.budget"), std::optional<size_t>(10));
+  EXPECT_EQ(ConsumeTorn("torn.budget"), std::optional<size_t>(10));
+  EXPECT_EQ(ConsumeTorn("torn.budget"), std::nullopt);
+  EXPECT_TRUE(Guarded("torn.budget").ok());  // exhausted == unarmed
+  EXPECT_EQ(HitCount("torn.budget"), 2u);
+}
+
+TEST_F(FailpointTest, TornIgnoresOtherActionsAndBadSpecs) {
+  ASSERT_TRUE(Arm("plain.error", "error").ok());
+  EXPECT_EQ(ConsumeTorn("plain.error"), std::nullopt);
+  EXPECT_EQ(ConsumeTorn("never.armed"), std::nullopt);
+  EXPECT_TRUE(Arm("x", "torn").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "torn:").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "torn:-3").IsInvalidArgument());
+  EXPECT_TRUE(Arm("x", "torn:abc").IsInvalidArgument());
+  // Spec-list form works for torn too.
+  ASSERT_TRUE(ArmFromSpecList("list.torn=torn:4:1").ok());
+  EXPECT_EQ(ConsumeTorn("list.torn"), std::optional<size_t>(4));
+  EXPECT_EQ(ConsumeTorn("list.torn"), std::nullopt);
+}
+
 TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
   ASSERT_TRUE(Arm("mt.point", "error:100").ok());
   std::vector<std::thread> threads;

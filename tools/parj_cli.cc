@@ -3,8 +3,10 @@
 //   parj_cli [--load file.nt | --snapshot file.parj | --lubm N | --watdiv N]
 //            [--load-threads N] [--chunk-mb N] [--simd LEVEL] [--no-batch]
 //            [--compression {none,blocked}] [--failpoints name=spec,...]
+//            [--wal-dir DIR] [--wal-sync {none,batch,always}]
 //            [serve | --serve]
 //   parj_cli verify-snapshot FILE
+//   parj_cli verify-wal DIR
 //
 // `--load-threads N` runs the bulk-load pipeline (chunked parse, sharded
 // dictionary encode, parallel store build, parallel snapshot decode) on N
@@ -18,13 +20,23 @@
 // injection can be armed via `--failpoints` or the PARJ_FAILPOINTS
 // environment variable (same spec grammar, see common/failpoint.h).
 //
+// `--wal-dir DIR` makes the store crash-durable (DESIGN.md §14): if DIR
+// already holds a log the store is recovered from it (checkpoint snapshot
+// + replayed tail, replacing any --load/--lubm data), otherwise a fresh
+// log is initialized over the loaded store. From then on every write is
+// acknowledged only once durable per `--wal-sync` (none | batch | always,
+// default batch = group commit). `verify-wal DIR` CRC-checks a WAL
+// directory read-only — manifest, snapshot, and every segment frame —
+// and exits 0 (intact) or 1 (corrupt), without replaying anything.
+//
 // With `serve` (or `--serve`), the shell enters concurrent serving mode
 // after loading: queries stream through the admission-controlled
 // QueryServer instead of executing one at a time, results are printed as
 // they complete, and `.metrics` dumps the serving metrics registry. Serve
 // commands: .metrics | .timeout MS | .priority N | .wait | .quit, plus the
-// live-write commands .insert / .remove / .compact / .delta — writes land
-// while queries are in flight; every query sees a consistent epoch.
+// live-write commands .insert / .remove / .compact / .delta / .wal —
+// writes land while queries are in flight; every query sees a consistent
+// epoch.
 // `--inflight N` caps concurrently executing queries; `--threads N` sets
 // shard threads per query.
 //
@@ -39,6 +51,7 @@
 //   .remove <s> <p> <o> . remove one triple from the live store
 //   .compact              fold the pending delta into a rebuilt base
 //   .delta                print pending-delta / epoch statistics
+//   .wal                  print write-ahead-log / recovery statistics
 //   .save FILE            write a binary snapshot
 //   .dump FILE            export the store as N-Triples
 //   .restore FILE         load a binary snapshot
@@ -212,6 +225,44 @@ struct Shell {
                 FormatCount(engine->database().total_triples()).c_str());
   }
 
+  void PrintWalStats() const {
+    if (!engine.has_value() || !engine->wal_enabled()) {
+      std::printf("wal: disabled (start with --wal-dir DIR to enable)\n");
+      return;
+    }
+    const mut::WalStats w = engine->wal_stats();
+    std::printf(
+        "wal records:    %llu (%s bytes)\n"
+        "fsyncs:         %llu (%llu group commit(s), %.3f ms total wait)\n"
+        "segments:       %llu live, %llu rotation(s)\n"
+        "checkpoints:    %llu (%llu failed)\n"
+        "backlog:        %s bytes queued, %llu backpressure wait(s)\n",
+        static_cast<unsigned long long>(w.records),
+        FormatCount(w.bytes).c_str(),
+        static_cast<unsigned long long>(w.fsyncs),
+        static_cast<unsigned long long>(w.group_commits),
+        static_cast<double>(w.group_commit_micros) / 1e3,
+        static_cast<unsigned long long>(w.segments),
+        static_cast<unsigned long long>(w.rotations),
+        static_cast<unsigned long long>(w.checkpoints),
+        static_cast<unsigned long long>(w.checkpoint_failures),
+        FormatCount(w.backlog_bytes).c_str(),
+        static_cast<unsigned long long>(w.backpressure_waits));
+    if (engine->recovered()) {
+      const mut::RecoveryStats& r = engine->recovery_stats();
+      std::printf(
+          "recovered:      epoch %llu snapshot + %llu record(s) "
+          "(%llu mutation(s)) from %llu segment(s) in %.1f + %.1f ms"
+          "%s\n",
+          static_cast<unsigned long long>(r.snapshot_epoch),
+          static_cast<unsigned long long>(r.records_replayed),
+          static_cast<unsigned long long>(r.mutations_replayed),
+          static_cast<unsigned long long>(r.segments_scanned),
+          r.snapshot_load_millis, r.replay_millis,
+          r.truncated_bytes > 0 ? " (torn tail truncated)" : "");
+    }
+  }
+
   void PrintDeltaStats() const {
     if (!engine.has_value()) {
       std::printf("no data loaded\n");
@@ -299,8 +350,8 @@ struct Shell {
           ".scheduling static|morsel | .simd scalar|sse2|avx2|auto |\n"
           ".batch on|off |\n"
           ".insert <s> <p> <o> . | .remove <s> <p> <o> . | .compact |\n"
-          ".delta | .calibrate | .explain on|off | .limit N | .stats | "
-          ".quit\n");
+          ".delta | .wal | .calibrate | .explain on|off | .limit N | "
+          ".stats | .quit\n");
     } else if (command == ".load") {
       std::string path;
       in >> path;
@@ -387,6 +438,8 @@ struct Shell {
       Compact();
     } else if (command == ".delta") {
       PrintDeltaStats();
+    } else if (command == ".wal") {
+      PrintWalStats();
     } else if (command == ".threads") {
       in >> threads;
       if (threads < 1) threads = 1;
@@ -615,6 +668,8 @@ struct Shell {
           Compact();
         } else if (command == ".delta") {
           PrintDeltaStats();
+        } else if (command == ".wal") {
+          PrintWalStats();
         } else if (command == ".timeout") {
           in >> serve_timeout_millis;
           std::printf("timeout = %.1f ms\n", serve_timeout_millis);
@@ -626,8 +681,8 @@ struct Shell {
         } else if (command == ".help") {
           std::printf(
               ".metrics | .insert <s> <p> <o> . | .remove <s> <p> <o> . |\n"
-              ".compact | .delta | .timeout MS | .priority N | .wait | "
-              ".quit\n");
+              ".compact | .delta | .wal | .timeout MS | .priority N | "
+              ".wait | .quit\n");
         } else {
           std::printf("unknown serve command %s (.help for help)\n",
                       command.c_str());
@@ -647,9 +702,63 @@ struct Shell {
     dump_metrics();
   }
 
+  /// Applies --wal-dir after the data-loading pass: recover from an
+  /// existing log (replacing whatever was loaded), or initialize a fresh
+  /// one over the loaded store. Prints its own errors; false aborts main.
+  bool SetupWal() {
+    if (wal_dir.empty()) return true;
+    mut::WalOptions wal;
+    wal.dir = wal_dir;
+    wal.sync = wal_sync;
+    auto recovered =
+        engine::ParjEngine::RecoverFromWal(wal, LoadEngineOptions());
+    if (recovered.ok()) {
+      if (engine.has_value()) {
+        std::printf(
+            "%s holds an existing log; recovered store replaces the "
+            "loaded data\n", wal_dir.c_str());
+      }
+      engine = std::move(recovered).value();
+      const mut::RecoveryStats& r = engine->recovery_stats();
+      std::printf(
+          "recovered from %s: epoch %llu snapshot + %llu record(s) "
+          "(%llu mutation(s), %llu segment(s)) in %.1f + %.1f ms%s\n",
+          wal_dir.c_str(),
+          static_cast<unsigned long long>(r.snapshot_epoch),
+          static_cast<unsigned long long>(r.records_replayed),
+          static_cast<unsigned long long>(r.mutations_replayed),
+          static_cast<unsigned long long>(r.segments_scanned),
+          r.snapshot_load_millis, r.replay_millis,
+          r.truncated_bytes > 0 ? " (torn tail truncated)" : "");
+      PrintStats();
+      return true;
+    }
+    if (!recovered.status().IsNotFound()) {
+      std::fprintf(stderr, "error: %s\n",
+                   recovered.status().ToString().c_str());
+      return false;
+    }
+    if (!engine.has_value()) {
+      std::fprintf(stderr,
+                   "%s holds no log and no data was loaded — pass "
+                   "--load/--lubm/--snapshot to seed it\n", wal_dir.c_str());
+      return false;
+    }
+    Status st = engine->EnableWal(wal);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return false;
+    }
+    std::printf("wal: logging to %s (sync=%s)\n", wal_dir.c_str(),
+                mut::WalSyncName(wal_sync));
+    return true;
+  }
+
   int serve_inflight = 4;
   int serve_priority = 0;
   double serve_timeout_millis = 0.0;
+  std::string wal_dir;
+  mut::WalSync wal_sync = mut::WalSync::kBatch;
 };
 
 }  // namespace
@@ -682,6 +791,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Standalone WAL integrity check, read-only (never repairs a torn
+  // tail): exit 0 = replayable, 1 = corrupt/unreadable.
+  if (argc >= 2 && std::strcmp(argv[1], "verify-wal") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: parj_cli verify-wal DIR\n");
+      return 2;
+    }
+    auto info = parj::mut::Wal::VerifyWal(argv[2]);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[2],
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%s: OK (snapshot %s @ epoch %llu, segments %llu..%llu, "
+        "%llu record(s), %llu mutation(s), %llu bytes%s)\n",
+        argv[2], info->snapshot_file.c_str(),
+        static_cast<unsigned long long>(info->snapshot_epoch),
+        static_cast<unsigned long long>(info->first_segment),
+        static_cast<unsigned long long>(info->last_segment),
+        static_cast<unsigned long long>(info->records),
+        static_cast<unsigned long long>(info->mutations),
+        static_cast<unsigned long long>(info->bytes),
+        info->torn_tail_bytes > 0 ? ", torn tail present" : "");
+    return 0;
+  }
+
   // Two passes: settings first, then data-loading actions, so flag order
   // on the command line never matters (--load data.nt --load-threads 8
   // still loads with 8 threads).
@@ -711,6 +847,15 @@ int main(int argc, char** argv) {
       shell.HandleCommand(std::string(".load-threads ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--chunk-mb") == 0 && i + 1 < argc) {
       shell.chunk_mb = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
+      shell.wal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--wal-sync") == 0 && i + 1 < argc) {
+      auto sync = parj::mut::ParseWalSync(argv[++i]);
+      if (!sync.ok()) {
+        std::fprintf(stderr, "%s\n", sync.status().ToString().c_str());
+        return 1;
+      }
+      shell.wal_sync = *sync;
     } else if ((std::strcmp(argv[i], "--load") == 0 ||
                 std::strcmp(argv[i], "--snapshot") == 0 ||
                 std::strcmp(argv[i], "--lubm") == 0 ||
@@ -737,11 +882,15 @@ int main(int argc, char** argv) {
                 std::strcmp(argv[i], "--simd") == 0 ||
                 std::strcmp(argv[i], "--compression") == 0 ||
                 std::strcmp(argv[i], "--load-threads") == 0 ||
-                std::strcmp(argv[i], "--chunk-mb") == 0) &&
+                std::strcmp(argv[i], "--chunk-mb") == 0 ||
+                std::strcmp(argv[i], "--wal-dir") == 0 ||
+                std::strcmp(argv[i], "--wal-sync") == 0) &&
                i + 1 < argc) {
       ++i;  // consumed in the first pass
     }
   }
+
+  if (!shell.SetupWal()) return 1;
 
   if (serve) {
     shell.RunServe();
