@@ -61,6 +61,7 @@ Result<engine::QueryResult> ExecuteUnionAst(
   result.parse_millis = parse_millis;
   result.var_names = ast.projection;
   result.column_count = ast.projection.size();
+  result.data_version = delta.sequence();
 
   std::vector<query::SelectQueryAst> arms;
   {
@@ -376,36 +377,13 @@ Result<query::Plan> ParjEngine::Explain(
   return query::Optimize(encoded, db, options, &delta);
 }
 
-Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
-                                        const QueryOptions& options) const {
-  QueryResult result;
-  // A query submitted with an already-expired deadline (or pre-cancelled
-  // token) returns its cancellation Status without parsing or executing.
-  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
+namespace {
 
-  // Pin the current epoch: the whole query — encode, plan, execute —
-  // sees one immutable (base, delta) pair however many writes or
-  // compactions land meanwhile.
-  const mut::MvccSnapshot snap = store_->snapshot();
-  const storage::Database& db = snap.base();
-  const mut::DeltaView& delta = snap.delta();
-
-  Stopwatch parse_timer;
-  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
-  if (!ast.union_arms.empty()) {
-    return ExecuteUnionAst(db, delta, ast, options,
-                           parse_timer.ElapsedMillis());
-  }
-  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
-                        query::EncodeQuery(ast, db, &delta.overlay()));
-  result.parse_millis = parse_timer.ElapsedMillis();
-
-  Stopwatch optimize_timer;
-  PARJ_ASSIGN_OR_RETURN(
-      query::Plan plan,
-      query::Optimize(encoded, db, options.optimizer, &delta));
-  result.optimize_millis = optimize_timer.ElapsedMillis();
-
+/// Builds the executor options for one materializing/counting query run
+/// (DISTINCT needs materialized rows to deduplicate, whatever the caller
+/// asked for; LIMIT without DISTINCT can stop shards early).
+join::ExecOptions MakeExecOptions(const query::Plan& plan,
+                                  const QueryOptions& options) {
   join::ExecOptions exec;
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
@@ -414,8 +392,6 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   exec.emulate_parallel = options.emulate_parallel;
   exec.collect_probe_trace = options.collect_probe_trace;
   exec.cancel = options.cancel;
-  // DISTINCT needs materialized rows to deduplicate, whatever the caller
-  // asked for; LIMIT without DISTINCT can stop shards early.
   const bool need_rows =
       plan.distinct || options.mode == join::ResultMode::kMaterialize;
   exec.mode = need_rows ? join::ResultMode::kMaterialize
@@ -425,11 +401,14 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
       (exec.per_shard_limit == 0 || options.max_rows < exec.per_shard_limit)) {
     exec.per_shard_limit = options.max_rows;
   }
+  return exec;
+}
 
-  join::Executor executor(&db, &delta);
-  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
-                        executor.Execute(plan, exec));
-
+/// Applies the engine-level result semantics (DISTINCT dedup, LIMIT trim,
+/// count-only row drop, projected variable names) to one executor result.
+QueryResult FinishResult(join::ExecResult exec_result, query::Plan plan,
+                         const QueryOptions& options) {
+  QueryResult result;
   result.row_count = exec_result.row_count;
   result.column_count = exec_result.column_count;
   result.rows = std::move(exec_result.rows);
@@ -459,6 +438,101 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
   for (int var : plan.projection) result.var_names.push_back(plan.var_names[var]);
   result.plan = std::move(plan);
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
+                                        const QueryOptions& options) const {
+  // A query submitted with an already-expired deadline (or pre-cancelled
+  // token) returns its cancellation Status without parsing or executing.
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
+
+  // Pin the current epoch: the whole query — encode, plan, execute —
+  // sees one immutable (base, delta) pair however many writes or
+  // compactions land meanwhile.
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
+
+  Stopwatch parse_timer;
+  PARJ_ASSIGN_OR_RETURN(query::SelectQueryAst ast, query::ParseQuery(sparql));
+  if (!ast.union_arms.empty()) {
+    return ExecuteUnionAst(db, delta, ast, options,
+                           parse_timer.ElapsedMillis());
+  }
+  PARJ_ASSIGN_OR_RETURN(query::EncodedQuery encoded,
+                        query::EncodeQuery(ast, db, &delta.overlay()));
+  const double parse_millis = parse_timer.ElapsedMillis();
+
+  Stopwatch optimize_timer;
+  PARJ_ASSIGN_OR_RETURN(
+      query::Plan plan,
+      query::Optimize(encoded, db, options.optimizer, &delta));
+  const double optimize_millis = optimize_timer.ElapsedMillis();
+
+  join::Executor executor(&db, &delta);
+  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                        executor.Execute(plan, MakeExecOptions(plan, options)));
+
+  QueryResult result = FinishResult(std::move(exec_result), std::move(plan),
+                                    options);
+  result.parse_millis = parse_millis;
+  result.optimize_millis = optimize_millis;
+  result.data_version = snap.data_version();
+  return result;
+}
+
+Result<QueryResult> ParjEngine::ExecutePlan(
+    const query::Plan& plan, const QueryOptions& options,
+    const mut::MvccSnapshot* pinned) const {
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
+  // A bound plan stays valid across epochs (TermIds are permanent:
+  // compaction folds overlay terms into the next base dictionary at the
+  // same IDs), so executing a cached plan against a later snapshot is
+  // exactly re-running the query on the current data.
+  const mut::MvccSnapshot snap =
+      pinned != nullptr ? *pinned : store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
+  join::Executor executor(&db, &delta);
+  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                        executor.Execute(plan, MakeExecOptions(plan, options)));
+  QueryResult result = FinishResult(std::move(exec_result), plan, options);
+  result.data_version = snap.data_version();
+  return result;
+}
+
+Result<std::vector<QueryResult>> ParjEngine::ExecuteShared(
+    std::span<const query::Plan* const> plans,
+    std::span<const QueryOptions> options) const {
+  if (plans.size() != options.size()) {
+    return Status::InvalidArgument(
+        "ExecuteShared needs one QueryOptions per plan");
+  }
+  // One snapshot for the whole group: every member executes — and is
+  // version-stamped — against the same (base, delta) pair.
+  const mut::MvccSnapshot snap = store_->snapshot();
+  const storage::Database& db = snap.base();
+  const mut::DeltaView& delta = snap.delta();
+
+  std::vector<join::ExecOptions> exec(plans.size());
+  for (size_t m = 0; m < plans.size(); ++m) {
+    exec[m] = MakeExecOptions(*plans[m], options[m]);
+  }
+  join::Executor executor(&db, &delta);
+  PARJ_ASSIGN_OR_RETURN(std::vector<join::ExecResult> raw,
+                        executor.ExecuteShared(plans, exec));
+  std::vector<QueryResult> results;
+  results.reserve(plans.size());
+  for (size_t m = 0; m < plans.size(); ++m) {
+    QueryResult result = FinishResult(std::move(raw[m]), *plans[m],
+                                      options[m]);
+    result.data_version = snap.data_version();
+    result.shared_scan = true;
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 Result<QueryResult> ParjEngine::ExecuteStreaming(
@@ -515,6 +589,7 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   result.var_names.reserve(plan.projection.size());
   for (int var : plan.projection) result.var_names.push_back(plan.var_names[var]);
   result.plan = std::move(plan);
+  result.data_version = snap.data_version();
   return result;
 }
 

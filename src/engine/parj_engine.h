@@ -108,6 +108,15 @@ struct QueryResult {
   std::vector<TermId> rows;  ///< row-major IDs (kMaterialize only)
   std::vector<std::string> var_names;
 
+  /// Data-content version of the snapshot this result was computed
+  /// against (see mut::MvccSnapshot::data_version). Result caches key
+  /// entries on it: equal versions mean identical store contents.
+  uint64_t data_version = 0;
+  // Serving-path provenance, for caching metrics and tests.
+  bool plan_cached = false;    ///< parse+optimize skipped (plan cache hit)
+  bool result_cached = false;  ///< rows served straight from the result cache
+  bool shared_scan = false;    ///< executed inside a shared-scan group
+
   /// Actual intermediate tuples per plan step (EXPLAIN ANALYZE data; see
   /// join::ExecResult::step_rows). Empty for UNION queries.
   std::vector<uint64_t> step_rows;
@@ -210,6 +219,28 @@ class ParjEngine {
   Result<query::Plan> Explain(std::string_view sparql,
                               const query::OptimizerOptions& options = {}) const;
 
+  /// Executes an already-optimized plan, skipping parse/encode/optimize —
+  /// the plan-cache fast path. The plan must have been produced by
+  /// Optimize() against this engine (TermIds are stable across
+  /// compactions, so cached plans stay valid). When `pinned` is non-null
+  /// the query runs against that snapshot; otherwise the current epoch is
+  /// pinned. Applies the same DISTINCT / LIMIT / result-mode tail as
+  /// Execute().
+  Result<QueryResult> ExecutePlan(const query::Plan& plan,
+                                  const QueryOptions& options,
+                                  const mut::MvccSnapshot* pinned =
+                                      nullptr) const;
+
+  /// Executes several plans that share an identical leading scan in one
+  /// pipeline pass over one pinned snapshot (shared-scan batching): the
+  /// leading table is iterated once and every key range is pushed through
+  /// each member's residual pipeline. Returns one result per plan, each
+  /// row-identical to a solo ExecutePlan of that member. All members run
+  /// under options[i]; plans.size() must equal options.size().
+  Result<std::vector<QueryResult>> ExecuteShared(
+      std::span<const query::Plan* const> plans,
+      std::span<const QueryOptions> options) const;
+
   /// Runs Algorithm 2 on all replicas (idempotent; repeatable). Must not
   /// race with queries — a load-time / maintenance-window operation.
   void Calibrate() { store_->CalibrateBase(calibration_options_); }
@@ -242,6 +273,14 @@ class ParjEngine {
 
   /// Serving gauges: delta sizes, compaction counters, live epochs.
   mut::MutationStats mutation_stats() const { return store_->stats(); }
+
+  /// Data-content version of the current epoch: bumps on every mutation,
+  /// unchanged across compaction (result-cache invalidation key).
+  uint64_t data_version() const { return store_->data_version(); }
+
+  /// Plan-statistics generation: bumps when compaction or recalibration
+  /// changes the base statistics (plan-cache freshness key).
+  uint64_t plan_generation() const { return store_->plan_generation(); }
 
   // ---- Crash durability (DESIGN.md §14) --------------------------------
 

@@ -781,42 +781,34 @@ Status RunContained(Fn&& fn) {
   }
 }
 
-}  // namespace
+/// Everything an execution needs that is derived purely from (plan,
+/// database, delta, options): resolved step infos, batched-probe
+/// eligibility and pushed-down filters. Factored out of Execute so the
+/// shared-scan pass can resolve each member plan identically.
+struct ResolvedPlan {
+  std::vector<StepInfo> steps;
+  std::vector<uint8_t> batch_at;
+  std::vector<std::vector<const query::EncodedFilter*>> filters_at;
+};
 
-Result<ExecResult> Executor::Execute(const Plan& plan,
-                                     const ExecOptions& options) const {
-  ExecResult result;
-  result.column_count = plan.projection.size();
-  if (plan.known_empty) return result;
-  if (plan.steps.empty()) {
-    return Status::InvalidArgument("plan has no steps");
-  }
-  if (options.num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
-  if (options.mode == ResultMode::kVisit && !options.visitor) {
-    return Status::InvalidArgument("kVisit mode requires a visitor");
-  }
-  // Admission check: an already-cancelled token (e.g. an expired
-  // deadline) stops the query before any work happens.
-  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
-
+/// Resolves `plan` against the database and (when present) the
+/// pending-write delta view. A predicate that only exists in the delta
+/// (allocated after the base was built) gets an empty base replica with
+/// default thresholds — every probe then falls through to the delta
+/// merge paths.
+Status ResolvePlan(const storage::Database& db, const mut::DeltaView* delta,
+                   const Plan& plan, const ExecOptions& options,
+                   ResolvedPlan* out) {
   const bool needs_index = options.strategy == SearchStrategy::kIndex ||
                            options.strategy == SearchStrategy::kAdaptiveIndex;
-
-  // Resolve step info against the database and (when present) the
-  // pending-write delta view. A predicate that only exists in the delta
-  // (allocated after the base was built) gets an empty base replica with
-  // default thresholds — every probe then falls through to the delta
-  // merge paths.
   static const TableReplica kEmptyReplica;
   static const ReplicaMeta kEmptyMeta;
-  std::vector<StepInfo> steps;
+  std::vector<StepInfo>& steps = out->steps;
   steps.reserve(plan.steps.size());
   for (const PlanStep& ps : plan.steps) {
-    const storage::PropertyEntry* entry = db_->FindEntry(ps.predicate);
+    const storage::PropertyEntry* entry = db.FindEntry(ps.predicate);
     const mut::PropertyDelta* pending =
-        delta_ != nullptr ? delta_->Find(ps.predicate) : nullptr;
+        delta != nullptr ? delta->Find(ps.predicate) : nullptr;
     if (entry == nullptr && pending == nullptr) {
       return Status::InvalidArgument("plan references unknown predicate " +
                                      std::to_string(ps.predicate));
@@ -870,7 +862,7 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
   // chain shape), so stage B can mirror Descend(d+1)'s probe path
   // verbatim. Any limit makes descent order observable mid-stream, so a
   // per-shard limit disables batching outright.
-  std::vector<uint8_t> batch_at(steps.size(), 0);
+  out->batch_at.assign(steps.size(), 0);
   if (options.batch_probes && options.per_shard_limit == 0) {
     for (size_t d = 0; d + 1 < steps.size(); ++d) {
       const StepInfo& cur = steps[d];
@@ -878,17 +870,16 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
       // A dirty next step is excluded: stage B mirrors Descend's clean
       // probe path, which a pending-write step must not take (its base
       // misses can still hit delta inserts and its hits may be deleted).
-      batch_at[d] = cur.value.is_variable() && !cur.value_is_key_var &&
-                    !cur.value_bound && nxt.key_bound &&
-                    nxt.key.is_variable() && nxt.key.var == cur.value.var &&
-                    !nxt.replica->empty() && !nxt.dirty;
+      out->batch_at[d] = cur.value.is_variable() && !cur.value_is_key_var &&
+                         !cur.value_bound && nxt.key_bound &&
+                         nxt.key.is_variable() && nxt.key.var == cur.value.var &&
+                         !nxt.replica->empty() && !nxt.dirty;
     }
   }
 
   // Push every FILTER down to the earliest depth at which its variables
   // are bound; filters_at[d] is evaluated on entry to Descend(d).
-  std::vector<std::vector<const query::EncodedFilter*>> filters_at(
-      plan.steps.size() + 1);
+  out->filters_at.assign(plan.steps.size() + 1, {});
   {
     std::vector<uint64_t> bound_after(plan.steps.size(), 0);
     uint64_t bound = 0;
@@ -912,14 +903,74 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
         return Status::InvalidArgument(
             "FILTER references a variable the plan never binds");
       }
-      filters_at[depth].push_back(&filter);
+      out->filters_at[depth].push_back(&filter);
     }
   }
+  return Status::OK();
+}
 
+/// One shard's private context, wired to a resolved plan. Identical
+/// whether the shard serves a solo execution or one member of a shared
+/// pass.
+void InitShardContext(ShardContext* ctx, size_t shard,
+                      const ResolvedPlan& resolved, const Plan& plan,
+                      const ExecOptions& options, size_t num_shards) {
+  ctx->shard_id = shard;
+  ctx->visitor = &options.visitor;
+  ctx->steps = &resolved.steps;
+  ctx->batch_at = &resolved.batch_at;
+  ctx->filters_at = &resolved.filters_at;
+  ctx->projection = &plan.projection;
+  ctx->mode = options.mode;
+  ctx->per_shard_limit = options.per_shard_limit;
+  ctx->bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
+  ctx->emit_row.assign(plan.projection.size(), 0);
+  ctx->cursors.assign(resolved.steps.size(), 0);
+  ctx->rcursors.assign(resolved.steps.size(), storage::ReplicaCursor());
+  ctx->merged_runs.resize(resolved.steps.size());
+  ctx->step_rows.assign(resolved.steps.size(), 0);
+  ctx->tracing = options.collect_probe_trace;
+  if (ctx->tracing) {
+    ctx->max_trace_entries = options.max_trace_entries / num_shards + 1;
+    ctx->trace.resize(resolved.steps.size());
+  }
+  ctx->cancel = options.cancel;
+  ctx->cancel_enabled = options.cancel.valid();
+}
+
+/// Validation shared by Execute and ExecuteShared.
+Status ValidateExecOptions(const Plan& plan, const ExecOptions& options) {
+  if (plan.steps.empty()) {
+    return Status::InvalidArgument("plan has no steps");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.mode == ResultMode::kVisit && !options.visitor) {
+    return Status::InvalidArgument("kVisit mode requires a visitor");
+  }
   if (options.total_workers < 1 || options.worker_index < 0 ||
       options.worker_index >= options.total_workers) {
     return Status::InvalidArgument("invalid worker slice");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const Plan& plan,
+                                     const ExecOptions& options) const {
+  ExecResult result;
+  result.column_count = plan.projection.size();
+  if (plan.known_empty) return result;
+  PARJ_RETURN_NOT_OK(ValidateExecOptions(plan, options));
+  // Admission check: an already-cancelled token (e.g. an expired
+  // deadline) stops the query before any work happens.
+  if (options.cancel.StopRequested()) return options.cancel.ToStatus();
+
+  ResolvedPlan resolved;
+  PARJ_RETURN_NOT_OK(ResolvePlan(*db_, delta_, plan, options, &resolved));
+  std::vector<StepInfo>& steps = resolved.steps;
 
   Stopwatch total_timer;
   const WorkSource src = ResolveWorkSource(steps[0]);
@@ -948,28 +999,8 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
 
   std::vector<ShardContext> contexts(num_shards);
   for (size_t shard = 0; shard < num_shards; ++shard) {
-    ShardContext& ctx = contexts[shard];
-    ctx.shard_id = shard;
-    ctx.visitor = &options.visitor;
-    ctx.steps = &steps;
-    ctx.batch_at = &batch_at;
-    ctx.filters_at = &filters_at;
-    ctx.projection = &plan.projection;
-    ctx.mode = options.mode;
-    ctx.per_shard_limit = options.per_shard_limit;
-    ctx.bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
-    ctx.emit_row.assign(plan.projection.size(), 0);
-    ctx.cursors.assign(steps.size(), 0);
-    ctx.rcursors.assign(steps.size(), storage::ReplicaCursor());
-    ctx.merged_runs.resize(steps.size());
-    ctx.step_rows.assign(steps.size(), 0);
-    ctx.tracing = options.collect_probe_trace;
-    if (ctx.tracing) {
-      ctx.max_trace_entries = options.max_trace_entries / num_shards + 1;
-      ctx.trace.resize(steps.size());
-    }
-    ctx.cancel = options.cancel;
-    ctx.cancel_enabled = options.cancel.valid();
+    InitShardContext(&contexts[shard], shard, resolved, plan, options,
+                     num_shards);
   }
 
   auto shard_range = [&](size_t shard) {
@@ -1167,6 +1198,172 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
     result.emulated_parallel_millis = result.shard_millis[0];
   }
   return result;
+}
+
+Result<std::vector<ExecResult>> Executor::ExecuteShared(
+    std::span<const query::Plan* const> plans,
+    std::span<const ExecOptions> options) const {
+  if (plans.empty() || plans.size() != options.size()) {
+    return Status::InvalidArgument(
+        "ExecuteShared needs matching, non-empty plan/options spans");
+  }
+  const size_t n = plans.size();
+  for (size_t m = 0; m < n; ++m) {
+    const Plan& plan = *plans[m];
+    const ExecOptions& opt = options[m];
+    if (plan.known_empty) {
+      return Status::InvalidArgument("shared-scan member is known empty");
+    }
+    PARJ_RETURN_NOT_OK(ValidateExecOptions(plan, opt));
+    if (opt.mode == ResultMode::kVisit || opt.emulate_parallel ||
+        opt.collect_probe_trace || opt.total_workers != 1) {
+      return Status::InvalidArgument(
+          "shared-scan members cannot use kVisit, emulation, probe tracing "
+          "or cluster slicing");
+    }
+    const PlanStep& first = plan.steps[0];
+    if (!first.key.is_variable() || first.key_bound ||
+        !first.value.is_variable() || first.value_bound) {
+      return Status::InvalidArgument(
+          "shared-scan members must start with an unbound variable scan");
+    }
+    if (first.predicate != plans[0]->steps[0].predicate ||
+        first.replica != plans[0]->steps[0].replica) {
+      return Status::InvalidArgument(
+          "shared-scan members must share the leading predicate and replica");
+    }
+    // Admission check, exactly like Execute's.
+    if (opt.cancel.StopRequested()) return opt.cancel.ToStatus();
+  }
+  const ExecOptions& lead = options[0];
+
+  std::vector<ExecResult> results(n);
+  for (size_t m = 0; m < n; ++m) {
+    results[m].column_count = plans[m]->projection.size();
+  }
+
+  // Resolve every member against the same database/delta. Identical
+  // leading (predicate, replica) across members means identical step-0
+  // pointers, so member 0's WorkSource and cuts serve the whole group.
+  std::vector<ResolvedPlan> resolved(n);
+  for (size_t m = 0; m < n; ++m) {
+    PARJ_RETURN_NOT_OK(
+        ResolvePlan(*db_, delta_, *plans[m], options[m], &resolved[m]));
+  }
+
+  Stopwatch total_timer;
+  const WorkSource src = ResolveWorkSource(resolved[0].steps[0]);
+  if (src.kind == WorkSource::Kind::kEmpty) {
+    const double wall = total_timer.ElapsedMillis();
+    for (ExecResult& result : results) result.wall_millis = wall;
+    return results;
+  }
+  // An unbound variable first key always shards the key array.
+  PARJ_CHECK(src.kind == WorkSource::Kind::kKeyRange)
+      << "shared scan over a non-key-range work source";
+
+  const size_t num_shards = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(lead.num_threads), src.size));
+
+  // Fully private per-member, per-shard contexts: within a cut each
+  // member runs the exact solo pipeline — no cross-member state at all,
+  // the sharing is purely that one cut schedule drives all members.
+  std::vector<std::vector<ShardContext>> contexts(n);
+  for (size_t m = 0; m < n; ++m) {
+    contexts[m].resize(num_shards);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      InitShardContext(&contexts[m][shard], shard, resolved[m], *plans[m],
+                       options[m], num_shards);
+    }
+  }
+
+  FaultCollector faults;
+  server::ThreadPool& pool =
+      lead.pool != nullptr ? *lead.pool : server::ThreadPool::Shared();
+  const bool use_morsel =
+      lead.scheduling == Scheduling::kMorsel && num_shards > 1;
+
+  if (use_morsel) {
+    // Same cost-balanced cuts a solo run of any member would make: the
+    // shared leading replica's CSR is the cost model for all of them.
+    const storage::TableReplica& first = src.keys_from_delta
+                                             ? *resolved[0].steps[0].ins
+                                             : *resolved[0].steps[0].replica;
+    const uint64_t cost = first.RangeCost(0, src.size);
+    std::vector<Morsel> morsels =
+        MorselScheduler::MorselsFromCuts(first.CostBalancedSplit(
+            0, src.size, MorselTarget(num_shards, src.size, cost)));
+    MorselScheduler scheduler(std::move(morsels), num_shards);
+
+    auto worker_loop = [&](size_t w) {
+      Morsel morsel;
+      bool stolen = false;
+      while (!faults.Faulted() && scheduler.Next(w, &morsel, &stolen)) {
+        const Status unit = RunContained([&]() -> Status {
+          Status injected = failpoint::Check("join.worker.morsel");
+          if (!injected.ok()) return injected;
+          for (size_t m = 0; m < n; ++m) {
+            ShardContext& ctx = contexts[m][w];
+            if (ctx.limit_reached) continue;
+            RunShard(resolved[m].steps, src, morsel.begin, morsel.end,
+                     options[m].strategy, &ctx);
+          }
+          return Status::OK();
+        });
+        if (!unit.ok()) {
+          faults.Record(unit);
+          break;
+        }
+      }
+    };
+    pool.RunWorkers(static_cast<int>(num_shards),
+                    [&](int w) { worker_loop(static_cast<size_t>(w)); });
+  } else {
+    pool.ParallelFor(num_shards, [&](size_t shard) {
+      if (faults.Faulted()) return;
+      const Status unit = RunContained([&]() -> Status {
+        Status injected = failpoint::Check("join.worker.shard");
+        if (!injected.ok()) return injected;
+        const size_t begin = src.size * shard / num_shards;
+        const size_t end = src.size * (shard + 1) / num_shards;
+        for (size_t m = 0; m < n; ++m) {
+          RunShard(resolved[m].steps, src, begin, end, options[m].strategy,
+                   &contexts[m][shard]);
+        }
+        return Status::OK();
+      });
+      if (!unit.ok()) faults.Record(unit);
+    });
+  }
+
+  // Any member's fault or cancellation fails the whole group; the caller
+  // degrades to solo execution per member.
+  if (faults.Faulted()) return faults.Take();
+  for (size_t m = 0; m < n; ++m) {
+    if (options[m].cancel.StopRequested()) {
+      return options[m].cancel.ToStatus();
+    }
+  }
+
+  const double wall = total_timer.ElapsedMillis();
+  for (size_t m = 0; m < n; ++m) {
+    ExecResult& result = results[m];
+    const size_t step_count = resolved[m].steps.size();
+    result.step_rows.assign(step_count, 0);
+    for (ShardContext& ctx : contexts[m]) {
+      result.row_count += ctx.row_count;
+      result.counters.Add(ctx.counters);
+      for (size_t s = 0; s < step_count; ++s) {
+        result.step_rows[s] += ctx.step_rows[s];
+      }
+      if (options[m].mode == ResultMode::kMaterialize) {
+        result.rows.insert(result.rows.end(), ctx.rows.begin(),
+                           ctx.rows.end());
+      }
+    }
+    result.wall_millis = wall;
+  }
+  return results;
 }
 
 }  // namespace parj::join

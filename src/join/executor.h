@@ -187,6 +187,27 @@ class Executor {
   Result<ExecResult> Execute(const query::Plan& plan,
                              const ExecOptions& options = {}) const;
 
+  /// Shared-scan batching: executes several plans whose FIRST step is the
+  /// same unbound scan — identical predicate and replica, variable key and
+  /// value, neither pre-bound — in one pass over the leading key range.
+  /// The range is cut once (static shards or cost-balanced morsels, per
+  /// options[0]); every cut is pushed through each member's residual
+  /// pipeline with fully private contexts, so per-member results, counters
+  /// and step_rows are identical to a solo Execute of that member over the
+  /// same cuts. Per-member options control mode / per_shard_limit /
+  /// cancellation; scheduling fields (num_threads, strategy, scheduling,
+  /// batch eligibility inputs) are taken from options[0] and must match
+  /// across members for the cuts to be shared.
+  ///
+  /// Restrictions (InvalidArgument): members must not be known_empty, must
+  /// not use kVisit / emulate_parallel / probe tracing / cluster slicing,
+  /// and all leading steps must resolve to the same table replica. Any
+  /// member fault or cancellation fails the whole call — callers degrade
+  /// to solo execution per member.
+  Result<std::vector<ExecResult>> ExecuteShared(
+      std::span<const query::Plan* const> plans,
+      std::span<const ExecOptions> options) const;
+
  private:
   const storage::Database* db_;
   const mut::DeltaView* delta_;

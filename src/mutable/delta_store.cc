@@ -376,7 +376,13 @@ Status DeltaStore::Compact() {
   compaction_micros_.fetch_add(
       static_cast<uint64_t>(timer.ElapsedNanos() / 1000),
       std::memory_order_relaxed);
-  if (status.ok()) compactions_.fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+    // The swapped-in base carries fresh histograms/statistics; cached
+    // plans built against the old base are still correct (TermIds are
+    // stable) but may no longer be the optimizer's choice.
+    plan_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
   compacting_.store(false, std::memory_order_release);
   return status;
 }
@@ -387,6 +393,7 @@ void DeltaStore::CalibrateBase(const join::CalibrationOptions& options) {
   // tunes per-replica search windows in place and is only legal while no
   // queries are running (the same contract the read-only engine had).
   const_cast<storage::Database*>(base_.get())->Calibrate(options);
+  plan_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 MutationStats DeltaStore::stats() const {
@@ -397,6 +404,7 @@ MutationStats DeltaStore::stats() const {
   out.delta_bytes = v->delta().DeltaBytes();
   out.epoch = v->epoch();
   out.sequence = v->delta().sequence();
+  out.plan_generation = plan_generation_.load(std::memory_order_relaxed);
   out.compactions = compactions_.load(std::memory_order_relaxed);
   out.compaction_micros = compaction_micros_.load(std::memory_order_relaxed);
   const int64_t live = live_versions_->load(std::memory_order_relaxed);

@@ -52,6 +52,10 @@ struct MutationStats {
   uint64_t active_epochs = 0;       ///< live Version objects (pinned views)
   uint64_t epoch = 0;               ///< current epoch (bumped per compaction)
   uint64_t sequence = 0;            ///< write batches applied
+  /// Bumped whenever the plan-relevant base statistics change (successful
+  /// compaction or in-place recalibration). Plan caches key on this: a
+  /// stale generation means a cached plan may be suboptimal, never wrong.
+  uint64_t plan_generation = 0;
 };
 
 /// One epoch's immutable (base, delta) pair. Snapshots hold a shared_ptr
@@ -93,6 +97,14 @@ class MvccSnapshot {
   const storage::Database& base() const { return version_->base(); }
   const DeltaView& delta() const { return version_->delta(); }
   uint64_t epoch() const { return version_->epoch(); }
+
+  /// Monotonic data-content version of this view: the number of write
+  /// batches applied when it was published. Unlike epoch() it bumps on
+  /// EVERY mutation, and — because compaction only re-represents the same
+  /// triples (TermIds stable) — it is intentionally unchanged across a
+  /// compaction swap. Result caches key on this: equal data_version
+  /// guarantees byte-identical query rows.
+  uint64_t data_version() const { return version_->delta().sequence(); }
 
  private:
   std::shared_ptr<const Version> version_;
@@ -161,6 +173,15 @@ class DeltaStore {
   void CalibrateBase(const join::CalibrationOptions& options);
 
   MutationStats stats() const;
+
+  /// Data-content version of the current epoch (see
+  /// MvccSnapshot::data_version).
+  uint64_t data_version() const { return snapshot().data_version(); }
+
+  /// Plan-statistics generation (see MutationStats::plan_generation).
+  uint64_t plan_generation() const {
+    return plan_generation_.load(std::memory_order_acquire);
+  }
 
   /// The current epoch's base database. The reference is valid until the
   /// next successful Compact() — callers that execute queries must pin a
@@ -231,6 +252,7 @@ class DeltaStore {
   std::atomic<bool> compacting_{false};
   std::atomic<uint64_t> compactions_{0};
   std::atomic<uint64_t> compaction_micros_{0};
+  std::atomic<uint64_t> plan_generation_{0};
 };
 
 }  // namespace parj::mut

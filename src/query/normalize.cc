@@ -1,0 +1,128 @@
+#include "query/normalize.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace parj::query {
+
+namespace {
+
+/// Executor binding masks are uint64, so shapes beyond 64 variables never
+/// reach it anyway; the encoder rejects them on the uncached path.
+constexpr size_t kMaxVariables = 64;
+
+void AppendSlot(std::string* key, bool is_var, int var_or_param) {
+  key->push_back(is_var ? '?' : '$');
+  key->append(std::to_string(var_or_param));
+}
+
+}  // namespace
+
+NormalizedQuery NormalizeQuery(const SelectQueryAst& ast) {
+  NormalizedQuery out;
+  auto reject = [&](const char* why) {
+    out.eligible = false;
+    out.ineligible_reason = why;
+    return out;
+  };
+  if (!ast.union_arms.empty()) return reject("UNION");
+  if (ast.patterns.empty()) return reject("no patterns");
+
+  std::unordered_map<std::string, int> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    const int id = static_cast<int>(out.var_names.size());
+    var_ids.emplace(name, id);
+    out.var_names.push_back(name);
+    return id;
+  };
+  auto lift_param = [&](const rdf::Term& term) {
+    const int idx = static_cast<int>(out.params.size());
+    out.params.push_back(term);
+    return idx;
+  };
+
+  std::string& key = out.shape_key;
+  if (ast.distinct) key.push_back('D');
+  key.push_back('|');
+
+  for (const TriplePatternAst& p : ast.patterns) {
+    if (p.predicate.is_variable) return reject("variable predicate");
+    NormalizedQuery::PatternParams pp;
+    if (p.subject.is_variable) {
+      AppendSlot(&key, true, intern_var(p.subject.var));
+    } else {
+      pp.subject = lift_param(p.subject.term);
+      AppendSlot(&key, false, pp.subject);
+    }
+    key.push_back(' ');
+    pp.predicate = lift_param(p.predicate.term);
+    AppendSlot(&key, false, pp.predicate);
+    key.push_back(' ');
+    if (p.object.is_variable) {
+      AppendSlot(&key, true, intern_var(p.object.var));
+    } else {
+      pp.object = lift_param(p.object.term);
+      AppendSlot(&key, false, pp.object);
+    }
+    key.push_back(';');
+    out.pattern_params.push_back(pp);
+  }
+  if (out.var_names.size() > kMaxVariables) return reject("too many variables");
+
+  for (const FilterAst& f : ast.filters) {
+    // Mirror the encoder's normalization: a lone variable goes left
+    // (kEq / kNe are symmetric, so no operator flip is needed here).
+    const TermOrVar* lhs = &f.lhs;
+    const TermOrVar* rhs = &f.rhs;
+    if (!lhs->is_variable && rhs->is_variable) std::swap(lhs, rhs);
+    if (f.op != FilterOp::kEq && f.op != FilterOp::kNe) {
+      // Ordering filters precompile passing bitmaps against one epoch's
+      // dictionary — not parameterizable.
+      return reject("ordering FILTER");
+    }
+    if (!lhs->is_variable) return reject("constant-constant FILTER");
+    const auto lhs_it = var_ids.find(lhs->var);
+    if (lhs_it == var_ids.end()) return reject("FILTER variable not in BGP");
+
+    NormalizedQuery::FilterParam fp;
+    fp.op = f.op;
+    fp.lhs_var = lhs_it->second;
+    key.push_back('|');
+    AppendSlot(&key, true, fp.lhs_var);
+    key.append(f.op == FilterOp::kEq ? "=" : "!=");
+    if (rhs->is_variable) {
+      const auto rhs_it = var_ids.find(rhs->var);
+      if (rhs_it == var_ids.end()) return reject("FILTER variable not in BGP");
+      fp.rhs_var = rhs_it->second;
+      AppendSlot(&key, true, fp.rhs_var);
+    } else {
+      fp.rhs_param = lift_param(rhs->term);
+      AppendSlot(&key, false, fp.rhs_param);
+    }
+    out.filter_params.push_back(fp);
+  }
+
+  key.append("|P:");
+  if (ast.select_all) {
+    key.push_back('*');
+  } else {
+    for (const std::string& name : ast.projection) {
+      const auto it = var_ids.find(name);
+      if (it == var_ids.end()) return reject("projected variable not in BGP");
+      key.append(std::to_string(it->second));
+      key.push_back(',');
+    }
+  }
+  if (ast.limit != 0) {
+    key.append("|L");
+    key.append(std::to_string(ast.limit));
+  }
+
+  out.eligible = true;
+  return out;
+}
+
+}  // namespace parj::query

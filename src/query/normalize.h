@@ -1,0 +1,69 @@
+#ifndef PARJ_QUERY_NORMALIZE_H_
+#define PARJ_QUERY_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/algebra.h"
+
+namespace parj::query {
+
+/// A parsed query reduced to its shape: variables interned to dense ids
+/// (the same first-occurrence order EncodeQuery uses, so a shape-cached
+/// plan's variable ids line up with this query's), constants lifted to
+/// positional parameters. Two queries with equal `shape_key` have the
+/// same structure, projection, DISTINCT/LIMIT and filter graph and differ
+/// only in their parameter terms — so an optimized plan for one is a
+/// valid (if possibly suboptimal) plan skeleton for the other, and
+/// binding this query's parameters into it yields exactly the plan
+/// structure a fresh Optimize() would produce.
+///
+/// Normalization is purely syntactic — no dictionary access — which is
+/// what lets the shape key address a cache across epochs.
+struct NormalizedQuery {
+  /// False when the query cannot be parameterized safely: UNION arms,
+  /// ordering FILTERs (their passing bitmaps are compiled against one
+  /// epoch's dictionary), constant-constant FILTERs (folded by value at
+  /// encode time), variable predicates, or malformed shapes the encoder
+  /// would reject anyway. Ineligible queries take the uncached path.
+  bool eligible = false;
+  const char* ineligible_reason = "";
+
+  /// Canonical shape text; the plan-cache key.
+  std::string shape_key;
+
+  /// The lifted constant terms, parameter order = occurrence order
+  /// (subject, predicate, object per pattern, then filter constants).
+  std::vector<rdf::Term> params;
+
+  /// This query's variable names in dense-id order.
+  std::vector<std::string> var_names;
+
+  /// Per pattern: the parameter index of each constant slot (-1 when the
+  /// slot is a variable).
+  struct PatternParams {
+    int subject = -1;
+    int predicate = -1;
+    int object = -1;
+  };
+  std::vector<PatternParams> pattern_params;
+
+  /// Per surviving filter, in the encoder's emission order, after the
+  /// encoder's lone-variable normalization (constant lhs swapped to the
+  /// right with the operator flipped). Eligible shapes only carry
+  /// equality / inequality filters, so no passing bitmaps exist.
+  struct FilterParam {
+    FilterOp op = FilterOp::kEq;
+    int lhs_var = -1;
+    int rhs_var = -1;    ///< when the rhs is a variable
+    int rhs_param = -1;  ///< when the rhs is a constant
+  };
+  std::vector<FilterParam> filter_params;
+};
+
+/// Normalizes a parsed single-BGP query into its shape.
+NormalizedQuery NormalizeQuery(const SelectQueryAst& ast);
+
+}  // namespace parj::query
+
+#endif  // PARJ_QUERY_NORMALIZE_H_

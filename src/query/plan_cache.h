@@ -1,0 +1,115 @@
+#ifndef PARJ_QUERY_PLAN_CACHE_H_
+#define PARJ_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "query/normalize.h"
+#include "query/optimizer.h"
+#include "query/plan.h"
+
+namespace parj::mut {
+class TermOverlay;
+}  // namespace parj::mut
+
+namespace parj::query {
+
+/// Hash of the OptimizerOptions fields that influence plan choice. Cached
+/// plans are only reused under the exact options that produced them.
+uint64_t OptimizerFingerprint(const OptimizerOptions& options);
+
+/// Binds `query`'s parameters into the plan skeleton `tmpl` (an optimized
+/// plan for another query of the same shape): per step, the constant key /
+/// value / predicate slots are re-resolved from this query's parameter
+/// terms against the base dictionary + pending-write overlay, and the
+/// filter list is rebuilt from the normalized filter spec. A parameter
+/// absent from both dictionaries marks the plan known_empty (pattern slot
+/// or '=' rhs) or drops the filter ('!=' against a term no binding can
+/// ever equal). The result is structurally the plan a fresh Optimize()
+/// would build, with the template's join order — correct for any
+/// parameters, possibly suboptimal for unusual ones.
+Result<Plan> BindTemplate(const Plan& tmpl, const NormalizedQuery& query,
+                          const storage::Database& db,
+                          const mut::TermOverlay* overlay);
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Two-level LRU plan cache for the serving hot path (DESIGN.md §15).
+///
+/// Bound level: exact query text → fully bound, ready-to-execute plan;
+/// a hit skips parse, encode and optimize entirely. Shape level:
+/// NormalizedQuery::shape_key → plan template; a hit (after parsing a
+/// previously unseen text) skips encode + optimize via BindTemplate.
+///
+/// Entries carry the (plan_generation, optimizer fingerprint) they were
+/// built under; a lookup under different values is a miss and drops the
+/// stale entry. Generation staleness only ever costs plan quality — a
+/// cached plan is valid forever because TermIds are permanent — so
+/// invalidating on generation keeps plans tracking fresh statistics
+/// without any correctness dependence on it.
+///
+/// Thread-safe; both levels share one mutex and one LRU budget each.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  explicit PlanCache(size_t max_entries = kDefaultMaxEntries);
+
+  std::shared_ptr<const Plan> LookupBound(std::string_view sparql,
+                                          uint64_t generation,
+                                          uint64_t fingerprint);
+  /// Never insert a plan made known_empty by a term absent from the
+  /// dictionaries: the term can appear later at the same text, and the
+  /// generation key does not bump on mutation. Callers enforce this.
+  void InsertBound(std::string_view sparql, uint64_t generation,
+                   uint64_t fingerprint, std::shared_ptr<const Plan> plan);
+
+  std::shared_ptr<const Plan> LookupShape(const std::string& shape_key,
+                                          uint64_t generation,
+                                          uint64_t fingerprint);
+  void InsertShape(const std::string& shape_key, uint64_t generation,
+                   uint64_t fingerprint, std::shared_ptr<const Plan> plan);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t generation = 0;
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const Plan> plan;
+  };
+  /// One LRU level: most-recently-used at the front.
+  struct Level {
+    std::list<Entry> order;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
+  std::shared_ptr<const Plan> Lookup(Level* level, std::string_view key,
+                                     uint64_t generation,
+                                     uint64_t fingerprint);
+  void Insert(Level* level, std::string_view key, uint64_t generation,
+              uint64_t fingerprint, std::shared_ptr<const Plan> plan);
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  Level bound_;
+  Level shape_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace parj::query
+
+#endif  // PARJ_QUERY_PLAN_CACHE_H_

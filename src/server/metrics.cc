@@ -136,6 +136,16 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "recovery_replayed", recovery_replayed);
   AppendCounter(&out, "recovery_truncated_bytes", recovery_truncated_bytes);
   AppendCounter(&out, "recovery_millis", recovery_millis);
+  AppendCounter(&out, "plan_cache_hits", plan_cache_hits);
+  AppendCounter(&out, "plan_cache_misses", plan_cache_misses);
+  AppendCounter(&out, "plan_cache_evictions", plan_cache_evictions);
+  AppendCounter(&out, "result_cache_hits", result_cache_hits);
+  AppendCounter(&out, "result_cache_misses", result_cache_misses);
+  AppendCounter(&out, "result_cache_bytes", result_cache_bytes);
+  AppendCounter(&out, "shared_scan_groups", shared_scan_groups);
+  AppendCounter(&out, "shared_scan_queries_coalesced",
+                shared_scan_queries_coalesced);
+  AppendCounter(&out, "shared_scan_fallbacks", shared_scan_fallbacks);
   AppendHistogram(&out, "queue_wait", queue_wait);
   AppendHistogram(&out, "execution", execution);
   AppendHistogram(&out, "total", total);
@@ -184,6 +194,15 @@ void MetricsRegistry::Reset() {
   recovery_replayed.store(0, std::memory_order_relaxed);
   recovery_truncated_bytes.store(0, std::memory_order_relaxed);
   recovery_millis.store(0, std::memory_order_relaxed);
+  plan_cache_hits.store(0, std::memory_order_relaxed);
+  plan_cache_misses.store(0, std::memory_order_relaxed);
+  plan_cache_evictions.store(0, std::memory_order_relaxed);
+  result_cache_hits.store(0, std::memory_order_relaxed);
+  result_cache_misses.store(0, std::memory_order_relaxed);
+  result_cache_bytes.store(0, std::memory_order_relaxed);
+  shared_scan_groups.store(0, std::memory_order_relaxed);
+  shared_scan_queries_coalesced.store(0, std::memory_order_relaxed);
+  shared_scan_fallbacks.store(0, std::memory_order_relaxed);
   queue_wait.Reset();
   execution.Reset();
   total.Reset();

@@ -117,6 +117,20 @@ struct MetricsRegistry {
   std::atomic<uint64_t> recovery_truncated_bytes{0};  ///< torn tail dropped
   std::atomic<uint64_t> recovery_millis{0};    ///< snapshot load + replay
 
+  // Serving-cache counters (DESIGN.md §15). The plan/result cache rows
+  // are gauges refreshed from the caches' own stats alongside the
+  // mutation gauges; the shared-scan rows are incremented directly by
+  // the serving path.
+  std::atomic<uint64_t> plan_cache_hits{0};       ///< bound-text or shape hits
+  std::atomic<uint64_t> plan_cache_misses{0};     ///< eligible lookups that optimized
+  std::atomic<uint64_t> plan_cache_evictions{0};  ///< LRU evictions (gauge)
+  std::atomic<uint64_t> result_cache_hits{0};     ///< answers served from cache
+  std::atomic<uint64_t> result_cache_misses{0};   ///< lookups that executed
+  std::atomic<uint64_t> result_cache_bytes{0};    ///< resident bytes (gauge)
+  std::atomic<uint64_t> shared_scan_groups{0};    ///< shared passes executed
+  std::atomic<uint64_t> shared_scan_queries_coalesced{0};  ///< queries served by another query's pass
+  std::atomic<uint64_t> shared_scan_fallbacks{0};  ///< groups degraded to solo execution
+
   LatencyHistogram queue_wait;  ///< submit -> job start
   LatencyHistogram execution;   ///< engine Execute wall time
   LatencyHistogram total;       ///< submit -> result ready

@@ -1,0 +1,110 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace parj::server {
+
+namespace {
+
+/// Composite key: query text, NUL, fingerprint digits. The data_version
+/// is validated, not keyed — one live entry per query, always the newest.
+std::string MakeKey(std::string_view sparql, uint64_t fingerprint) {
+  std::string key;
+  key.reserve(sparql.size() + 24);
+  key.append(sparql);
+  key.push_back('\0');
+  key.append(std::to_string(fingerprint));
+  return key;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t max_bytes, size_t shards) {
+  if (shards == 0) shards = 1;
+  shard_budget_ = std::max<size_t>(1, max_bytes / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(std::string_view key) {
+  const size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    std::string_view sparql, uint64_t fingerprint, uint64_t data_version) {
+  const std::string key = MakeKey(sparql, fingerprint);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second->result->data_version != data_version) {
+    // A mutation batch published since this entry was computed; the rows
+    // may no longer match. Drop it — the fresh answer will re-insert.
+    shard.bytes -= it->second->bytes;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+    ++shard.misses;
+    return nullptr;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  ++shard.hits;
+  return it->second->result;
+}
+
+void ResultCache::Insert(std::string_view sparql, uint64_t fingerprint,
+                         std::shared_ptr<const CachedResult> result) {
+  if (result == nullptr) return;
+  const std::string key = MakeKey(sparql, fingerprint);
+  Shard& shard = ShardFor(key);
+  const size_t bytes = result->ByteSize() + key.size();
+  if (bytes > shard_budget_) return;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.order.push_front(Entry{key, bytes, std::move(result)});
+  shard.index.emplace(shard.order.front().key, shard.order.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > shard_budget_ && !shard.order.empty()) {
+    shard.bytes -= shard.order.back().bytes;
+    shard.index.erase(shard.order.back().key);
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.bytes += shard->bytes;
+    out.entries += shard->order.size();
+  }
+  return out;
+}
+
+void ResultCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->order.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace parj::server

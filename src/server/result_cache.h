@@ -1,0 +1,105 @@
+#ifndef PARJ_SERVER_RESULT_CACHE_H_
+#define PARJ_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace parj::server {
+
+/// The cacheable part of one query's answer: the projected ID rows and
+/// their variable names. Everything timing- or provenance-related is
+/// recomputed per request.
+struct CachedResult {
+  uint64_t row_count = 0;
+  size_t column_count = 0;
+  std::vector<TermId> rows;
+  std::vector<std::string> var_names;
+  /// The data_version the rows were computed at (MvccSnapshot::
+  /// data_version — bumps per mutation batch, stable across compaction).
+  uint64_t data_version = 0;
+
+  size_t ByteSize() const {
+    size_t bytes = sizeof(CachedResult) + rows.size() * sizeof(TermId);
+    for (const std::string& name : var_names) bytes += name.size();
+    return bytes;
+  }
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;    ///< current resident bytes
+  uint64_t entries = 0;  ///< current entry count
+};
+
+/// Sharded LRU result cache keyed on (query text, request fingerprint)
+/// and validated by data_version: a lookup at version V only returns an
+/// entry computed at exactly V, so any published mutation batch — which
+/// bumps the version — invalidates every prior entry implicitly, while a
+/// compaction — which republishes the same triples at the same version —
+/// legitimately keeps them (row-identical by MVCC construction).
+///
+/// The request fingerprint folds in the QueryOptions fields that change
+/// the answer bytes (result mode, row cap); fields that only change the
+/// execution schedule are deliberately excluded.
+///
+/// Each shard has its own mutex, LRU list and byte budget, so concurrent
+/// submit threads rarely contend.
+class ResultCache {
+ public:
+  static constexpr size_t kDefaultShards = 16;
+
+  explicit ResultCache(size_t max_bytes, size_t shards = kDefaultShards);
+
+  /// Returns the cached answer for (sparql, fingerprint) at exactly
+  /// `data_version`, or nullptr. A version mismatch drops the stale entry.
+  std::shared_ptr<const CachedResult> Lookup(std::string_view sparql,
+                                             uint64_t fingerprint,
+                                             uint64_t data_version);
+
+  /// Inserts (keyed by result->data_version). Results larger than a
+  /// shard's whole budget are not cached.
+  void Insert(std::string_view sparql, uint64_t fingerprint,
+              std::shared_ptr<const CachedResult> result);
+
+  ResultCacheStats stats() const;
+  void Clear();
+
+  size_t max_bytes() const { return shard_budget_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    size_t bytes = 0;
+    std::shared_ptr<const CachedResult> result;
+  };
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::list<Entry> order;  ///< most-recently-used first
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_RESULT_CACHE_H_

@@ -5,18 +5,24 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "engine/parj_engine.h"
+#include "query/normalize.h"
+#include "query/plan_cache.h"
 #include "server/cancellation.h"
 #include "server/degradation.h"
 #include "server/metrics.h"
+#include "server/result_cache.h"
 #include "server/retry.h"
 #include "server/scheduler.h"
+#include "server/shared_scan.h"
 #include "server/thread_pool.h"
 #include "server/watchdog.h"
 
@@ -36,6 +42,17 @@ struct ServerOptions {
   RetryPolicy retry;
   /// Load shedding under sustained overload (off by default).
   DegradationOptions degradation;
+
+  // ---- Serving caches (DESIGN.md §15) ---------------------------------
+  /// Two-level plan cache (exact text -> bound plan, shape -> template).
+  bool enable_plan_cache = true;
+  size_t plan_cache_entries = query::PlanCache::kDefaultMaxEntries;
+  /// Result-cache byte budget; 0 disables the result cache entirely.
+  size_t result_cache_bytes = size_t{64} << 20;
+  /// Coalesce in-flight queries sharing a leading scan into one pass.
+  bool enable_shared_scan = true;
+  /// Max queries per shared pass, leader included.
+  size_t shared_scan_max_group = 8;
 };
 
 struct SubmitOptions {
@@ -48,6 +65,23 @@ struct SubmitOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Per-query engine options; defaults to ServerOptions::query_defaults.
   std::optional<engine::QueryOptions> query;
+  /// Per-query opt-outs of the serving caches (effective only when the
+  /// corresponding ServerOptions switch is on). Useful for benchmarking
+  /// the uncached path and for queries that must observe the very latest
+  /// plan statistics.
+  bool use_plan_cache = true;
+  bool use_result_cache = true;
+  bool use_shared_scan = true;
+};
+
+/// A query parsed and shape-normalized once, reusable across submissions:
+/// SubmitPrepared() skips parse + normalize on every call, and skips
+/// encode + optimize whenever the shape is already cached. Immutable and
+/// thread-safe; obtain from QueryServer::Prepare().
+struct PreparedStatement {
+  std::string sparql;
+  query::SelectQueryAst ast;
+  query::NormalizedQuery normalized;
 };
 
 /// Client-side handle for one submitted query: the eventual result plus
@@ -92,6 +126,17 @@ class QueryServer {
   /// instead of crashing the serving thread.
   SubmittedQuery Submit(std::string sparql, SubmitOptions options = {});
 
+  /// Parses and shape-normalizes once; the handle makes every subsequent
+  /// SubmitPrepared() skip that work. Fails on parse errors only —
+  /// shapes the caches cannot parameterize still prepare fine and take
+  /// the uncached path at submit time.
+  Result<std::shared_ptr<const PreparedStatement>> Prepare(
+      std::string sparql) const;
+
+  /// Submit() for a prepared query.
+  SubmittedQuery SubmitPrepared(std::shared_ptr<const PreparedStatement> stmt,
+                                SubmitOptions options = {});
+
   /// Submit + wait convenience. Transient failures (ResourceExhausted:
   /// admission rejection, load shedding, allocation pressure) are retried
   /// under ServerOptions::retry with jittered exponential backoff.
@@ -114,8 +159,55 @@ class QueryServer {
   const QueryScheduler& scheduler() const { return scheduler_; }
   ThreadPool& pool() { return *pool_; }
 
+  /// nullptr when the cache is disabled by ServerOptions.
+  query::PlanCache* plan_cache() { return plan_cache_.get(); }
+  ResultCache* result_cache() { return result_cache_.get(); }
+
+  /// Drops every cached plan and result (operator command; also handy in
+  /// tests). Running queries are unaffected.
+  void ClearCaches();
+
  private:
   void CountTermination(const CancellationToken& token);
+
+  SubmittedQuery SubmitInternal(
+      std::string sparql, std::shared_ptr<const PreparedStatement> prepared,
+      SubmitOptions options);
+
+  /// Engine call with the worker containment boundary (failpoint +
+  /// exception folding) around it.
+  Result<engine::QueryResult> ContainedExecutePlan(
+      const query::Plan& plan, const engine::QueryOptions& options);
+
+  /// The no-bound-plan path: parse (or reuse the prepared AST),
+  /// normalize, probe the shape cache, bind or optimize, execute against
+  /// one pinned snapshot, and seed both plan-cache levels.
+  Result<engine::QueryResult> ExecuteCold(
+      const std::string& sparql,
+      const std::shared_ptr<const PreparedStatement>& prepared,
+      const engine::QueryOptions& query_options, bool use_plan_cache,
+      uint64_t optimizer_fp);
+
+  /// Solo execution + delivery of a member claimed from the shared-scan
+  /// registry (used when the shared pass is rejected or the leader dies).
+  void RunClaimedSolo(const std::shared_ptr<SharedScanMember>& member);
+
+  /// Dispatch for one admitted job: shared pass (when `claimed` is
+  /// non-empty), bound-plan fast path, or cold path. Delivers every
+  /// claimed member; returns the job's own result.
+  Result<engine::QueryResult> RunJob(
+      const std::string& sparql,
+      const std::shared_ptr<const PreparedStatement>& prepared,
+      const engine::QueryOptions& query_options,
+      const std::shared_ptr<const query::Plan>& bound,
+      const std::shared_ptr<SharedScanMember>& member,
+      std::vector<std::shared_ptr<SharedScanMember>>& claimed,
+      bool use_plan_cache, uint64_t optimizer_fp);
+
+  /// Copies a successful result's rows into the result cache (unless the
+  /// `resultcache.insert` failpoint is armed).
+  void MaybeCacheResult(const std::string& sparql, uint64_t fingerprint,
+                        const engine::QueryResult& result);
 
   const engine::ParjEngine* engine_;
   ServerOptions options_;
@@ -124,6 +216,9 @@ class QueryServer {
   MetricsRegistry metrics_;
   DegradationPolicy degradation_;
   QueryWatchdog watchdog_;
+  std::unique_ptr<query::PlanCache> plan_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
+  SharedScanRegistry shared_scans_;
   std::atomic<uint64_t> next_query_id_{1};
   std::mutex retry_mu_;  ///< guards retry_rng_ (backoff path only)
   Rng retry_rng_{0x7261626E6F77ULL};

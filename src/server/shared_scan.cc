@@ -1,0 +1,93 @@
+#include "server/shared_scan.h"
+
+#include <algorithm>
+
+namespace parj::server {
+
+namespace {
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  value += 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+  value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+  return seed ^ (value ^ (value >> 31));
+}
+
+}  // namespace
+
+uint64_t SharedScanRegistry::GroupKey(const query::Plan& plan,
+                                      const engine::QueryOptions& options) {
+  const query::PlanStep& first = plan.steps.front();
+  uint64_t key = 0x5343414eull;  // arbitrary non-zero seed
+  key = HashCombine(key, static_cast<uint64_t>(first.predicate));
+  key = HashCombine(key, static_cast<uint64_t>(first.replica));
+  key = HashCombine(key, static_cast<uint64_t>(options.num_threads));
+  key = HashCombine(key, static_cast<uint64_t>(options.scheduling));
+  return key;
+}
+
+void SharedScanRegistry::Add(uint64_t key, MemberPtr member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_[key].push_back(std::move(member));
+}
+
+bool SharedScanRegistry::Start(uint64_t key, const MemberPtr& self,
+                               std::vector<MemberPtr>* claimed,
+                               size_t max_group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int expected = SharedScanMember::kPending;
+  if (!self->state.compare_exchange_strong(expected,
+                                           SharedScanMember::kStarted)) {
+    // A concurrent leader claimed this member (and removed it from the
+    // group); it now owes the member a result.
+    Remove(key, self);
+    return false;
+  }
+  auto it = groups_.find(key);
+  if (it != groups_.end()) {
+    std::vector<MemberPtr>& group = it->second;
+    size_t kept = 0;
+    for (MemberPtr& m : group) {
+      if (m == self) continue;  // leader leaves the registry
+      const bool room = claimed->size() + 1 < max_group;
+      int pending = SharedScanMember::kPending;
+      if (room && m->state.compare_exchange_strong(
+                      pending, SharedScanMember::kClaimed)) {
+        claimed->push_back(std::move(m));
+      } else if (pending == SharedScanMember::kPending) {
+        // Over the group cap: leave it pending for the next leader.
+        group[kept++] = std::move(m);
+      }
+      // Members already kStarted/kClaimed are stale list residue; drop.
+    }
+    group.resize(kept);
+    if (group.empty()) groups_.erase(it);
+  }
+  return true;
+}
+
+bool SharedScanRegistry::Abandon(uint64_t key, const MemberPtr& self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int expected = SharedScanMember::kPending;
+  const bool owned = self->state.compare_exchange_strong(
+      expected, SharedScanMember::kStarted);
+  Remove(key, self);
+  return owned;
+}
+
+size_t SharedScanRegistry::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, group] : groups_) n += group.size();
+  return n;
+}
+
+void SharedScanRegistry::Remove(uint64_t key, const MemberPtr& member) {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return;
+  auto& group = it->second;
+  group.erase(std::remove(group.begin(), group.end(), member), group.end());
+  if (group.empty()) groups_.erase(it);
+}
+
+}  // namespace parj::server

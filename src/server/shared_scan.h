@@ -1,0 +1,97 @@
+#ifndef PARJ_SERVER_SHARED_SCAN_H_
+#define PARJ_SERVER_SHARED_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/parj_engine.h"
+#include "query/plan.h"
+
+namespace parj::server {
+
+/// One in-flight query eligible for shared-scan batching: its bound plan,
+/// engine options and a delivery callback that resolves the client's
+/// future and does the terminal metrics accounting.
+///
+/// The `state` atomic is the ownership handshake. Exactly one party
+/// delivers a member's result:
+///   kPending -> kStarted   the member's own job runs it (as leader or
+///                          solo after a failed admission), or
+///   kPending -> kClaimed   another query's leader folded it into its
+///                          shared pass and owes it a result.
+/// Whichever CAS wins owns delivery; the loser walks away.
+struct SharedScanMember {
+  enum State : int { kPending = 0, kStarted = 1, kClaimed = 2 };
+
+  std::shared_ptr<const query::Plan> plan;
+  engine::QueryOptions options;
+  std::string sparql;
+  /// Request fingerprint over the answer-shaping options (result mode,
+  /// row cap): members equal in (sparql, fingerprint) are row-identical
+  /// and a leader executes them once.
+  uint64_t result_fingerprint = 0;
+  std::function<void(Result<engine::QueryResult>)> deliver;
+  std::atomic<int> state{kPending};
+};
+
+/// Groups in-flight queries whose bound plans open with the same leading
+/// table scan (DESIGN.md §15). Submission adds a member under a group key
+/// derived from the leading scan; when a member's job reaches the front
+/// of the scheduler it calls Start(), which either makes it the leader of
+/// its group — draining every other pending member so one
+/// ExecuteShared() pass serves them all — or discovers a concurrent
+/// leader already claimed it, in which case the job simply returns and
+/// the leader delivers.
+///
+/// The registry's lists are advisory; SharedScanMember::state is the
+/// source of truth, so a member that was claimed between Add() and its
+/// own Start() (or whose admission failed after Add()) is never delivered
+/// twice and never dropped.
+class SharedScanRegistry {
+ public:
+  using MemberPtr = std::shared_ptr<SharedScanMember>;
+
+  /// Key of the shared pass `plan` could join: leading predicate +
+  /// replica (ExecuteShared requires them identical) plus the scheduling
+  /// knobs taken from the group leader, so co-scheduled members agree on
+  /// thread count and work distribution.
+  static uint64_t GroupKey(const query::Plan& plan,
+                           const engine::QueryOptions& options);
+
+  /// Registers a pending member. Call before scheduling its job.
+  void Add(uint64_t key, MemberPtr member);
+
+  /// Called by the member's own job. True: `self` is now the group
+  /// leader (state kStarted) and *claimed holds the other members it
+  /// drained (each moved to kClaimed, at most max_group - 1); the caller
+  /// must execute and deliver all of them. False: a concurrent leader
+  /// claimed `self`; the caller must return without touching the promise.
+  bool Start(uint64_t key, const MemberPtr& self,
+             std::vector<MemberPtr>* claimed, size_t max_group);
+
+  /// Called when scheduling `self`'s job failed after Add(). True: the
+  /// member was still pending and is now removed (caller reports the
+  /// admission error). False: a leader claimed it and will deliver a
+  /// real result instead.
+  bool Abandon(uint64_t key, const MemberPtr& self);
+
+  /// Members currently awaiting a leader (tests / introspection).
+  size_t pending() const;
+
+ private:
+  void Remove(uint64_t key, const MemberPtr& member);
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<MemberPtr>> groups_;
+};
+
+}  // namespace parj::server
+
+#endif  // PARJ_SERVER_SHARED_SCAN_H_

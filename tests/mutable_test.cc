@@ -486,6 +486,66 @@ TEST(ServingTest, IngestPressureShedsLowPriorityQueries) {
   EXPECT_FALSE(server.degraded());
 }
 
+TEST(ServingTest, ResultCacheNeverServesStaleAcrossMutationAndCompaction) {
+  auto engine = MakeMutableEngine();
+  server::QueryServer server(&engine, {});
+
+  auto first = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->result_cached);
+  auto warm = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cached);
+  const size_t rows_at_n = warm->row_count;
+
+  // A mutation publishes version N+1: the entry cached at N must never
+  // be served again.
+  ASSERT_TRUE(engine.Insert(T("c", "knows", "e")).ok());
+  auto fresh = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->result_cached);
+  EXPECT_EQ(fresh->row_count, rows_at_n + 1);
+
+  // Re-cached at N+1. Compaction folds the delta into a rebuilt base
+  // without changing what the data says, so the entry survives the
+  // snapshot swap and still carries the right rows.
+  auto recached = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(recached.ok());
+  EXPECT_TRUE(recached->result_cached);
+  ASSERT_TRUE(engine.Compact().ok());
+  auto post_compact = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(post_compact.ok());
+  EXPECT_TRUE(post_compact->result_cached);
+  EXPECT_EQ(post_compact->row_count, rows_at_n + 1);
+
+  // A remove against the rebuilt base must miss again.
+  ASSERT_TRUE(engine.Remove(T("a", "knows", "b")).ok());
+  auto after_remove = server.Execute(kKnowsQuery);
+  ASSERT_TRUE(after_remove.ok());
+  EXPECT_FALSE(after_remove->result_cached);
+  EXPECT_EQ(after_remove->row_count, rows_at_n);
+}
+
+TEST(ServingTest, MidFlightMutationCannotPoisonResultCache) {
+  // Queries cache under the data version of the snapshot they executed
+  // against — not the version current at insert time — so a write that
+  // lands while a query is in flight can never make a stale result look
+  // fresh. Race the two and check the invariant afterwards.
+  auto engine = MakeMutableEngine();
+  server::QueryServer server(&engine, {});
+  for (int round = 0; round < 8; ++round) {
+    auto in_flight = server.Submit(kKnowsQuery);
+    ASSERT_TRUE(
+        engine.Insert(T("r", "knows", "r" + std::to_string(round))).ok());
+    ASSERT_TRUE(in_flight.result.get().ok());
+    auto current = server.Execute(kKnowsQuery);
+    ASSERT_TRUE(current.ok());
+    // Whatever snapshot the racing query pinned, the post-write read
+    // must see the new edge: 3 base rows + round+1 inserts.
+    EXPECT_EQ(current->row_count, 3u + static_cast<size_t>(round) + 1u);
+  }
+}
+
 TEST(ServingTest, CalibrateAppliesToLiveBase) {
   auto engine = MakeMutableEngine();
   const auto before = DecodedRows(engine, kChain);

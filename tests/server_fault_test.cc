@@ -107,6 +107,59 @@ TEST_F(ServerFaultTest, ServerContainsEngineBoundaryException) {
   EXPECT_TRUE(server.Execute(SimpleQuery()).ok());
 }
 
+TEST_F(ServerFaultTest, PlanCacheInsertFaultDegradesToUncached) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+
+  // With every plan-cache insert failing, queries still run — they just
+  // pay the full parse + optimize path each time, and the cache stays cold.
+  ASSERT_TRUE(failpoint::Arm("plancache.insert", "error").ok());
+  SubmitOptions submit;
+  submit.use_result_cache = false;
+  auto first = server.Execute(SimpleQuery(), submit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = server.Execute(SimpleQuery(), submit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->plan_cached);
+  EXPECT_EQ(second->row_count, first->row_count);
+  ASSERT_NE(server.plan_cache(), nullptr);
+  EXPECT_EQ(server.plan_cache()->size(), 0u);
+
+  // Disarm: the very next repeat populates and then serves from the cache.
+  failpoint::DisarmAll();
+  ASSERT_TRUE(server.Execute(SimpleQuery(), submit).ok());
+  auto warm = server.Execute(SimpleQuery(), submit);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cached);
+  EXPECT_EQ(warm->row_count, first->row_count);
+}
+
+TEST_F(ServerFaultTest, ResultCacheInsertFaultDegradesToUncached) {
+  engine::ParjEngine engine = MakeLubmEngine();
+  ServerOptions options;
+  options.query_defaults = CountMode();
+  QueryServer server(&engine, options);
+
+  ASSERT_TRUE(failpoint::Arm("resultcache.insert", "error").ok());
+  auto first = server.Execute(SimpleQuery());
+  ASSERT_TRUE(first.ok());
+  auto second = server.Execute(SimpleQuery());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->result_cached);  // re-executed, not served stale
+  EXPECT_EQ(second->row_count, first->row_count);
+  ASSERT_NE(server.result_cache(), nullptr);
+  EXPECT_EQ(server.result_cache()->stats().entries, 0u);
+
+  failpoint::DisarmAll();
+  ASSERT_TRUE(server.Execute(SimpleQuery()).ok());
+  auto warm = server.Execute(SimpleQuery());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cached);
+  EXPECT_EQ(warm->row_count, first->row_count);
+}
+
 TEST_F(ServerFaultTest, ExecuteRetriesTransientAdmissionFailure) {
   engine::ParjEngine engine = MakeLubmEngine();
   ServerOptions options;

@@ -4,7 +4,8 @@
 //            [--load-threads N] [--chunk-mb N] [--simd LEVEL] [--no-batch]
 //            [--compression {none,blocked}] [--failpoints name=spec,...]
 //            [--wal-dir DIR] [--wal-sync {none,batch,always}]
-//            [serve | --serve]
+//            [--plan-cache on|off] [--result-cache-mb N]
+//            [--shared-scan on|off] [serve | --serve]
 //   parj_cli verify-snapshot FILE
 //   parj_cli verify-wal DIR
 //
@@ -36,7 +37,12 @@
 // commands: .metrics | .timeout MS | .priority N | .wait | .quit, plus the
 // live-write commands .insert / .remove / .compact / .delta / .wal —
 // writes land while queries are in flight; every query sees a consistent
-// epoch.
+// epoch. The serving caches (DESIGN.md §15) are on by default:
+// `--plan-cache off` disables plan caching, `--result-cache-mb N` sizes
+// the result cache (0 disables), `--shared-scan off` disables shared-scan
+// batching. `.prepare NAME QUERY` parses + normalizes once and `.run
+// NAME` submits the prepared query; `.cache` prints cache statistics and
+// `.cache clear` drops every cached plan and result.
 // `--inflight N` caps concurrently executing queries; `--threads N` sets
 // shard threads per query.
 //
@@ -75,6 +81,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -586,11 +594,16 @@ struct Shell {
     options.query_defaults.batch_probes = batch_probes;
     options.query_defaults.strategy = strategy;
     options.query_defaults.mode = join::ResultMode::kCount;
+    options.enable_plan_cache = serve_plan_cache;
+    options.result_cache_bytes = serve_result_cache_mb << 20;
+    options.enable_shared_scan = serve_shared_scan;
     server::QueryServer srv(&*engine, options);
     std::printf(
-        "serve mode: %d in flight, %d thread(s)/query; queries end with "
-        "';', .metrics dumps counters, .wait drains, .quit exits\n",
-        serve_inflight, threads);
+        "serve mode: %d in flight, %d thread(s)/query, plan cache %s, "
+        "result cache %zu MB; queries end with ';', .metrics dumps "
+        "counters, .wait drains, .quit exits\n",
+        serve_inflight, threads, serve_plan_cache ? "on" : "off",
+        serve_result_cache_mb);
     // Snapshot integrity counters live in a process-wide registry (loads
     // can happen before the server exists); mirror them into the serving
     // registry so one .metrics dump shows everything.
@@ -626,6 +639,8 @@ struct Shell {
     };
 
     std::vector<PendingQuery> pending;
+    std::map<std::string, std::shared_ptr<const server::PreparedStatement>>
+        prepared_queries;
     auto submit = [&](const std::string& sparql) {
       server::SubmitOptions submit_options;
       submit_options.priority = serve_priority;
@@ -635,6 +650,32 @@ struct Shell {
                   static_cast<unsigned long long>(q.id), serve_priority,
                   serve_timeout_millis > 0 ? ", with timeout" : "");
       pending.push_back(PendingQuery{q.id, std::move(q)});
+    };
+    auto print_cache_stats = [&srv] {
+      if (query::PlanCache* pc = srv.plan_cache()) {
+        const query::PlanCacheStats s = pc->stats();
+        std::printf(
+            "plan cache:   %llu hits, %llu misses, %llu evictions, "
+            "%zu entries\n",
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.misses),
+            static_cast<unsigned long long>(s.evictions), pc->size());
+      } else {
+        std::printf("plan cache:   disabled\n");
+      }
+      if (server::ResultCache* rc = srv.result_cache()) {
+        const server::ResultCacheStats s = rc->stats();
+        std::printf(
+            "result cache: %llu hits, %llu misses, %llu evictions, "
+            "%llu entries, %llu / %zu bytes\n",
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.misses),
+            static_cast<unsigned long long>(s.evictions),
+            static_cast<unsigned long long>(s.entries),
+            static_cast<unsigned long long>(s.bytes), rc->max_bytes());
+      } else {
+        std::printf("result cache: disabled\n");
+      }
     };
 
     std::string line;
@@ -678,10 +719,62 @@ struct Shell {
           std::printf("priority = %d\n", serve_priority);
         } else if (command == ".wait") {
           HarvestPending(&pending, true);
+        } else if (command == ".prepare") {
+          // .prepare NAME SELECT ... — parse + normalize once; submit
+          // later with `.run NAME`.
+          std::string name;
+          in >> name;
+          std::string rest;
+          std::getline(in, rest);
+          const size_t start = rest.find_first_not_of(" \t");
+          if (name.empty() || start == std::string::npos) {
+            std::printf("usage: .prepare NAME SELECT ...\n");
+          } else {
+            rest = rest.substr(start);
+            if (rest.back() == ';') rest.pop_back();
+            auto stmt = srv.Prepare(rest);
+            if (!stmt.ok()) {
+              std::printf("prepare error: %s\n",
+                          stmt.status().ToString().c_str());
+            } else {
+              const bool eligible = (*stmt)->normalized.eligible;
+              prepared_queries[name] = std::move(*stmt);
+              std::printf("prepared %s (%s)\n", name.c_str(),
+                          eligible ? "shape-cacheable"
+                                   : "uncached path");
+            }
+          }
+        } else if (command == ".run") {
+          std::string name;
+          in >> name;
+          auto it = prepared_queries.find(name);
+          if (it == prepared_queries.end()) {
+            std::printf("no prepared query %s (.prepare first)\n",
+                        name.c_str());
+          } else {
+            server::SubmitOptions submit_options;
+            submit_options.priority = serve_priority;
+            submit_options.timeout_millis = serve_timeout_millis;
+            server::SubmittedQuery q =
+                srv.SubmitPrepared(it->second, submit_options);
+            std::printf("[q%llu] submitted (prepared %s)\n",
+                        static_cast<unsigned long long>(q.id), name.c_str());
+            pending.push_back(PendingQuery{q.id, std::move(q)});
+          }
+        } else if (command == ".cache") {
+          std::string arg;
+          in >> arg;
+          if (arg == "clear") {
+            srv.ClearCaches();
+            std::printf("caches cleared\n");
+          } else {
+            print_cache_stats();
+          }
         } else if (command == ".help") {
           std::printf(
               ".metrics | .insert <s> <p> <o> . | .remove <s> <p> <o> . |\n"
-              ".compact | .delta | .wal | .timeout MS | .priority N | "
+              ".compact | .delta | .wal | .timeout MS | .priority N |\n"
+              ".prepare NAME QUERY | .run NAME | .cache [clear] | "
               ".wait | .quit\n");
         } else {
           std::printf("unknown serve command %s (.help for help)\n",
@@ -757,6 +850,9 @@ struct Shell {
   int serve_inflight = 4;
   int serve_priority = 0;
   double serve_timeout_millis = 0.0;
+  bool serve_plan_cache = true;
+  size_t serve_result_cache_mb = 64;  ///< 0 disables the result cache
+  bool serve_shared_scan = true;
   std::string wal_dir;
   mut::WalSync wal_sync = mut::WalSync::kBatch;
 };
@@ -833,6 +929,20 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
       shell.serve_inflight = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      shell.serve_plan_cache = std::strcmp(v, "off") != 0 &&
+                               std::strcmp(v, "0") != 0 &&
+                               std::strcmp(v, "false") != 0;
+    } else if (std::strcmp(argv[i], "--result-cache-mb") == 0 &&
+               i + 1 < argc) {
+      shell.serve_result_cache_mb =
+          static_cast<size_t>(std::max(0, std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--shared-scan") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      shell.serve_shared_scan = std::strcmp(v, "off") != 0 &&
+                                std::strcmp(v, "0") != 0 &&
+                                std::strcmp(v, "false") != 0;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       shell.HandleCommand(std::string(".threads ") + argv[++i]);
     } else if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
@@ -878,6 +988,9 @@ int main(int argc, char** argv) {
       shell.HandleCommand(std::string(".gen watdiv ") + argv[++i]);
     } else if ((std::strcmp(argv[i], "--failpoints") == 0 ||
                 std::strcmp(argv[i], "--inflight") == 0 ||
+                std::strcmp(argv[i], "--plan-cache") == 0 ||
+                std::strcmp(argv[i], "--result-cache-mb") == 0 ||
+                std::strcmp(argv[i], "--shared-scan") == 0 ||
                 std::strcmp(argv[i], "--threads") == 0 ||
                 std::strcmp(argv[i], "--simd") == 0 ||
                 std::strcmp(argv[i], "--compression") == 0 ||
