@@ -1,6 +1,9 @@
 #include "engine/parj_engine.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <optional>
 #include <span>
@@ -381,9 +384,14 @@ namespace {
 
 /// Builds the executor options for one materializing/counting query run
 /// (DISTINCT needs materialized rows to deduplicate, whatever the caller
-/// asked for; LIMIT without DISTINCT can stop shards early).
+/// asked for; LIMIT without DISTINCT can stop shards early). `gate`, when
+/// non-null and the plan is a plain LIMIT (no DISTINCT / ORDER BY /
+/// aggregation), is armed with the limit and wired in so the k-th row
+/// produced anywhere stops every shard (cross-shard early exit); the
+/// caller owns the gate and must keep it alive through the execution.
 join::ExecOptions MakeExecOptions(const query::Plan& plan,
-                                  const QueryOptions& options) {
+                                  const QueryOptions& options,
+                                  join::LimitGate* gate) {
   join::ExecOptions exec;
   exec.num_threads = options.num_threads;
   exec.strategy = options.strategy;
@@ -396,7 +404,15 @@ join::ExecOptions MakeExecOptions(const query::Plan& plan,
       plan.distinct || options.mode == join::ResultMode::kMaterialize;
   exec.mode = need_rows ? join::ResultMode::kMaterialize
                         : join::ResultMode::kCount;
-  if (plan.limit != 0 && !plan.distinct) exec.per_shard_limit = plan.limit;
+  const bool plain_limit = plan.limit != 0 && !plan.distinct &&
+                           plan.order_by.empty() && !plan.aggregate.enabled;
+  if (plain_limit) {
+    exec.per_shard_limit = plan.limit;
+    if (gate != nullptr) {
+      gate->limit = plan.limit;
+      exec.limit_gate = gate;
+    }
+  }
   if (options.max_rows != 0 &&
       (exec.per_shard_limit == 0 || options.max_rows < exec.per_shard_limit)) {
     exec.per_shard_limit = options.max_rows;
@@ -411,6 +427,7 @@ QueryResult FinishResult(join::ExecResult exec_result, query::Plan plan,
   QueryResult result;
   result.row_count = exec_result.row_count;
   result.column_count = exec_result.column_count;
+  result.rows_skipped_by_limit = exec_result.rows_skipped_by_limit;
   result.rows = std::move(exec_result.rows);
   result.step_rows = std::move(exec_result.step_rows);
   result.counters = exec_result.counters;
@@ -436,6 +453,208 @@ QueryResult FinishResult(join::ExecResult exec_result, query::Plan plan,
 
   result.var_names.reserve(plan.projection.size());
   for (int var : plan.projection) result.var_names.push_back(plan.var_names[var]);
+  result.plan = std::move(plan);
+  return result;
+}
+
+/// Copies the executor-side diagnostics (counters, timings, per-step and
+/// per-worker tallies) into a shaped-path result.
+void AbsorbExecStats(join::ExecResult* exec_result, QueryResult* result) {
+  result->step_rows = std::move(exec_result->step_rows);
+  result->counters = exec_result->counters;
+  result->morsel_workers = std::move(exec_result->morsel_workers);
+  result->execute_millis = exec_result->wall_millis;
+  result->emulated_parallel_millis = exec_result->emulated_parallel_millis;
+  result->shard_millis = std::move(exec_result->shard_millis);
+}
+
+/// Executes a plan with a result-shaping tail — aggregation (GROUP BY /
+/// COUNT / SUM / MIN / MAX) and/or ORDER BY [LIMIT]. The pipeline runs in
+/// ResultMode::kVisit: every worker streams its rows straight into the
+/// shaping operator (Aggregator or bounded TopK heaps), so shaping
+/// overlaps the join scan instead of materializing first. Plain ORDER BY
+/// without LIMIT (or with DISTINCT) falls back to materialize-sort.
+Result<QueryResult> ExecuteShapedPlan(const storage::Database& db,
+                                      const mut::DeltaView& delta,
+                                      query::Plan plan,
+                                      const QueryOptions& options) {
+  QueryResult result;
+  join::Executor executor(&db, &delta);
+  const size_t workers = static_cast<size_t>(std::max(1, options.num_threads));
+
+  join::ExecOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.strategy = options.strategy;
+  exec.scheduling = options.scheduling;
+  exec.batch_probes = options.batch_probes;
+  exec.emulate_parallel = options.emulate_parallel;
+  exec.collect_probe_trace = options.collect_probe_trace;
+  exec.cancel = options.cancel;
+  exec.mode = join::ResultMode::kVisit;
+
+  if (plan.aggregate.enabled) {
+    const query::AggregateSpec& spec = plan.aggregate;
+    const size_t ncols = spec.output.size();
+    result.column_count = ncols;
+    result.column_kinds = spec.column_kinds;
+    result.var_names = spec.output_names;
+
+    join::Aggregator agg(&spec, plan.numeric_values.get(),
+                         options.agg_strategy, workers);
+    exec.visitor = [&agg](size_t shard, std::span<const TermId> row) {
+      agg.Accumulate(shard, row);
+    };
+    // A known-empty plan skips execution but still runs Finish: a global
+    // aggregate over nothing is one row (COUNT = 0), not zero rows.
+    if (!plan.known_empty) {
+      PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                            executor.Execute(plan, exec));
+      AbsorbExecStats(&exec_result, &result);
+      result.trace = std::move(exec_result.trace);
+    }
+    // The shaping tail — merge, output layout, ORDER BY, trim — runs on
+    // the calling thread after the shards complete; fold it into both the
+    // wall time and the emulated-parallel model (it is the serial section
+    // Amdahl charges against strategies with expensive merges).
+    Stopwatch shape_timer;
+    PARJ_ASSIGN_OR_RETURN(join::AggregateOutput out, agg.Finish(exec.pool));
+
+    // Canonical internal layout is [group keys..., agg cells...]; lay the
+    // result columns out in SELECT order via spec.output.
+    result.agg_rows.reserve(out.rows * ncols);
+    for (size_t r = 0; r < out.rows; ++r) {
+      const uint64_t* in = out.cells.data() + r * out.width;
+      for (int v : spec.output) {
+        result.agg_rows.push_back(
+            v >= 0 ? in[v] : in[spec.group_cols + ~v]);
+      }
+    }
+    result.row_count = out.rows;
+
+    if (!plan.order_by.empty() && result.row_count > 1) {
+      // Kind-aware ORDER BY over the (small) aggregate table; the
+      // full-row tiebreak makes the order total, hence deterministic.
+      std::vector<uint32_t> order(result.row_count);
+      std::iota(order.begin(), order.end(), 0);
+      const std::vector<uint64_t>& cells = result.agg_rows;
+      auto row_less = [&](uint32_t a, uint32_t b) {
+        const uint64_t* ra = cells.data() + static_cast<size_t>(a) * ncols;
+        const uint64_t* rb = cells.data() + static_cast<size_t>(b) * ncols;
+        for (const query::OrderKey& key : plan.order_by) {
+          const int c = join::CompareAggCell(ra[key.column], rb[key.column],
+                                             spec.column_kinds[key.column]);
+          if (c != 0) return key.descending ? c > 0 : c < 0;
+        }
+        for (size_t col = 0; col < ncols; ++col) {
+          const int c = join::CompareAggCell(ra[col], rb[col],
+                                             spec.column_kinds[col]);
+          if (c != 0) return c < 0;
+        }
+        return false;
+      };
+      std::sort(order.begin(), order.end(), row_less);
+      std::vector<uint64_t> sorted;
+      sorted.reserve(cells.size());
+      for (uint32_t r : order) {
+        sorted.insert(sorted.end(),
+                      cells.begin() + static_cast<size_t>(r) * ncols,
+                      cells.begin() + static_cast<size_t>(r + 1) * ncols);
+      }
+      result.agg_rows = std::move(sorted);
+    }
+    if (plan.limit != 0 && result.row_count > plan.limit) {
+      result.row_count = plan.limit;
+      result.agg_rows.resize(plan.limit * ncols);
+    }
+    const double shape_millis = shape_timer.ElapsedMillis();
+    result.execute_millis += shape_millis;
+    result.emulated_parallel_millis += shape_millis;
+    result.plan = std::move(plan);
+    return result;
+  }
+
+  // Plain (non-aggregate) ORDER BY. Rows are projected TermIds; the sort
+  // compares the ORDER BY columns by TermId — the deterministic
+  // dictionary-encoding order — with a full-row ascending tiebreak.
+  const size_t width = plan.projection.size();
+  result.column_count = width;
+  result.var_names.reserve(width);
+  for (int var : plan.projection) {
+    result.var_names.push_back(plan.var_names[var]);
+  }
+
+  if (plan.limit != 0 && !plan.distinct && !plan.known_empty) {
+    // ORDER BY ... LIMIT k push-down: per-worker bounded top-k heaps,
+    // merged at the end. Memory O(workers * k), scan never materializes.
+    join::TopK topk(width, plan.limit, plan.order_by, workers);
+    exec.visitor = [&topk](size_t shard, std::span<const TermId> row) {
+      topk.Add(shard, row);
+    };
+    PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                          executor.Execute(plan, exec));
+    AbsorbExecStats(&exec_result, &result);
+    result.trace = std::move(exec_result.trace);
+    const Stopwatch shape_timer;
+    result.rows = topk.Finish();
+    result.row_count = width == 0 ? 0 : result.rows.size() / width;
+    const double shape_millis = shape_timer.ElapsedMillis();
+    result.execute_millis += shape_millis;
+    result.emulated_parallel_millis += shape_millis;
+  } else if (!plan.known_empty) {
+    // ORDER BY without LIMIT (or with DISTINCT): materialize, dedup,
+    // sort, trim.
+    exec.mode = join::ResultMode::kMaterialize;
+    exec.visitor = {};
+    PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
+                          executor.Execute(plan, exec));
+    AbsorbExecStats(&exec_result, &result);
+    result.trace = std::move(exec_result.trace);
+    result.rows = std::move(exec_result.rows);
+    result.row_count = exec_result.row_count;
+    const Stopwatch shape_timer;
+    if (plan.distinct) {
+      DeduplicateRows(&result.rows, width, &result.row_count);
+    }
+    if (result.row_count > 1) {
+      std::vector<uint32_t> order(result.row_count);
+      std::iota(order.begin(), order.end(), 0);
+      const std::vector<TermId>& rows = result.rows;
+      auto row_less = [&](uint32_t a, uint32_t b) {
+        const TermId* ra = rows.data() + static_cast<size_t>(a) * width;
+        const TermId* rb = rows.data() + static_cast<size_t>(b) * width;
+        for (const query::OrderKey& key : plan.order_by) {
+          if (ra[key.column] != rb[key.column]) {
+            return key.descending ? rb[key.column] < ra[key.column]
+                                  : ra[key.column] < rb[key.column];
+          }
+        }
+        for (size_t c = 0; c < width; ++c) {
+          if (ra[c] != rb[c]) return ra[c] < rb[c];
+        }
+        return false;
+      };
+      std::sort(order.begin(), order.end(), row_less);
+      std::vector<TermId> sorted;
+      sorted.reserve(rows.size());
+      for (uint32_t r : order) {
+        sorted.insert(sorted.end(),
+                      rows.begin() + static_cast<size_t>(r) * width,
+                      rows.begin() + static_cast<size_t>(r + 1) * width);
+      }
+      result.rows = std::move(sorted);
+    }
+    if (plan.limit != 0 && result.row_count > plan.limit) {
+      result.row_count = plan.limit;
+      result.rows.resize(plan.limit * width);
+    }
+    const double shape_millis = shape_timer.ElapsedMillis();
+    result.execute_millis += shape_millis;
+    result.emulated_parallel_millis += shape_millis;
+  }
+  if (options.mode == join::ResultMode::kCount) {
+    result.rows.clear();
+    result.rows.shrink_to_fit();
+  }
   result.plan = std::move(plan);
   return result;
 }
@@ -471,9 +690,21 @@ Result<QueryResult> ParjEngine::Execute(std::string_view sparql,
       query::Optimize(encoded, db, options.optimizer, &delta));
   const double optimize_millis = optimize_timer.ElapsedMillis();
 
+  if (plan.aggregate.enabled || !plan.order_by.empty()) {
+    PARJ_ASSIGN_OR_RETURN(
+        QueryResult result,
+        ExecuteShapedPlan(db, delta, std::move(plan), options));
+    result.parse_millis = parse_millis;
+    result.optimize_millis = optimize_millis;
+    result.data_version = snap.data_version();
+    return result;
+  }
+
   join::Executor executor(&db, &delta);
-  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
-                        executor.Execute(plan, MakeExecOptions(plan, options)));
+  join::LimitGate gate;
+  PARJ_ASSIGN_OR_RETURN(
+      join::ExecResult exec_result,
+      executor.Execute(plan, MakeExecOptions(plan, options, &gate)));
 
   QueryResult result = FinishResult(std::move(exec_result), std::move(plan),
                                     options);
@@ -495,9 +726,17 @@ Result<QueryResult> ParjEngine::ExecutePlan(
       pinned != nullptr ? *pinned : store_->snapshot();
   const storage::Database& db = snap.base();
   const mut::DeltaView& delta = snap.delta();
+  if (plan.aggregate.enabled || !plan.order_by.empty()) {
+    PARJ_ASSIGN_OR_RETURN(QueryResult result,
+                          ExecuteShapedPlan(db, delta, plan, options));
+    result.data_version = snap.data_version();
+    return result;
+  }
   join::Executor executor(&db, &delta);
-  PARJ_ASSIGN_OR_RETURN(join::ExecResult exec_result,
-                        executor.Execute(plan, MakeExecOptions(plan, options)));
+  join::LimitGate gate;
+  PARJ_ASSIGN_OR_RETURN(
+      join::ExecResult exec_result,
+      executor.Execute(plan, MakeExecOptions(plan, options, &gate)));
   QueryResult result = FinishResult(std::move(exec_result), plan, options);
   result.data_version = snap.data_version();
   return result;
@@ -518,7 +757,12 @@ Result<std::vector<QueryResult>> ParjEngine::ExecuteShared(
 
   std::vector<join::ExecOptions> exec(plans.size());
   for (size_t m = 0; m < plans.size(); ++m) {
-    exec[m] = MakeExecOptions(*plans[m], options[m]);
+    if (plans[m]->aggregate.enabled || !plans[m]->order_by.empty()) {
+      return Status::InvalidArgument(
+          "shared-scan members cannot aggregate or ORDER BY; execute them "
+          "solo");
+    }
+    exec[m] = MakeExecOptions(*plans[m], options[m], nullptr);
   }
   join::Executor executor(&db, &delta);
   PARJ_ASSIGN_OR_RETURN(std::vector<join::ExecResult> raw,
@@ -553,6 +797,11 @@ Result<QueryResult> ParjEngine::ExecuteStreaming(
   if (encoded.distinct) {
     return Status::Unsupported(
         "DISTINCT requires buffering and is not available in streaming mode");
+  }
+  if (encoded.aggregate.enabled || !encoded.order_by.empty()) {
+    return Status::Unsupported(
+        "aggregation and ORDER BY are not available in streaming mode; use "
+        "Execute");
   }
 
   Stopwatch optimize_timer;
@@ -605,14 +854,43 @@ std::vector<std::string> ParjEngine::DecodeRow(const QueryResult& result,
   const mut::TermOverlay& overlay = snap.delta().overlay();
   std::vector<std::string> out;
   out.reserve(result.column_count);
-  for (size_t c = 0; c < result.column_count; ++c) {
-    TermId id = result.rows[row * result.column_count + c];
+  const auto decode_term = [&](TermId id) -> std::string {
     if (id <= dict.resource_count()) {
-      out.push_back(dict.DecodeResource(id).ToNTriples());
-    } else {
-      const rdf::Term* term = overlay.DecodeResource(id);
-      out.push_back(term != nullptr ? term->ToNTriples() : std::string("?"));
+      return dict.DecodeResource(id).ToNTriples();
     }
+    const rdf::Term* term = overlay.DecodeResource(id);
+    return term != nullptr ? term->ToNTriples() : std::string("?");
+  };
+  if (!result.column_kinds.empty()) {
+    // Aggregated layout: row-major u64 cells typed by column_kinds.
+    for (size_t c = 0; c < result.column_count; ++c) {
+      const uint64_t cell = result.agg_rows[row * result.column_count + c];
+      switch (result.column_kinds[c]) {
+        case query::ColumnKind::kTerm:
+          out.push_back(decode_term(static_cast<TermId>(cell)));
+          break;
+        case query::ColumnKind::kCount:
+          out.push_back(std::to_string(cell));
+          break;
+        case query::ColumnKind::kNumber: {
+          const double v = std::bit_cast<double>(cell);
+          if (std::isnan(v)) {
+            out.emplace_back();  // unbound (e.g. MIN over no numeric values)
+          } else if (std::floor(v) == v && std::abs(v) <= 9.007199254740992e15) {
+            out.push_back(std::to_string(static_cast<int64_t>(v)));
+          } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            out.push_back(buf);
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  for (size_t c = 0; c < result.column_count; ++c) {
+    out.push_back(decode_term(result.rows[row * result.column_count + c]));
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "join/aggregate.h"
 #include "join/executor.h"
 #include "mutable/delta_store.h"
 #include "mutable/wal.h"
@@ -90,8 +91,14 @@ struct QueryOptions {
   bool collect_probe_trace = false;
   /// Hard per-shard row cap applied on top of any query LIMIT (0 = none).
   /// A safety valve for workloads with combinatorially exploding results
-  /// (e.g. WatDiv IL-3 at large path lengths).
+  /// (e.g. WatDiv IL-3 at large path lengths). Not applied to aggregation
+  /// or ORDER BY queries — a mid-scan cap would silently change their
+  /// answers, not just truncate them.
   uint64_t max_rows = 0;
+  /// Parallel merge strategy for GROUP BY / aggregate queries (see
+  /// join::AggStrategy). kAdaptive picks thread-local vs radix-partitioned
+  /// tables from the observed group cardinality mid-run.
+  join::AggStrategy agg_strategy = join::AggStrategy::kAdaptive;
   /// Cooperative cancellation/deadline token (see join::ExecOptions).
   /// Checked before parsing and throughout execution; a stopped query
   /// returns the token's Status. Default token never fires.
@@ -107,6 +114,19 @@ struct QueryResult {
   size_t column_count = 0;
   std::vector<TermId> rows;  ///< row-major IDs (kMaterialize only)
   std::vector<std::string> var_names;
+
+  /// Aggregate results (GROUP BY / COUNT / SUM / MIN / MAX) come back here
+  /// instead of `rows`: row-major u64 cells, one per result column, typed
+  /// by `column_kinds` (kTerm = widened TermId, kCount = raw count,
+  /// kNumber = bit-cast double, NaN = unbound). Empty for plain queries;
+  /// `column_kinds` is non-empty exactly when the query aggregated.
+  /// DecodeRow understands both layouts.
+  std::vector<uint64_t> agg_rows;
+  std::vector<query::ColumnKind> column_kinds;
+  /// Rows the cross-shard LIMIT gate skipped (see
+  /// join::ExecResult::rows_skipped_by_limit); nonzero means LIMIT-k
+  /// early exit actually cut work.
+  uint64_t rows_skipped_by_limit = 0;
 
   /// Data-content version of the snapshot this result was computed
   /// against (see mut::MvccSnapshot::data_version). Result caches key
@@ -127,6 +147,9 @@ struct QueryResult {
   double parse_millis = 0.0;
   double optimize_millis = 0.0;
   double execute_millis = 0.0;
+  /// Max-shard execution time (the straggler wall model); for shaped
+  /// queries the serial shaping tail (aggregate merge, ORDER BY sort) is
+  /// added on top, since it runs after the shards on one thread.
   double emulated_parallel_millis = 0.0;
   std::vector<double> shard_millis;
   join::ProbeTrace trace;

@@ -143,6 +143,8 @@ struct alignas(64) ShardContext {
   uint64_t row_count = 0;
   std::vector<TermId> rows;
   bool limit_reached = false;
+  LimitGate* limit_gate = nullptr;
+  uint64_t rows_skipped = 0;
 
   bool tracing = false;
   size_t max_trace_entries = 0;
@@ -154,6 +156,15 @@ struct alignas(64) ShardContext {
   int cancel_countdown = kCancelCheckInterval;
 
   void Emit() {
+    if (limit_gate != nullptr &&
+        limit_gate->emitted.fetch_add(1, std::memory_order_relaxed) >=
+            limit_gate->limit) {
+      // The gate saturated before this row's claim: drop it and unwind
+      // this shard through the limit machinery.
+      ++rows_skipped;
+      limit_reached = true;
+      return;
+    }
     ++row_count;
     if (mode != ResultMode::kCount) {
       const std::vector<int>& proj = *projection;
@@ -239,12 +250,20 @@ struct alignas(64) ShardContext {
                           step.gallop_cap);
   }
 
+  /// True when another shard has saturated the LIMIT gate — this shard's
+  /// remaining work cannot produce rows, so stop it at the next check.
+  bool GateSaturated() const {
+    return limit_gate != nullptr &&
+           limit_gate->emitted.load(std::memory_order_relaxed) >=
+               limit_gate->limit;
+  }
+
   /// Evaluates steps[depth..] given bindings for earlier steps.
   void Descend(size_t depth, SearchStrategy strategy) {
     if (limit_reached) return;
-    if (cancel_enabled && --cancel_countdown <= 0) {
+    if ((cancel_enabled || limit_gate != nullptr) && --cancel_countdown <= 0) {
       cancel_countdown = kCancelCheckInterval;
-      if (cancel.StopRequested()) {
+      if ((cancel_enabled && cancel.StopRequested()) || GateSaturated()) {
         // Reuse the limit machinery to unwind every loop in this shard.
         limit_reached = true;
         return;
@@ -466,9 +485,10 @@ struct alignas(64) ShardContext {
         // Mirrors Descend(next_depth) up to the run descent; batching is
         // disabled whenever any of Descend's other entry paths (limit,
         // Emit, empty replica, constant/unbound key) could trigger.
-        if (cancel_enabled && --cancel_countdown <= 0) {
+        if ((cancel_enabled || limit_gate != nullptr) &&
+            --cancel_countdown <= 0) {
           cancel_countdown = kCancelCheckInterval;
-          if (cancel.StopRequested()) {
+          if ((cancel_enabled && cancel.StopRequested()) || GateSaturated()) {
             limit_reached = true;
             break;
           }
@@ -923,6 +943,7 @@ void InitShardContext(ShardContext* ctx, size_t shard,
   ctx->projection = &plan.projection;
   ctx->mode = options.mode;
   ctx->per_shard_limit = options.per_shard_limit;
+  ctx->limit_gate = options.limit_gate;
   ctx->bindings.assign(std::max(1, plan.variable_count), kInvalidTermId);
   ctx->emit_row.assign(plan.projection.size(), 0);
   ctx->cursors.assign(resolved.steps.size(), 0);
@@ -952,6 +973,9 @@ Status ValidateExecOptions(const Plan& plan, const ExecOptions& options) {
   if (options.total_workers < 1 || options.worker_index < 0 ||
       options.worker_index >= options.total_workers) {
     return Status::InvalidArgument("invalid worker slice");
+  }
+  if (options.limit_gate != nullptr && options.limit_gate->limit == 0) {
+    return Status::InvalidArgument("limit_gate requires limit > 0");
   }
   return Status::OK();
 }
@@ -1176,6 +1200,7 @@ Result<ExecResult> Executor::Execute(const Plan& plan,
   result.step_rows.assign(steps.size(), 0);
   for (ShardContext& ctx : contexts) {
     result.row_count += ctx.row_count;
+    result.rows_skipped_by_limit += ctx.rows_skipped;
     result.counters.Add(ctx.counters);
     for (size_t s = 0; s < steps.size(); ++s) {
       result.step_rows[s] += ctx.step_rows[s];
@@ -1216,10 +1241,11 @@ Result<std::vector<ExecResult>> Executor::ExecuteShared(
     }
     PARJ_RETURN_NOT_OK(ValidateExecOptions(plan, opt));
     if (opt.mode == ResultMode::kVisit || opt.emulate_parallel ||
-        opt.collect_probe_trace || opt.total_workers != 1) {
+        opt.collect_probe_trace || opt.total_workers != 1 ||
+        opt.limit_gate != nullptr) {
       return Status::InvalidArgument(
-          "shared-scan members cannot use kVisit, emulation, probe tracing "
-          "or cluster slicing");
+          "shared-scan members cannot use kVisit, emulation, probe tracing, "
+          "cluster slicing or a LIMIT gate");
     }
     const PlanStep& first = plan.steps[0];
     if (!first.key.is_variable() || first.key_bound ||

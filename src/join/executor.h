@@ -45,6 +45,20 @@ enum class ResultMode : uint8_t {
 using RowVisitor =
     std::function<void(size_t shard, std::span<const TermId> row)>;
 
+/// Cross-shard LIMIT-k gate. Each produced row claims a slot with one
+/// relaxed fetch_add; a claim at or past `limit` is rejected — the row is
+/// not produced, the shard tallies it in ExecResult::rows_skipped_by_limit
+/// and unwinds through the per-shard limit machinery. Shards also poll
+/// `emitted` at the kCancelCheckInterval sites, so once the k-th row is
+/// claimed anywhere every shard stops within one check interval instead
+/// of finishing its share. Exactly min(limit, available) rows are
+/// produced across all shards. The caller owns the gate (stack is fine)
+/// and must keep it alive for the execution.
+struct LimitGate {
+  uint64_t limit = 0;
+  std::atomic<uint64_t> emitted{0};
+};
+
 /// How the first step's work range is distributed over threads.
 enum class Scheduling : uint8_t {
   /// The paper's §5 scheme: num_threads equal-count contiguous shards,
@@ -99,6 +113,11 @@ struct ExecOptions {
   /// Stop each shard after this many rows (0 = unlimited). The engine
   /// trims the merged result to the plan's LIMIT.
   uint64_t per_shard_limit = 0;
+  /// Optional cross-shard LIMIT gate (see LimitGate): stops ALL shards
+  /// shortly after `limit_gate->limit` rows exist globally, where
+  /// per_shard_limit alone lets every shard produce up to the limit.
+  /// Must have limit > 0 when set; rejected by ExecuteShared.
+  LimitGate* limit_gate = nullptr;
   /// Required when mode == kVisit.
   RowVisitor visitor;
   /// Cluster slicing (paper §6's full-replication cluster design): this
@@ -141,6 +160,10 @@ struct ProbeTrace {
 struct ExecResult {
   uint64_t row_count = 0;
   size_t column_count = 0;
+  /// Rows whose LimitGate slot claim was rejected (the gate was already
+  /// saturated when the shard tried to emit). Nonzero means the early
+  /// exit actually cut work; 0 without a gate.
+  uint64_t rows_skipped_by_limit = 0;
   /// Row-major projected bindings; size = row_count * column_count.
   std::vector<TermId> rows;
   /// step_rows[i] = number of intermediate tuples that survived steps

@@ -1,7 +1,9 @@
 #include "query/algebra.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <unordered_map>
 
 #include "mutable/delta_view.h"
@@ -22,6 +24,22 @@ const char* FilterOpName(FilterOp op) {
       return ">";
     case FilterOp::kGe:
       return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
   }
   return "?";
 }
@@ -233,7 +251,105 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
     out.filters.push_back(std::move(enc));
   }
 
-  if (ast.select_all) {
+  const bool aggregated = !ast.aggregates.empty() || !ast.group_by.empty();
+  if (aggregated) {
+    if (ast.select_all) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with GROUP BY / aggregates");
+    }
+    AggregateSpec& spec = out.aggregate;
+    spec.enabled = true;
+    // Executor-row layout: group variables first (in GROUP BY order), then
+    // the distinct aggregate-argument variables. Aggregation consumes
+    // these rows directly off the join pipeline.
+    std::unordered_map<std::string, int> col_of;  // var name -> executor col
+    auto require_var = [&](const std::string& name) -> Result<int> {
+      auto it = var_ids.find(name);
+      if (it == var_ids.end()) {
+        return Status::InvalidArgument("variable ?" + name +
+                                       " does not occur in the BGP");
+      }
+      return it->second;
+    };
+    for (const std::string& name : ast.group_by) {
+      if (col_of.count(name) != 0) {
+        return Status::InvalidArgument("duplicate GROUP BY variable ?" +
+                                       name);
+      }
+      PARJ_ASSIGN_OR_RETURN(int var, require_var(name));
+      col_of.emplace(name, static_cast<int>(out.projection.size()));
+      out.projection.push_back(var);
+    }
+    spec.group_cols = static_cast<int>(out.projection.size());
+    bool needs_numeric = false;
+    for (const AggregateAst& agg : ast.aggregates) {
+      EncodedAggregate enc;
+      enc.func = agg.func;
+      if (agg.func != AggFunc::kCountStar) {
+        PARJ_ASSIGN_OR_RETURN(int var, require_var(agg.arg));
+        auto [it, inserted] =
+            col_of.emplace(agg.arg, static_cast<int>(out.projection.size()));
+        if (inserted) out.projection.push_back(var);
+        enc.input_col = it->second;
+      }
+      if (agg.func == AggFunc::kSum || agg.func == AggFunc::kMin ||
+          agg.func == AggFunc::kMax) {
+        needs_numeric = true;
+      }
+      spec.aggs.push_back(enc);
+    }
+    // Output columns: plain selected variables (each must be grouped) in
+    // SELECT order, then the aggregates in SELECT order.
+    for (const std::string& name : ast.projection) {
+      auto it = col_of.find(name);
+      if (it == col_of.end() || it->second >= spec.group_cols) {
+        return Status::InvalidArgument("selected variable ?" + name +
+                                       " must appear in GROUP BY");
+      }
+      spec.output.push_back(it->second);
+      spec.output_names.push_back(name);
+      spec.column_kinds.push_back(ColumnKind::kTerm);
+    }
+    for (size_t i = 0; i < ast.aggregates.size(); ++i) {
+      const AggregateAst& agg = ast.aggregates[i];
+      if (agg.alias.empty()) {
+        return Status::InvalidArgument("aggregate requires an AS alias");
+      }
+      spec.output.push_back(~static_cast<int>(i));
+      spec.output_names.push_back(agg.alias);
+      spec.column_kinds.push_back(agg.func == AggFunc::kCount ||
+                                          agg.func == AggFunc::kCountStar
+                                      ? ColumnKind::kCount
+                                      : ColumnKind::kNumber);
+    }
+    for (size_t i = 0; i < spec.output_names.size(); ++i) {
+      for (size_t j = i + 1; j < spec.output_names.size(); ++j) {
+        if (spec.output_names[i] == spec.output_names[j]) {
+          return Status::InvalidArgument("duplicate result column ?" +
+                                         spec.output_names[i]);
+        }
+      }
+    }
+    if (needs_numeric) {
+      // TermId -> numeric value, spanning base + overlay IDs like the
+      // filter bitmaps (an overlay binding must index it in range).
+      const TermId max_id = overlay != nullptr ? overlay->resource_count()
+                                               : dict.resource_count();
+      auto table = std::make_shared<std::vector<double>>(
+          static_cast<size_t>(max_id) + 1,
+          std::numeric_limits<double>::quiet_NaN());
+      for (TermId id = 1; id <= max_id; ++id) {
+        const rdf::Term* term = id <= dict.resource_count()
+                                    ? &dict.DecodeResource(id)
+                                    : overlay->DecodeResource(id);
+        double value;
+        if (term != nullptr && TryNumericValue(*term, &value)) {
+          (*table)[id] = value;
+        }
+      }
+      out.numeric_values = std::move(table);
+    }
+  } else if (ast.select_all) {
     for (int v = 0; v < out.variable_count; ++v) out.projection.push_back(v);
   } else {
     for (const std::string& name : ast.projection) {
@@ -245,8 +361,29 @@ Result<EncodedQuery> EncodeQuery(const SelectQueryAst& ast,
       out.projection.push_back(it->second);
     }
   }
-  if (out.projection.empty()) {
+  if (out.projection.empty() && !aggregated) {
     return Status::InvalidArgument("empty projection");
+  }
+
+  if (!ast.order_by.empty()) {
+    // ORDER BY keys name result columns: aggregate output columns, or the
+    // projected variables of a plain query.
+    std::vector<std::string> column_names;
+    if (out.aggregate.enabled) {
+      column_names = out.aggregate.output_names;
+    } else {
+      for (int v : out.projection) column_names.push_back(out.var_names[v]);
+    }
+    for (const OrderKeyAst& key : ast.order_by) {
+      auto found =
+          std::find(column_names.begin(), column_names.end(), key.var);
+      if (found == column_names.end()) {
+        return Status::InvalidArgument("ORDER BY variable ?" + key.var +
+                                       " is not a result column");
+      }
+      out.order_by.push_back(OrderKey{
+          static_cast<int>(found - column_names.begin()), key.descending});
+    }
   }
   return out;
 }

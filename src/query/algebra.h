@@ -66,11 +66,41 @@ struct FilterAst {
   TermOrVar rhs;
 };
 
+/// Aggregate function of a SELECT expression.
+enum class AggFunc : uint8_t {
+  kCount = 0,      // COUNT(?x) — rows where ?x is bound (always, here)
+  kCountStar = 1,  // COUNT(*)
+  kSum = 2,        // SUM(?x) over numeric bindings
+  kMin = 3,        // MIN(?x) over numeric bindings
+  kMax = 4,        // MAX(?x) over numeric bindings
+};
+
+const char* AggFuncName(AggFunc func);
+
+/// One `(FUNC(?arg) AS ?alias)` select expression at the string level.
+struct AggregateAst {
+  AggFunc func = AggFunc::kCountStar;
+  std::string arg;    ///< argument variable; empty for COUNT(*)
+  std::string alias;  ///< output name (the AS variable, no sigil)
+};
+
+/// One ORDER BY key at the string level: a result variable (projected
+/// variable or aggregate alias), optionally wrapped in DESC(...).
+struct OrderKeyAst {
+  std::string var;
+  bool descending = false;
+};
+
 /// A parsed SELECT query over a Basic Graph Pattern (or a UNION of them).
 struct SelectQueryAst {
   bool distinct = false;
   bool select_all = false;               ///< SELECT *
-  std::vector<std::string> projection;   ///< when !select_all
+  std::vector<std::string> projection;   ///< plain selected variables
+  /// Aggregate select expressions; non-empty makes this an aggregate
+  /// query (plain `projection` variables must then appear in `group_by`).
+  std::vector<AggregateAst> aggregates;
+  std::vector<std::string> group_by;     ///< GROUP BY variables, in order
+  std::vector<OrderKeyAst> order_by;     ///< ORDER BY keys, in order
   std::vector<TriplePatternAst> patterns;
   std::vector<FilterAst> filters;
   /// Additional UNION arms; `patterns`/`filters` form the first arm. Every
@@ -134,6 +164,47 @@ struct EncodedFilter {
   std::shared_ptr<const std::vector<bool>> passing;
 };
 
+/// Kind of value held in one output column of a query result. Plain BGP
+/// results are all kTerm; aggregate results mix kinds per column.
+enum class ColumnKind : uint8_t {
+  kTerm = 0,    ///< a TermId (decode through the dictionary)
+  kCount = 1,   ///< a raw uint64 count
+  kNumber = 2,  ///< a double, bit-cast into the uint64 cell (NaN = empty)
+};
+
+/// One encoded aggregate: the function plus the executor-row column its
+/// argument variable occupies (-1 for COUNT(*), which reads no column).
+struct EncodedAggregate {
+  AggFunc func = AggFunc::kCountStar;
+  int input_col = -1;
+};
+
+/// Aggregation spec carried by EncodedQuery/Plan. When enabled, the
+/// executor-row layout (EncodedQuery::projection) is
+/// [group vars in GROUP BY order] ++ [distinct aggregate-argument vars],
+/// so the first `group_cols` columns of every emitted row are the group
+/// key and `EncodedAggregate::input_col` indexes into the same row.
+struct AggregateSpec {
+  bool enabled = false;
+  int group_cols = 0;
+  std::vector<EncodedAggregate> aggs;
+  /// Final output layout, one entry per result column: v >= 0 selects
+  /// group column v; v < 0 selects aggregate ~v.
+  std::vector<int> output;
+  std::vector<std::string> output_names;  ///< result header, per column
+  std::vector<ColumnKind> column_kinds;   ///< per output column
+};
+
+/// One encoded ORDER BY key: an index into the final output columns.
+/// Comparison is by ColumnKind — kTerm compares TermIds (deterministic
+/// dictionary-encoding order), kCount unsigned, kNumber double with NaN
+/// (empty MIN/MAX) ordered last; ties break on the full row so the total
+/// order is unique.
+struct OrderKey {
+  int column = 0;
+  bool descending = false;
+};
+
 /// A fully encoded query, ready for the optimizer.
 struct EncodedQuery {
   std::vector<EncodedPattern> patterns;
@@ -143,6 +214,13 @@ struct EncodedQuery {
   std::vector<int> projection;         ///< variable ids, SELECT order
   bool distinct = false;
   uint64_t limit = 0;
+  AggregateSpec aggregate;
+  std::vector<OrderKey> order_by;
+  /// TermId -> numeric value (NaN = non-numeric term), indexed over base
+  /// + overlay IDs like the filter bitmaps. Built only when a SUM/MIN/MAX
+  /// aggregate is present. Epoch-bound: overlay terms can appear within a
+  /// plan generation, so plans holding this table must never be cached.
+  std::shared_ptr<const std::vector<double>> numeric_values;
   /// True when some constant (resource or predicate) does not occur in the
   /// dictionary — the query's result is empty without executing anything.
   bool known_empty = false;

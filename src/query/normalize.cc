@@ -116,6 +116,67 @@ NormalizedQuery NormalizeQuery(const SelectQueryAst& ast) {
       key.push_back(',');
     }
   }
+
+  // Aggregation / ORDER BY shape. These sections make an aggregate query's
+  // shape key disjoint from the plain-BGP key over the same patterns, so a
+  // cached plain plan can never be served for an aggregate form (and vice
+  // versa). Aliases are part of the key because output_names ride the plan
+  // template verbatim. SUM/MIN/MAX shapes are ineligible: their plans carry
+  // the epoch-bound TermId->double numeric table, which must never outlive
+  // the snapshot it was built against.
+  if (!ast.group_by.empty()) {
+    key.append("|G:");
+    for (const std::string& name : ast.group_by) {
+      const auto it = var_ids.find(name);
+      if (it == var_ids.end()) return reject("GROUP BY variable not in BGP");
+      key.append(std::to_string(it->second));
+      key.push_back(',');
+    }
+  }
+  if (!ast.aggregates.empty()) {
+    key.append("|A:");
+    for (const AggregateAst& agg : ast.aggregates) {
+      if (agg.func == AggFunc::kSum || agg.func == AggFunc::kMin ||
+          agg.func == AggFunc::kMax) {
+        return reject("epoch-bound numeric table (SUM/MIN/MAX)");
+      }
+      key.append(AggFuncName(agg.func));
+      key.push_back('(');
+      if (agg.func == AggFunc::kCountStar) {
+        key.push_back('*');
+      } else {
+        const auto it = var_ids.find(agg.arg);
+        if (it == var_ids.end()) return reject("aggregate argument not in BGP");
+        AppendSlot(&key, true, it->second);
+      }
+      key.append(")=");
+      key.append(agg.alias);
+      key.push_back(';');
+    }
+  }
+  if (!ast.order_by.empty()) {
+    key.append("|O:");
+    for (const OrderKeyAst& ok : ast.order_by) {
+      key.push_back(ok.descending ? '-' : '+');
+      bool is_alias = false;
+      for (const AggregateAst& agg : ast.aggregates) {
+        if (agg.alias == ok.var) {
+          is_alias = true;
+          break;
+        }
+      }
+      if (is_alias) {
+        key.push_back('=');
+        key.append(ok.var);
+      } else {
+        const auto it = var_ids.find(ok.var);
+        if (it == var_ids.end()) return reject("ORDER BY variable not in result");
+        AppendSlot(&key, true, it->second);
+      }
+      key.push_back(';');
+    }
+  }
+
   if (ast.limit != 0) {
     key.append("|L");
     key.append(std::to_string(ast.limit));

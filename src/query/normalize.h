@@ -12,7 +12,8 @@ namespace parj::query {
 /// (the same first-occurrence order EncodeQuery uses, so a shape-cached
 /// plan's variable ids line up with this query's), constants lifted to
 /// positional parameters. Two queries with equal `shape_key` have the
-/// same structure, projection, DISTINCT/LIMIT and filter graph and differ
+/// same structure, projection, DISTINCT/LIMIT, aggregation (GROUP BY /
+/// COUNT shapes / ORDER BY) and filter graph and differ
 /// only in their parameter terms — so an optimized plan for one is a
 /// valid (if possibly suboptimal) plan skeleton for the other, and
 /// binding this query's parameters into it yields exactly the plan
@@ -24,8 +25,10 @@ struct NormalizedQuery {
   /// False when the query cannot be parameterized safely: UNION arms,
   /// ordering FILTERs (their passing bitmaps are compiled against one
   /// epoch's dictionary), constant-constant FILTERs (folded by value at
-  /// encode time), variable predicates, or malformed shapes the encoder
-  /// would reject anyway. Ineligible queries take the uncached path.
+  /// encode time), variable predicates, SUM/MIN/MAX aggregates (their
+  /// plans carry an epoch-bound TermId->double table), or malformed
+  /// shapes the encoder would reject anyway. Ineligible queries take the
+  /// uncached path.
   bool eligible = false;
   const char* ineligible_reason = "";
 

@@ -258,6 +258,9 @@ class PlannerContext {
     plan.projection = query_.projection;
     plan.distinct = query_.distinct;
     plan.limit = query_.limit;
+    plan.aggregate = query_.aggregate;
+    plan.order_by = query_.order_by;
+    plan.numeric_values = query_.numeric_values;
     plan.total_cost = state.cost;
 
     uint64_t bound = 0;
@@ -474,6 +477,9 @@ Result<Plan> Optimize(const EncodedQuery& query, const Database& db,
     plan.projection = query.projection;
     plan.distinct = query.distinct;
     plan.limit = query.limit;
+    plan.aggregate = query.aggregate;
+    plan.order_by = query.order_by;
+    plan.numeric_values = query.numeric_values;
     return plan;
   }
   PlannerContext ctx(query, db, options, delta);

@@ -154,7 +154,10 @@ class Lexer {
       for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
       if (upper == "SELECT" || upper == "DISTINCT" || upper == "WHERE" ||
           upper == "PREFIX" || upper == "LIMIT" || upper == "FILTER" ||
-          upper == "UNION") {
+          upper == "UNION" || upper == "GROUP" || upper == "BY" ||
+          upper == "ORDER" || upper == "ASC" || upper == "DESC" ||
+          upper == "AS" || upper == "COUNT" || upper == "SUM" ||
+          upper == "MIN" || upper == "MAX") {
         tok.kind = TokenKind::kKeyword;
         tok.text = std::move(upper);
         return tok;
@@ -276,13 +279,24 @@ class Parser {
       ast.select_all = true;
       PARJ_RETURN_NOT_OK(Advance());
     } else {
-      while (current_.kind == TokenKind::kVariable) {
-        ast.projection.push_back(current_.text);
-        PARJ_RETURN_NOT_OK(Advance());
+      while (true) {
+        if (current_.kind == TokenKind::kVariable) {
+          ast.projection.push_back(current_.text);
+          PARJ_RETURN_NOT_OK(Advance());
+          continue;
+        }
+        if (IsPunct('(')) {
+          PARJ_RETURN_NOT_OK(ParseAggregateExpr(&ast));
+          continue;
+        }
+        break;
       }
-      if (ast.projection.empty()) {
+      if (ast.projection.empty() && ast.aggregates.empty()) {
         return Status::ParseError("expected projection variables or *");
       }
+    }
+    if (!ast.aggregates.empty() && ast.distinct) {
+      return Status::ParseError("DISTINCT with aggregates is not supported");
     }
 
     if (!IsKeyword("WHERE")) {
@@ -321,6 +335,65 @@ class Parser {
 
     if (!IsPunct('}')) return Status::ParseError("expected '}'");
     PARJ_RETURN_NOT_OK(Advance());
+
+    if (IsKeyword("GROUP")) {
+      PARJ_RETURN_NOT_OK(Advance());
+      if (!IsKeyword("BY")) {
+        return Status::ParseError("expected BY after GROUP");
+      }
+      PARJ_RETURN_NOT_OK(Advance());
+      while (current_.kind == TokenKind::kVariable) {
+        ast.group_by.push_back(current_.text);
+        PARJ_RETURN_NOT_OK(Advance());
+      }
+      if (ast.group_by.empty()) {
+        return Status::ParseError("expected variables after GROUP BY");
+      }
+    }
+
+    if (IsKeyword("ORDER")) {
+      PARJ_RETURN_NOT_OK(Advance());
+      if (!IsKeyword("BY")) {
+        return Status::ParseError("expected BY after ORDER");
+      }
+      PARJ_RETURN_NOT_OK(Advance());
+      while (true) {
+        OrderKeyAst key;
+        if (IsKeyword("ASC") || IsKeyword("DESC")) {
+          key.descending = IsKeyword("DESC");
+          PARJ_RETURN_NOT_OK(Advance());
+          if (!IsPunct('(')) {
+            return Status::ParseError("expected '(' after ASC/DESC");
+          }
+          PARJ_RETURN_NOT_OK(Advance());
+          if (current_.kind != TokenKind::kVariable) {
+            return Status::ParseError("expected variable inside ASC/DESC");
+          }
+          key.var = current_.text;
+          PARJ_RETURN_NOT_OK(Advance());
+          if (!IsPunct(')')) {
+            return Status::ParseError("expected ')' after ASC/DESC variable");
+          }
+          PARJ_RETURN_NOT_OK(Advance());
+        } else if (current_.kind == TokenKind::kVariable) {
+          key.var = current_.text;
+          PARJ_RETURN_NOT_OK(Advance());
+        } else {
+          break;
+        }
+        ast.order_by.push_back(std::move(key));
+      }
+      if (ast.order_by.empty()) {
+        return Status::ParseError("expected sort keys after ORDER BY");
+      }
+    }
+
+    if ((!ast.aggregates.empty() || !ast.group_by.empty() ||
+         !ast.order_by.empty()) &&
+        !ast.union_arms.empty()) {
+      return Status::ParseError(
+          "GROUP BY / aggregates / ORDER BY are not supported with UNION");
+    }
 
     if (IsKeyword("LIMIT")) {
       PARJ_RETURN_NOT_OK(Advance());
@@ -367,6 +440,62 @@ class Parser {
     }
     prefixes_[prefix] = current_.text;
     return Advance();
+  }
+
+  /// '(' FUNC '(' (?var | '*') ')' AS ?alias ')' — one aggregate select
+  /// expression; the leading '(' is the current token.
+  Status ParseAggregateExpr(SelectQueryAst* ast) {
+    PARJ_RETURN_NOT_OK(Advance());  // consume '('
+    AggregateAst agg;
+    bool is_count = false;
+    if (IsKeyword("COUNT")) {
+      is_count = true;
+      agg.func = AggFunc::kCount;
+    } else if (IsKeyword("SUM")) {
+      agg.func = AggFunc::kSum;
+    } else if (IsKeyword("MIN")) {
+      agg.func = AggFunc::kMin;
+    } else if (IsKeyword("MAX")) {
+      agg.func = AggFunc::kMax;
+    } else {
+      return Status::ParseError("expected COUNT, SUM, MIN or MAX after '('");
+    }
+    PARJ_RETURN_NOT_OK(Advance());
+    if (!IsPunct('(')) {
+      return Status::ParseError("expected '(' after aggregate function");
+    }
+    PARJ_RETURN_NOT_OK(Advance());
+    if (IsPunct('*')) {
+      if (!is_count) {
+        return Status::ParseError("'*' is only valid inside COUNT");
+      }
+      agg.func = AggFunc::kCountStar;
+      PARJ_RETURN_NOT_OK(Advance());
+    } else if (current_.kind == TokenKind::kVariable) {
+      agg.arg = current_.text;
+      PARJ_RETURN_NOT_OK(Advance());
+    } else {
+      return Status::ParseError("expected variable or '*' in aggregate");
+    }
+    if (!IsPunct(')')) {
+      return Status::ParseError("expected ')' after aggregate argument");
+    }
+    PARJ_RETURN_NOT_OK(Advance());
+    if (!IsKeyword("AS")) {
+      return Status::ParseError("expected AS in aggregate expression");
+    }
+    PARJ_RETURN_NOT_OK(Advance());
+    if (current_.kind != TokenKind::kVariable) {
+      return Status::ParseError("expected variable after AS");
+    }
+    agg.alias = current_.text;
+    PARJ_RETURN_NOT_OK(Advance());
+    if (!IsPunct(')')) {
+      return Status::ParseError("expected ')' closing aggregate expression");
+    }
+    PARJ_RETURN_NOT_OK(Advance());
+    ast->aggregates.push_back(std::move(agg));
+    return Status::OK();
   }
 
   Result<TermOrVar> ParseSlot(bool predicate_position) {

@@ -11,17 +11,26 @@ namespace parj::query {
 /// Parses the SPARQL subset the engine evaluates:
 ///
 ///   [PREFIX ns: <iri>]*
-///   SELECT [DISTINCT] (?var+ | *)
+///   SELECT [DISTINCT] ( * | (?var | '(' AGG AS ?alias ')')+ )
 ///   WHERE '{' triple-pattern (('.' | ';' | ',') triple-pattern-part)* '}'
+///   [GROUP BY ?var+]
+///   [ORDER BY (?var | ASC(?var) | DESC(?var))+]
 ///   [LIMIT n]
 ///
-/// Triple-pattern slots may be variables (?x), IRIs (<...> or prefixed
-/// names such as ub:worksFor), literals ("v", "v"@en, "v"^^<dt>, bare
-/// integers) or the keyword `a` (rdf:type, predicate position only).
-/// ';' repeats the subject; ',' repeats subject and predicate.
+/// where AGG is COUNT(*), COUNT(?x), SUM(?x), MIN(?x) or MAX(?x) (the AS
+/// alias is required). Triple-pattern slots may be variables (?x), IRIs
+/// (<...> or prefixed names such as ub:worksFor), literals ("v", "v"@en,
+/// "v"^^<dt>, bare integers) or the keyword `a` (rdf:type, predicate
+/// position only). ';' repeats the subject; ',' repeats subject and
+/// predicate.
+///
+/// Aggregates make the query an aggregate query: plain selected variables
+/// must then appear in GROUP BY, and DISTINCT/UNION are rejected. ORDER BY
+/// keys name result columns (projected variables or aggregate aliases).
 ///
 /// The parser covers everything the paper's workloads need (BGPs with
-/// constants standing in for FILTER equality, per paper Example 3.2).
+/// constants standing in for FILTER equality, per paper Example 3.2),
+/// plus the aggregation/ordering surface of DESIGN.md §16.
 Result<SelectQueryAst> ParseQuery(std::string_view text);
 
 }  // namespace parj::query

@@ -40,6 +40,30 @@ std::string Plan::ToString() const {
     std::snprintf(buf, sizeof(buf), "%.3g", s.estimated_rows);
     out << "  est_rows=" << buf << "\n";
   }
+  if (aggregate.enabled) {
+    out << "  aggregate group_cols=" << aggregate.group_cols << " [";
+    for (size_t i = 0; i < aggregate.aggs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << AggFuncName(aggregate.aggs[i].func);
+      if (aggregate.aggs[i].input_col >= 0) {
+        out << "(col" << aggregate.aggs[i].input_col << ")";
+      }
+    }
+    out << "] -> ";
+    for (size_t i = 0; i < aggregate.output_names.size(); ++i) {
+      if (i > 0) out << " ";
+      out << "?" << aggregate.output_names[i];
+    }
+    out << "\n";
+  }
+  if (!order_by.empty()) {
+    out << "  order by";
+    for (const OrderKey& key : order_by) {
+      out << " col" << key.column << (key.descending ? " desc" : " asc");
+    }
+    if (limit != 0) out << " limit " << limit;
+    out << "\n";
+  }
   return out.str();
 }
 

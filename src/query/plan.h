@@ -46,6 +46,16 @@ struct Plan {
   std::vector<int> projection;
   bool distinct = false;
   uint64_t limit = 0;
+  /// Aggregation spec (GROUP BY / COUNT / SUM / MIN / MAX); when enabled,
+  /// `projection` describes the executor-row feed, not the result columns
+  /// (see AggregateSpec).
+  AggregateSpec aggregate;
+  /// ORDER BY keys over the result columns; empty = engine order.
+  std::vector<OrderKey> order_by;
+  /// TermId -> numeric value table for SUM/MIN/MAX, from EncodedQuery.
+  /// Epoch-bound (overlay IDs can grow within a plan generation): plans
+  /// carrying it must never enter the plan cache.
+  std::shared_ptr<const std::vector<double>> numeric_values;
   /// Result is known empty (absent constant); steps may be empty.
   bool known_empty = false;
   /// Total optimizer cost estimate.

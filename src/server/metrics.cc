@@ -91,6 +91,7 @@ std::string MetricsRegistry::Dump() const {
   AppendCounter(&out, "queries_cancelled", queries_cancelled);
   AppendCounter(&out, "deadlines_expired", deadlines_expired);
   AppendCounter(&out, "rows_returned", rows_returned);
+  AppendCounter(&out, "rows_skipped_by_limit", rows_skipped_by_limit);
   AppendCounter(&out, "retries", retries);
   AppendCounter(&out, "watchdog_kills", watchdog_kills);
   AppendCounter(&out, "degraded_activations", degraded_activations);
@@ -161,6 +162,7 @@ void MetricsRegistry::Reset() {
   queries_cancelled.store(0, std::memory_order_relaxed);
   deadlines_expired.store(0, std::memory_order_relaxed);
   rows_returned.store(0, std::memory_order_relaxed);
+  rows_skipped_by_limit.store(0, std::memory_order_relaxed);
   retries.store(0, std::memory_order_relaxed);
   watchdog_kills.store(0, std::memory_order_relaxed);
   degraded_activations.store(0, std::memory_order_relaxed);

@@ -62,6 +62,10 @@ struct MetricsRegistry {
   std::atomic<uint64_t> queries_cancelled{0};   ///< client-initiated
   std::atomic<uint64_t> deadlines_expired{0};
   std::atomic<uint64_t> rows_returned{0};
+  /// Rows the cross-shard LIMIT gate rejected after saturation (see
+  /// join::ExecResult::rows_skipped_by_limit); nonzero proves LIMIT-k
+  /// early exit is actually cutting work.
+  std::atomic<uint64_t> rows_skipped_by_limit{0};
 
   // Robustness counters (watchdog / retry / degradation / integrity).
   std::atomic<uint64_t> retries{0};              ///< re-submissions after transient failure

@@ -22,12 +22,20 @@ struct CachedResult {
   size_t column_count = 0;
   std::vector<TermId> rows;
   std::vector<std::string> var_names;
+  /// Aggregate answers (engine::QueryResult::agg_rows layout): row-major
+  /// u64 cells typed per column by `column_kinds`. Non-empty column_kinds
+  /// marks the entry as an aggregate answer, so a replay restores the
+  /// exact result shape — a cached plain-BGP answer (empty column_kinds)
+  /// can never masquerade as an aggregate one or vice versa.
+  std::vector<uint64_t> agg_rows;
+  std::vector<uint8_t> column_kinds;  ///< query::ColumnKind values
   /// The data_version the rows were computed at (MvccSnapshot::
   /// data_version — bumps per mutation batch, stable across compaction).
   uint64_t data_version = 0;
 
   size_t ByteSize() const {
-    size_t bytes = sizeof(CachedResult) + rows.size() * sizeof(TermId);
+    size_t bytes = sizeof(CachedResult) + rows.size() * sizeof(TermId) +
+                   agg_rows.size() * sizeof(uint64_t) + column_kinds.size();
     for (const std::string& name : var_names) bytes += name.size();
     return bytes;
   }

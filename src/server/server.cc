@@ -27,6 +27,13 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 /// Fingerprint over the QueryOptions fields that change the answer bytes
 /// (result mode, row cap). Scheduling knobs are deliberately excluded:
 /// thread count and strategy never change which rows a query returns.
+/// agg_strategy is excluded for the same reason — every aggregation
+/// strategy produces the identical canonical group->value map (the
+/// differential suite enforces it), so strategy choice never shapes the
+/// answer. The aggregation/DISTINCT/ORDER-LIMIT *structure* lives in the
+/// query text, which is the cache key itself, and cached entries carry
+/// their column_kinds so an aggregate answer replays with its exact
+/// shape.
 uint64_t ResultFingerprint(const engine::QueryOptions& options) {
   uint64_t fp = static_cast<uint64_t>(options.mode);
   fp = fp * 0x100000001b3ull ^ options.max_rows;
@@ -41,6 +48,9 @@ bool SharedScanEligible(const query::Plan& plan,
                         const engine::QueryOptions& options) {
   if (plan.known_empty || plan.steps.empty()) return false;
   if (options.collect_probe_trace || options.emulate_parallel) return false;
+  // Aggregation and ORDER BY run through the engine's shaped (visitor)
+  // path, which the shared executor cannot drive per member.
+  if (plan.aggregate.enabled || !plan.order_by.empty()) return false;
   const query::PlanStep& first = plan.steps.front();
   return first.key.is_variable() && first.value.is_variable();
 }
@@ -375,6 +385,11 @@ void QueryServer::MaybeCacheResult(const std::string& sparql,
   cached->column_count = result.column_count;
   cached->rows = result.rows;
   cached->var_names = result.var_names;
+  cached->agg_rows = result.agg_rows;
+  cached->column_kinds.reserve(result.column_kinds.size());
+  for (query::ColumnKind kind : result.column_kinds) {
+    cached->column_kinds.push_back(static_cast<uint8_t>(kind));
+  }
   cached->data_version = result.data_version;
   result_cache_->Insert(sparql, fingerprint, std::move(cached));
 }
@@ -487,6 +502,11 @@ SubmittedQuery QueryServer::SubmitInternal(
       result.column_count = hit->column_count;
       result.rows = hit->rows;
       result.var_names = hit->var_names;
+      result.agg_rows = hit->agg_rows;
+      result.column_kinds.reserve(hit->column_kinds.size());
+      for (uint8_t kind : hit->column_kinds) {
+        result.column_kinds.push_back(static_cast<query::ColumnKind>(kind));
+      }
       result.data_version = hit->data_version;
       result.result_cached = true;
       metrics_.queries_completed.fetch_add(1, std::memory_order_relaxed);
@@ -544,6 +564,8 @@ SubmittedQuery QueryServer::SubmitInternal(
         metrics_.queries_completed.fetch_add(1, std::memory_order_relaxed);
         metrics_.rows_returned.fetch_add(result->row_count,
                                          std::memory_order_relaxed);
+        metrics_.rows_skipped_by_limit.fetch_add(result->rows_skipped_by_limit,
+                                                 std::memory_order_relaxed);
         if (want_result_cache && !result->result_cached) {
           MaybeCacheResult(sparql_copy, result_fp, *result);
         }
@@ -597,6 +619,8 @@ SubmittedQuery QueryServer::SubmitInternal(
       metrics_.queries_completed.fetch_add(1, std::memory_order_relaxed);
       metrics_.rows_returned.fetch_add(result->row_count,
                                        std::memory_order_relaxed);
+      metrics_.rows_skipped_by_limit.fetch_add(result->rows_skipped_by_limit,
+                                               std::memory_order_relaxed);
       if (want_result_cache && !result->result_cached) {
         MaybeCacheResult(sparql, result_fp, *result);
       }
